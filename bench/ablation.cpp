@@ -1,0 +1,277 @@
+// Ablations over Prophet's design choices (DESIGN.md experiment index):
+//  (a) Network Bandwidth Monitor: replace the live estimate with a wrong
+//      fixed bandwidth — the prediction-driven block sizing degrades.
+//  (b) Assembly floor (min_block): 0 reproduces the starved-NIC pathology;
+//      too large erodes preemption.
+//  (c) Budget margin sensitivity.
+//  (d) Greedy Algorithm 1 vs the exhaustive oracle on profiled sub-instances.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/block_planner.hpp"
+#include "core/local_search.hpp"
+#include "core/oracle.hpp"
+#include "dnn/iteration_model.hpp"
+#include "dnn/stepwise.hpp"
+
+namespace prophet::bench {
+namespace {
+
+ps::ClusterConfig prophet_at(Bandwidth bw, core::ProphetConfig prophet_cfg) {
+  auto strategy = ps::StrategyConfig::make_prophet(prophet_cfg);
+  auto cfg = paper_cluster(dnn::resnet50(), 64, 3, bw, strategy, 36);
+  cfg.strategy.prophet = prophet_cfg;
+  cfg.strategy.prophet.profile_iterations = 8;
+  return cfg;
+}
+
+void monitor_ablation() {
+  banner("Ablation (a) — with vs without the Network Bandwidth Monitor",
+         "ResNet50 b64, 2 Gbps actual; 'without' plans with a stale 10 Gbps "
+         "estimate");
+  core::ProphetConfig live;
+  core::ProphetConfig stale;
+  stale.bandwidth_override = Bandwidth::gbps(10);  // wrong by 5x
+  core::ProphetConfig conservative;
+  conservative.bandwidth_override = Bandwidth::mbps(400);  // wrong the other way
+  const auto results = run_all({prophet_at(Bandwidth::gbps(2), live),
+                                prophet_at(Bandwidth::gbps(2), stale),
+                                prophet_at(Bandwidth::gbps(2), conservative)});
+  TextTable table{{"bandwidth estimate", "rate (samples/s)"}};
+  table.add_row({"monitored (live)", TextTable::num(results[0].mean_rate(), 4)});
+  table.add_row({"fixed 10 Gbps (5x too high)", TextTable::num(results[1].mean_rate(), 4)});
+  table.add_row({"fixed 400 Mbps (5x too low)", TextTable::num(results[2].mean_rate(), 4)});
+  table.print(std::cout);
+  auto csv = make_csv("ablation_monitor", {"estimate", "rate"});
+  csv.write_row({"live", TextTable::num(results[0].mean_rate(), 6)});
+  csv.write_row({"10gbps", TextTable::num(results[1].mean_rate(), 6)});
+  csv.write_row({"400mbps", TextTable::num(results[2].mean_rate(), 6)});
+}
+
+void min_block_ablation() {
+  banner("Ablation (b) — assembly floor (min_block) sweep",
+         "ResNet50 b64, 1 Gbps (backlogged regime where the floor matters)");
+  const std::vector<std::int64_t> floors_kib{1, 512, 1024, 4096, 16384};
+  std::vector<ps::ClusterConfig> configs;
+  for (std::int64_t kib : floors_kib) {
+    core::ProphetConfig p;
+    p.min_block = Bytes::kib(kib);
+    configs.push_back(prophet_at(Bandwidth::gbps(1), p));
+  }
+  const auto results = run_all(configs);
+  TextTable table{{"min_block", "rate (samples/s)"}};
+  auto csv = make_csv("ablation_min_block", {"min_block_kib", "rate"});
+  for (std::size_t i = 0; i < floors_kib.size(); ++i) {
+    table.add_row({format_bytes(Bytes::kib(floors_kib[i])),
+                   TextTable::num(results[i].mean_rate(), 4)});
+    csv.write_row_values({static_cast<double>(floors_kib[i]),
+                          results[i].mean_rate()});
+  }
+  table.print(std::cout);
+}
+
+void margin_ablation() {
+  banner("Ablation (c) — interval budget margin sweep",
+         "ResNet50 b64, 2 Gbps; margin absorbs profile jitter");
+  const std::vector<double> margins{0.0, 0.05, 0.15, 0.4, 0.8};
+  std::vector<ps::ClusterConfig> configs;
+  for (double m : margins) {
+    core::ProphetConfig p;
+    p.budget_margin = m;
+    configs.push_back(prophet_at(Bandwidth::gbps(2), p));
+  }
+  const auto results = run_all(configs);
+  TextTable table{{"budget margin", "rate (samples/s)"}};
+  auto csv = make_csv("ablation_margin", {"margin", "rate"});
+  for (std::size_t i = 0; i < margins.size(); ++i) {
+    table.add_row({TextTable::num(margins[i], 2),
+                   TextTable::num(results[i].mean_rate(), 4)});
+    csv.write_row_values({margins[i], results[i].mean_rate()});
+  }
+  table.print(std::cout);
+}
+
+void oracle_gap() {
+  banner("Ablation (d) — greedy Algorithm 1 vs exhaustive oracle (T_wait)",
+         "A 16-gradient slice of the ResNet50 stepwise pattern (layer4 region)");
+  // Build the profiled c/s series from the iteration model, truncate to the
+  // last 16 gradients generated (the head of the priority range, where the
+  // schedule matters most), and compare planner vs oracle.
+  const dnn::IterationModel iteration{dnn::resnet50(), dnn::tesla_m60_pair(), 64};
+  const auto timing = iteration.nominal();
+  // Slice 16 consecutive gradients from the layer4 region (multi-MiB conv
+  // tensors), re-labelled as priorities 0..15 of a standalone instance.
+  const std::size_t base = 140;
+  const std::size_t n = 16;
+  core::GradientProfile profile;
+  std::vector<Duration> fwd;
+  const Duration shift = timing.ready_offset[base + n - 1];
+  for (std::size_t g = 0; g < n; ++g) {
+    profile.ready.push_back(timing.ready_offset[base + g] - shift);
+    profile.sizes.push_back(iteration.model().tensor(base + g).bytes);
+    fwd.push_back(timing.fwd[base + g]);
+  }
+  profile.intervals = dnn::transfer_intervals(profile.ready);
+  profile.iterations_profiled = 1;
+
+  net::TcpCostModel cost{net::TcpCostParams{}};
+  TextTable table{{"bandwidth", "greedy T_wait (ms)", "oracle T_wait (ms)",
+                   "gap", "schedules searched"}};
+  auto csv = make_csv("ablation_oracle_gap",
+                      {"gbps", "greedy_ms", "oracle_ms", "gap"});
+  for (double gbps : {1.0, 3.0, 10.0}) {
+    const Bandwidth bw = Bandwidth::gbps(gbps);
+    const core::PerfModel model{profile, fwd, bw, cost};
+    const auto planned = core::BlockPlanner{cost}.plan(profile, bw);
+    const double greedy = model.evaluate(planned).t_wait.to_millis();
+    const auto oracle = core::OracleScheduler{16}.solve(model);
+    const double optimal = oracle.breakdown.t_wait.to_millis();
+    table.add_row({TextTable::num(gbps, 3) + " Gbps", TextTable::num(greedy, 4),
+                   TextTable::num(optimal, 4),
+                   TextTable::pct(optimal > 0 ? greedy / optimal - 1.0 : 0.0, 1),
+                   std::to_string(oracle.schedules_evaluated)});
+    csv.write_row_values({gbps, greedy, optimal,
+                          optimal > 0 ? greedy / optimal - 1.0 : 0.0});
+  }
+  table.print(std::cout);
+  std::printf("The greedy plan stays within a small constant factor of the "
+              "exhaustive optimum computed with perfect hindsight — while "
+              "running in microseconds per iteration (see micro_benchmarks), "
+              "the paper's justification for not solving Eq. (6) exactly.\n");
+}
+
+void ps_cpu_ablation() {
+  banner("Ablation (e) — parameter-server CPU model",
+         "ResNet50 b64, 3 Gbps; per-key update delays vs a serialized PS CPU");
+  const std::vector<double> agg_gbps{1.0, 4.0, 16.0};
+  std::vector<ps::ClusterConfig> configs;
+  for (bool serialize : {false, true}) {
+    for (double gb : agg_gbps) {
+      auto cfg = paper_cluster(dnn::resnet50(), 64, 3, Bandwidth::gbps(3),
+                               ps::StrategyConfig::make_prophet(), 36);
+      cfg.serialize_ps_cpu = serialize;
+      cfg.update_bytes_per_sec = gb * 1e9;
+      configs.push_back(std::move(cfg));
+    }
+  }
+  const auto results = run_all(configs);
+  TextTable table{{"PS aggregation rate", "parallel updates", "serialized CPU"}};
+  auto csv = make_csv("ablation_ps_cpu", {"agg_gbps", "parallel", "serialized"});
+  for (std::size_t i = 0; i < agg_gbps.size(); ++i) {
+    table.add_row({TextTable::num(agg_gbps[i], 3) + " GB/s",
+                   TextTable::num(results[i].mean_rate(), 4),
+                   TextTable::num(results[agg_gbps.size() + i].mean_rate(), 4)});
+    csv.write_row_values({agg_gbps[i], results[i].mean_rate(),
+                          results[agg_gbps.size() + i].mean_rate()});
+  }
+  table.print(std::cout);
+  std::printf("A slow serialized PS CPU becomes the bottleneck no scheduler "
+              "can hide — the Parameter-Hub observation.\n");
+}
+
+void local_search_headroom() {
+  banner("Ablation (f) — local-search headroom over Algorithm 1's plan",
+         "Offline T_wait of greedy vs hill-climbed schedules, ResNet50 slice");
+  const dnn::IterationModel iteration{dnn::resnet50(), dnn::tesla_m60_pair(), 64};
+  const auto timing = iteration.nominal();
+  const std::size_t base = 140;
+  const std::size_t n = 16;
+  core::GradientProfile profile;
+  std::vector<Duration> fwd;
+  const Duration shift = timing.ready_offset[base + n - 1];
+  for (std::size_t g = 0; g < n; ++g) {
+    profile.ready.push_back(timing.ready_offset[base + g] - shift);
+    profile.sizes.push_back(iteration.model().tensor(base + g).bytes);
+    fwd.push_back(timing.fwd[base + g]);
+  }
+  profile.intervals = dnn::transfer_intervals(profile.ready);
+  profile.iterations_profiled = 1;
+
+  net::TcpCostModel cost{net::TcpCostParams{}};
+  TextTable table{{"bandwidth", "greedy T_wait (ms)", "local-search (ms)",
+                   "moves applied / evaluated"}};
+  auto csv = make_csv("ablation_local_search", {"gbps", "greedy_ms", "ls_ms"});
+  for (double gbps : {1.0, 3.0, 10.0}) {
+    const Bandwidth bw = Bandwidth::gbps(gbps);
+    const core::PerfModel model{profile, fwd, bw, cost};
+    const auto planned = core::BlockPlanner{cost}.plan(profile, bw);
+    const auto refined = core::LocalSearchPlanner{}.refine(planned, model);
+    const double greedy =
+        model.evaluate(core::LocalSearchPlanner::retime(planned, model))
+            .t_wait.to_millis();
+    table.add_row({TextTable::num(gbps, 3) + " Gbps", TextTable::num(greedy, 4),
+                   TextTable::num(refined.breakdown.t_wait.to_millis(), 4),
+                   std::to_string(refined.moves_applied) + " / " +
+                       std::to_string(refined.moves_evaluated)});
+    csv.write_row_values({gbps, greedy, refined.breakdown.t_wait.to_millis()});
+  }
+  table.print(std::cout);
+  std::printf("Hill-climbing over merge/split/shift/swap moves recovers part "
+              "of the gap to the offline optimum; the runtime scheduler "
+              "cannot use it directly because swaps violate the priority "
+              "Constraint (9) it must honor online.\n");
+}
+
+void group_cap_ablation() {
+  banner("Ablation (g) — drain/pull block cap (forward_group_max)",
+         "Preemption-bound vs communication-bound regimes want opposite caps");
+  struct Case {
+    const char* label;
+    const char* model;
+    int batch;
+    double gbps;
+  };
+  const std::vector<Case> cases{
+      {"resnet50 b64 @ 1 Gbps (preemption-bound)", "resnet50", 64, 1.0},
+      {"resnet50 b64 @ 2 Gbps (paper regime)", "resnet50", 64, 2.0},
+      {"bert_base b16 @ 3 Gbps (comm-bound)", "bert_base", 16, 3.0},
+  };
+  const std::vector<std::int64_t> caps_mib{4, 8, 16, 32};
+  std::vector<ps::ClusterConfig> configs;
+  for (const auto& c : cases) {
+    for (std::int64_t cap : caps_mib) {
+      core::ProphetConfig p;
+      p.forward_group_max = Bytes::mib(cap);
+      auto cfg = paper_cluster(dnn::model_by_name(c.model), c.batch, 3,
+                               Bandwidth::gbps(c.gbps),
+                               ps::StrategyConfig::make_prophet(p), 36);
+      cfg.strategy.prophet = p;
+      cfg.strategy.prophet.profile_iterations = 8;
+      configs.push_back(std::move(cfg));
+    }
+  }
+  const auto results = run_all(configs);
+  TextTable table{{"workload", "4 MiB", "8 MiB (default)", "16 MiB", "32 MiB"}};
+  auto csv = make_csv("ablation_group_cap",
+                      {"workload", "cap_mib", "rate"});
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    std::vector<std::string> row{cases[i].label};
+    for (std::size_t j = 0; j < caps_mib.size(); ++j) {
+      const double rate = results[i * caps_mib.size() + j].mean_rate();
+      row.push_back(TextTable::num(rate, 4));
+      csv.write_row({cases[i].label, std::to_string(caps_mib[j]),
+                     TextTable::num(rate, 6)});
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::printf("Small caps preserve preemption (urgent params jump the queue "
+              "sooner); large caps amortize per-task costs. 8 MiB favors the "
+              "paper's comm ~= compute regime; deeply communication-bound "
+              "workloads want 2-4x more.\n");
+}
+
+}  // namespace
+}  // namespace prophet::bench
+
+int main() {
+  prophet::bench::monitor_ablation();
+  prophet::bench::min_block_ablation();
+  prophet::bench::margin_ablation();
+  prophet::bench::oracle_gap();
+  prophet::bench::ps_cpu_ablation();
+  prophet::bench::local_search_headroom();
+  prophet::bench::group_cap_ablation();
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "metrics/sweep.hpp"
+
+namespace prophet::bench {
+
+std::string artifact_dir() {
+  const std::string dir = "bench_results";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+CsvWriter make_csv(const std::string& name, std::vector<std::string> header) {
+  return CsvWriter{artifact_dir() + "/" + name + ".csv", std::move(header)};
+}
+
+void banner(const std::string& experiment, const std::string& description) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n%s\n", experiment.c_str(), description.c_str());
+  std::printf("================================================================\n");
+}
+
+ps::ClusterConfig paper_cluster(const dnn::ModelSpec& model, int batch,
+                                std::size_t workers, Bandwidth worker_bw,
+                                ps::StrategyConfig strategy, std::size_t iterations) {
+  ps::ClusterConfig cfg;
+  cfg.model = model;
+  cfg.batch = batch;
+  cfg.num_workers = workers;
+  cfg.worker_bandwidth = worker_bw;
+  cfg.ps_bandwidth = Bandwidth::gbps(10);
+  cfg.strategy = std::move(strategy);
+  cfg.iterations = iterations;
+  // Keep the profiling phase short relative to bench length; its cost is
+  // measured explicitly by fig13_runtime_overhead.
+  cfg.strategy.prophet.profile_iterations = 8;
+  return cfg;
+}
+
+std::vector<Contender> all_contenders(bool bs_autotune) {
+  return {
+      {"MXNet (FIFO)", ps::StrategyConfig::fifo()},
+      {"P3", ps::StrategyConfig::p3()},
+      {"ByteScheduler", ps::StrategyConfig::make_bytescheduler(Bytes::mib(4), bs_autotune)},
+      {"Prophet", ps::StrategyConfig::make_prophet()},
+  };
+}
+
+double measure_rate(const ps::ClusterConfig& config) {
+  return ps::run_cluster(config).mean_rate();
+}
+
+std::vector<ps::ClusterResult> run_all(const std::vector<ps::ClusterConfig>& configs) {
+  const std::function<ps::ClusterResult(const ps::ClusterConfig&)> runner =
+      [](const ps::ClusterConfig& cfg) { return ps::run_cluster(cfg); };
+  return metrics::parallel_map<ps::ClusterConfig, ps::ClusterResult>(configs, runner);
+}
+
+}  // namespace prophet::bench

@@ -1,0 +1,49 @@
+# Benchmark harness: one binary per paper table/figure (plus ablations and
+# google-benchmark microbenchmarks). Built from the top-level list file so
+# that ${CMAKE_BINARY_DIR}/bench contains ONLY runnable binaries:
+#
+#   for b in build/bench/*; do $b; done
+#
+# regenerates every experiment.
+
+add_library(prophet_bench_common OBJECT bench/bench_common.cpp)
+target_include_directories(prophet_bench_common PUBLIC ${CMAKE_SOURCE_DIR}/src ${CMAKE_SOURCE_DIR}/bench)
+target_link_libraries(prophet_bench_common PUBLIC prophet_ps)
+
+function(prophet_bench name)
+  add_executable(${name} bench/${name}.cpp $<TARGET_OBJECTS:prophet_bench_common>)
+  target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR}/src ${CMAKE_SOURCE_DIR}/bench)
+  target_link_libraries(${name} PRIVATE
+    prophet_allreduce prophet_ps prophet_core prophet_sched prophet_metrics
+    prophet_dnn prophet_net prophet_sim prophet_common prophet_warnings
+    Threads::Threads)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+prophet_bench(fig02_motivation)
+prophet_bench(fig03_overhead)
+prophet_bench(fig04_stepwise)
+prophet_bench(fig05_example)
+prophet_bench(fig08_training_rate)
+prophet_bench(fig09_gpu_util)
+prophet_bench(fig10_net_throughput)
+prophet_bench(fig11_transfer_times)
+prophet_bench(fig12_scalability)
+prophet_bench(fig13_runtime_overhead)
+prophet_bench(table2_bandwidth)
+prophet_bench(table3_batchsize)
+prophet_bench(hetero_cluster)
+prophet_bench(ablation)
+prophet_bench(extended_comparison)
+prophet_bench(allreduce_comparison)
+
+# Microbenchmarks (google-benchmark): engine and Algorithm 1 costs.
+add_executable(micro_benchmarks bench/micro_benchmarks.cpp)
+target_include_directories(micro_benchmarks PRIVATE ${CMAKE_SOURCE_DIR}/src)
+target_link_libraries(micro_benchmarks PRIVATE
+  prophet_ps prophet_core prophet_sched prophet_metrics prophet_dnn
+  prophet_net prophet_sim prophet_common prophet_warnings
+  benchmark::benchmark benchmark::benchmark_main Threads::Threads)
+set_target_properties(micro_benchmarks PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

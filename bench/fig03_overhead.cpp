@@ -1,0 +1,85 @@
+// Fig. 3 — overheads of the prior priority-based schedulers:
+//  (a) P3: small partitions crater the training rate (TCP overhead, slow
+//      start, per-partition synchronization);
+//  (b) ByteScheduler: the Bayesian credit auto-tuner makes the training rate
+//      fluctuate while it explores credit sizes (paper: 44-56 samples/s).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace prophet::bench {
+namespace {
+
+void part_a() {
+  banner("Fig. 3(a) — P3 training rate vs partition size",
+         "ResNet50, batch 64, 3 workers, 3 Gbps worker NICs");
+  const std::vector<std::int64_t> partitions_kib{128, 256, 512, 1024, 2048,
+                                                 4096, 8192, 16384};
+  std::vector<ps::ClusterConfig> configs;
+  for (std::int64_t kib : partitions_kib) {
+    configs.push_back(paper_cluster(dnn::resnet50(), 64, 3, Bandwidth::gbps(3),
+                                    ps::StrategyConfig::p3(Bytes::kib(kib)), 24));
+  }
+  const auto results = run_all(configs);
+
+  TextTable table{{"partition", "rate (samples/s)", "vs 4 MB"}};
+  auto csv = make_csv("fig03a_p3_partition", {"partition_kib", "rate"});
+  double rate_4mb = 0.0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (partitions_kib[i] == 4096) rate_4mb = results[i].mean_rate();
+  }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const double rate = results[i].mean_rate();
+    table.add_row({format_bytes(Bytes::kib(partitions_kib[i])),
+                   TextTable::num(rate, 4),
+                   TextTable::pct(rate / rate_4mb - 1.0, 1)});
+    csv.write_row_values({static_cast<double>(partitions_kib[i]), rate});
+  }
+  table.print(std::cout);
+  std::printf("Small partitions pay a per-task cost each: the slicing "
+              "overhead the paper pins on P3.\n");
+}
+
+void part_b() {
+  banner("Fig. 3(b) — ByteScheduler rate fluctuation under credit auto-tuning",
+         "ResNet50, batch 64, 3 workers, 1 Gbps; GP-UCB credit tuner active");
+  auto cfg = paper_cluster(dnn::resnet50(), 64, 3, Bandwidth::gbps(1),
+                           ps::StrategyConfig::make_bytescheduler(Bytes::mib(4), true),
+                           90);
+  cfg.strategy.bytescheduler.tune_interval_iters = 4;
+  const auto result = ps::run_cluster(cfg, 4);
+  const auto& training = result.workers[0].training;
+  const auto rates = training.per_iteration_rates(4, cfg.iterations);
+
+  auto csv = make_csv("fig03b_bs_fluctuation", {"iteration", "rate"});
+  RunningStats stats;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    stats.add(rates[i]);
+    csv.write_row_values({static_cast<double>(i + 4), rates[i]});
+  }
+  // Sparkline-style text series, 10-iteration means.
+  TextTable table{{"iterations", "rate (samples/s)"}};
+  for (std::size_t i = 0; i + 10 <= rates.size(); i += 10) {
+    RunningStats window;
+    for (std::size_t j = i; j < i + 10; ++j) window.add(rates[j]);
+    table.add_row({std::to_string(i + 4) + "-" + std::to_string(i + 13),
+                   TextTable::num(window.mean(), 4)});
+  }
+  table.print(std::cout);
+  std::printf("Per-iteration rate: min %.1f / mean %.1f / max %.1f samples/s "
+              "(paper band: 44-56)\n",
+              stats.min(), stats.mean(), stats.max());
+  std::printf("Fluctuation span: %.1f%% of mean — the auto-tuning cost the "
+              "paper highlights.\n",
+              100.0 * (stats.max() - stats.min()) / stats.mean());
+}
+
+}  // namespace
+}  // namespace prophet::bench
+
+int main() {
+  prophet::bench::part_a();
+  prophet::bench::part_b();
+  return 0;
+}

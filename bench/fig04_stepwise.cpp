@@ -1,0 +1,74 @@
+// Fig. 4 — the stepwise pattern of gradient generation/transfer start time.
+// The paper observes ResNet50 under MXNet producing blocks like
+// {gradient 144 - gradient 156}, then {134 - 143}, ... down to gradient 0,
+// and VGG19 under TensorFlow collapsing into just four blocks. The pattern
+// comes from KVStore aggregation + copyD2H/send-buffer batching, which is
+// exactly how the iteration model produces it here.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "dnn/iteration_model.hpp"
+#include "dnn/stepwise.hpp"
+
+namespace prophet::bench {
+namespace {
+
+void show_blocks(const std::string& title, const dnn::ModelSpec& model,
+                 const dnn::KvStoreConfig& kv, int batch,
+                 const std::string& csv_name) {
+  const dnn::IterationModel iteration{model, dnn::tesla_m60_pair(), batch, kv};
+  const auto timing = iteration.nominal();
+  const auto blocks = dnn::detect_blocks(timing.ready_offset);
+
+  std::printf("\n--- %s: %zu gradients, %zu blocks ---\n", title.c_str(),
+              timing.ready_offset.size(), blocks.size());
+  TextTable table{{"block", "gradients", "count", "generated at (ms)",
+                   "gap to next block (ms)"}};
+  auto csv = make_csv(csv_name, {"grad", "ready_ms"});
+  for (std::size_t g = 0; g < timing.ready_offset.size(); ++g) {
+    csv.write_row_values({static_cast<double>(g),
+                          timing.ready_offset[g].to_millis()});
+  }
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const auto& blk = blocks[b];
+    const double gap = b + 1 < blocks.size()
+                           ? (blocks[b + 1].ready - blk.ready).to_millis()
+                           : 0.0;
+    table.add_row({std::to_string(b),
+                   "{" + std::to_string(blk.first) + " - " +
+                       std::to_string(blk.last) + "}",
+                   std::to_string(blk.size()),
+                   TextTable::num(blk.ready.to_millis(), 4),
+                   b + 1 < blocks.size() ? TextTable::num(gap, 3) : "-"});
+  }
+  table.print(std::cout);
+}
+
+int run() {
+  banner("Fig. 4 — stepwise pattern of gradient generation times",
+         "Blocks of gradients become transferable (nearly) simultaneously");
+
+  // MXNet-style: KVStore flushes at architecture stage boundaries
+  // (GroupKVPairsPush per residual block) — many narrow blocks.
+  dnn::KvStoreConfig mxnet_kv;
+  show_blocks("ResNet50 / MXNet-style KVStore (paper: {144-156}, {134-143}, ...)",
+              dnn::resnet50(), mxnet_kv, 64, "fig04_resnet50");
+
+  // TensorFlow-style: no stage flushing, large send-buffer threshold —
+  // the paper sees only 4 blocks for VGG19.
+  dnn::KvStoreConfig tf_kv;
+  tf_kv.flush_on_stage_boundary = false;
+  tf_kv.flush_threshold = Bytes::mib(48);
+  show_blocks("VGG19 / TensorFlow-style buffering (paper: 4 blocks)",
+              dnn::vgg19(), tf_kv, 32, "fig04_vgg19");
+
+  std::printf("\nThe pattern is what Algorithm 1 exploits: each block's gap is "
+              "the transfer budget A^(i).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace prophet::bench
+
+int main() { return prophet::bench::run(); }

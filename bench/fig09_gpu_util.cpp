@@ -1,0 +1,54 @@
+// Fig. 9 — GPU utilization over time, ResNet50: Prophet vs ByteScheduler
+// (paper: average 91.15% vs 67.85%, with periodic dips at iteration tails).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace prophet::bench {
+namespace {
+
+int run() {
+  banner("Fig. 9 — GPU utilization over time (ResNet50)",
+         "batch 64, 3 workers, 1 Gbps worker NICs (the contended regime)");
+
+  auto bs_cfg = paper_cluster(dnn::resnet50(), 64, 3, Bandwidth::gbps(1),
+                              ps::StrategyConfig::make_bytescheduler(Bytes::mib(4), true),
+                              40);
+  auto prophet_cfg = paper_cluster(dnn::resnet50(), 64, 3, Bandwidth::gbps(1),
+                                   ps::StrategyConfig::make_prophet(), 40);
+  const auto results = run_all({bs_cfg, prophet_cfg});
+  const auto& bs = results[0].workers[0];
+  const auto& prophet = results[1].workers[0];
+
+  TextTable table{{"time (s)", "ByteScheduler util", "Prophet util"}};
+  auto csv = make_csv("fig09_gpu_util", {"time_s", "bytescheduler", "prophet"});
+  const std::size_t bins = std::min<std::size_t>(
+      {bs.gpu_series.bin_count(),
+       static_cast<std::size_t>(
+           std::min(results[0].simulated_time, results[1].simulated_time) /
+           bs.gpu_series.bin_width())});
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double t = bs.gpu_series.bin_start(b).to_seconds();
+    csv.write_row_values({t, bs.gpu_series.bin_rate(b),
+                          prophet.gpu_series.bin_rate(b)});
+    if (b % 4 == 0) {
+      table.add_row({TextTable::num(t, 3),
+                     TextTable::pct(bs.gpu_series.bin_rate(b)),
+                     TextTable::pct(prophet.gpu_series.bin_rate(b))});
+    }
+  }
+  table.print(std::cout);
+  std::printf("\nAverage GPU utilization (steady state): ByteScheduler %.2f%%, "
+              "Prophet %.2f%%\n",
+              100.0 * results[0].mean_utilization(),
+              100.0 * results[1].mean_utilization());
+  std::printf("Paper: 67.85%% -> 91.15%%. The periodic dips are the iteration "
+              "tails where even Prophet waits for gradient 0's round trip.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace prophet::bench
+
+int main() { return prophet::bench::run(); }

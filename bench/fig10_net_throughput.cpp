@@ -1,0 +1,63 @@
+// Fig. 10 — network throughput of a worker over time, ResNet50: Prophet's
+// gradient blocks sustain higher goodput than ByteScheduler's credit groups
+// (paper: +37.3% average).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace prophet::bench {
+namespace {
+
+int run() {
+  banner("Fig. 10 — worker network throughput over time (ResNet50)",
+         "batch 64, 3 workers, 1 Gbps worker NICs; uplink + downlink");
+
+  auto bs_cfg = paper_cluster(dnn::resnet50(), 64, 3, Bandwidth::gbps(1),
+                              ps::StrategyConfig::make_bytescheduler(Bytes::mib(4), true),
+                              40);
+  auto prophet_cfg = paper_cluster(dnn::resnet50(), 64, 3, Bandwidth::gbps(1),
+                                   ps::StrategyConfig::make_prophet(), 40);
+  const auto results = run_all({bs_cfg, prophet_cfg});
+
+  auto total_series = [](const ps::WorkerResult& w, std::size_t bin) {
+    return (w.tx_series.bin_rate(bin) + w.rx_series.bin_rate(bin)) / 1e6;
+  };
+  const auto& bs = results[0].workers[0];
+  const auto& prophet = results[1].workers[0];
+
+  TextTable table{{"time (s)", "ByteScheduler (MB/s)", "Prophet (MB/s)"}};
+  auto csv = make_csv("fig10_net_throughput",
+                      {"time_s", "bytescheduler_mbs", "prophet_mbs"});
+  const std::size_t bins = static_cast<std::size_t>(
+      std::min(results[0].simulated_time, results[1].simulated_time) /
+      bs.tx_series.bin_width());
+  RunningStats bs_stats;
+  RunningStats prophet_stats;
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double t = bs.tx_series.bin_start(b).to_seconds();
+    const double bs_mbs = total_series(bs, b);
+    const double prophet_mbs = total_series(prophet, b);
+    bs_stats.add(bs_mbs);
+    prophet_stats.add(prophet_mbs);
+    csv.write_row_values({t, bs_mbs, prophet_mbs});
+    if (b % 4 == 0) {
+      table.add_row({TextTable::num(t, 3), TextTable::num(bs_mbs, 4),
+                     TextTable::num(prophet_mbs, 4)});
+    }
+  }
+  table.print(std::cout);
+  std::printf("\nMean worker throughput: ByteScheduler %.1f MB/s, Prophet %.1f "
+              "MB/s (+%.1f%%)\n",
+              bs_stats.mean(), prophet_stats.mean(),
+              100.0 * (prophet_stats.mean() / bs_stats.mean() - 1.0));
+  std::printf("Paper: 7.5 -> 10.3 MB/s (+37.3%%). Note: higher goodput here "
+              "means the same bytes move in less busy time; the fluctuation "
+              "mirrors the stepwise block structure.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace prophet::bench
+
+int main() { return prophet::bench::run(); }

@@ -1,0 +1,82 @@
+// Fig. 11 — per-gradient transfer start/end times and the wait-time
+// comparison of Sec. 5.2: MXNet averages 446 ms per gradient transfer,
+// ByteScheduler 135 ms, Prophet 125 ms; mean wait 67 ms (BS) vs 26 ms
+// (Prophet), with the high-priority gradients benefiting most.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace prophet::bench {
+namespace {
+
+int run() {
+  banner("Fig. 11 — gradient transfer start/end times (ResNet50)",
+         "batch 64, 3 workers, 2 Gbps; push direction, offsets from backward "
+         "start");
+
+  std::vector<ps::ClusterConfig> configs{
+      paper_cluster(dnn::resnet50(), 64, 3, Bandwidth::gbps(2),
+                    ps::StrategyConfig::fifo(), 36),
+      paper_cluster(dnn::resnet50(), 64, 3, Bandwidth::gbps(2),
+                    ps::StrategyConfig::make_bytescheduler(Bytes::mib(4), true), 36),
+      paper_cluster(dnn::resnet50(), 64, 3, Bandwidth::gbps(2),
+                    ps::StrategyConfig::make_prophet(), 36),
+  };
+  const std::vector<std::string> labels{"MXNet", "ByteScheduler", "Prophet"};
+  const auto results = run_all(configs);
+
+  // Per-gradient table (sampled every 10 gradients) + full CSV.
+  auto csv = make_csv("fig11_transfer_times",
+                      {"strategy", "grad", "start_ms", "end_ms", "wait_ms",
+                       "transfer_ms"});
+  TextTable table{{"gradient", "MXNet start-end (ms)", "BS start-end (ms)",
+                   "Prophet start-end (ms)"}};
+  std::vector<std::vector<metrics::GradientTransferSummary>> summaries;
+  for (std::size_t s = 0; s < results.size(); ++s) {
+    summaries.push_back(results[s].workers[0].transfers.per_gradient(
+        12, 36, sched::TaskKind::kPush));
+    for (const auto& g : summaries.back()) {
+      if (g.wait_ms.empty()) continue;
+      csv.write_row({labels[s], std::to_string(g.grad),
+                     TextTable::num(g.start_offset_ms.mean(), 6),
+                     TextTable::num(g.end_offset_ms.mean(), 6),
+                     TextTable::num(g.wait_ms.mean(), 6),
+                     TextTable::num(g.transfer_ms.mean(), 6)});
+    }
+  }
+  const std::size_t n = summaries[0].size();
+  for (std::size_t g = 0; g < n; g += 10) {
+    std::vector<std::string> row{std::to_string(g)};
+    for (const auto& summary : summaries) {
+      if (g < summary.size() && !summary[g].start_offset_ms.empty()) {
+        row.push_back(TextTable::num(summary[g].start_offset_ms.mean(), 4) +
+                      " - " + TextTable::num(summary[g].end_offset_ms.mean(), 4));
+      } else {
+        row.push_back("-");
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::printf("\nAveraged over all gradients (steady-state iterations):\n");
+  TextTable agg{{"strategy", "mean wait (ms)", "mean transfer (ms)"}};
+  for (std::size_t s = 0; s < results.size(); ++s) {
+    const auto overall =
+        results[s].workers[0].transfers.overall(12, 36, sched::TaskKind::kPush);
+    agg.add_row({labels[s], TextTable::num(overall.mean_wait_ms, 4),
+                 TextTable::num(overall.mean_transfer_ms, 4)});
+  }
+  agg.print(std::cout);
+  std::printf("Paper: waits 67 ms (BS) vs 26 ms (Prophet); transfers 446/135/"
+              "125 ms for MXNet/BS/Prophet. FIFO's huge per-gradient span "
+              "(whole tensors queued behind each other) reproduces as the "
+              "dominant effect.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace prophet::bench
+
+int main() { return prophet::bench::run(); }

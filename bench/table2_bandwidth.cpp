@@ -1,0 +1,83 @@
+// Table 2 — ResNet50 (batch 64) training rate under worker bandwidth limits
+// from 1,000 to 10,000 Mbps, Prophet vs ByteScheduler vs P3; plus the
+// Sec. 5.3 ResNet18 comparison against the default MXNet engine at 3 and
+// 10 Gbps.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace prophet::bench {
+namespace {
+
+void table2() {
+  banner("Table 2 — ResNet50 b64 rate vs worker bandwidth limit",
+         "1 PS (10 Gbps) + 3 workers; paper shape: P3 craters at low "
+         "bandwidth, everyone converges at high bandwidth, Prophet leads the "
+         "contended middle");
+  const std::vector<double> mbps{1000, 2000, 3000, 4000, 4500, 6000, 10000};
+  std::vector<ps::ClusterConfig> configs;
+  for (double m : mbps) {
+    const Bandwidth bw = Bandwidth::mbps(m);
+    configs.push_back(paper_cluster(dnn::resnet50(), 64, 3, bw,
+                                    ps::StrategyConfig::make_prophet(), 36));
+    configs.push_back(paper_cluster(
+        dnn::resnet50(), 64, 3, bw,
+        ps::StrategyConfig::make_bytescheduler(Bytes::mib(4), true), 36));
+    configs.push_back(
+        paper_cluster(dnn::resnet50(), 64, 3, bw, ps::StrategyConfig::p3(), 36));
+  }
+  const auto results = run_all(configs);
+
+  TextTable table{{"worker bandwidth (Mbps)", "Prophet", "ByteScheduler", "P3"}};
+  auto csv = make_csv("table2_bandwidth", {"mbps", "prophet", "bytescheduler", "p3"});
+  for (std::size_t i = 0; i < mbps.size(); ++i) {
+    const double prophet = results[3 * i].mean_rate();
+    const double bs = results[3 * i + 1].mean_rate();
+    const double p3 = results[3 * i + 2].mean_rate();
+    table.add_row({TextTable::num(mbps[i], 5), TextTable::num(prophet, 4),
+                   TextTable::num(bs, 4), TextTable::num(p3, 4)});
+    csv.write_row_values({mbps[i], prophet, bs, p3});
+  }
+  table.print(std::cout);
+  std::printf("Paper row (3,000 Mbps): Prophet 60 / ByteScheduler 44 / P3 "
+              "51.2 samples/s.\n");
+}
+
+void resnet18_vs_mxnet() {
+  banner("Sec. 5.3 — ResNet18 b64 under varying bandwidth",
+         "Paper: at 10 Gbps MXNet/P3/Prophet all ~220 samples/s; at 3 Gbps "
+         "110 / 137 / 153 samples/s");
+  std::vector<ps::ClusterConfig> configs;
+  for (double gbps : {3.0, 10.0}) {
+    for (const auto& strategy :
+         {ps::StrategyConfig::fifo(), ps::StrategyConfig::p3(),
+          ps::StrategyConfig::make_prophet()}) {
+      configs.push_back(paper_cluster(dnn::resnet18(), 64, 3,
+                                      Bandwidth::gbps(gbps), strategy, 48));
+    }
+  }
+  const auto results = run_all(configs);
+  TextTable table{{"bandwidth", "MXNet (FIFO)", "P3", "Prophet"}};
+  auto csv = make_csv("table2b_resnet18", {"gbps", "mxnet", "p3", "prophet"});
+  const std::vector<double> gbps{3.0, 10.0};
+  for (std::size_t i = 0; i < gbps.size(); ++i) {
+    table.add_row({TextTable::num(gbps[i], 3) + " Gbps",
+                   TextTable::num(results[3 * i].mean_rate(), 4),
+                   TextTable::num(results[3 * i + 1].mean_rate(), 4),
+                   TextTable::num(results[3 * i + 2].mean_rate(), 4)});
+    csv.write_row_values({gbps[i], results[3 * i].mean_rate(),
+                          results[3 * i + 1].mean_rate(),
+                          results[3 * i + 2].mean_rate()});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace prophet::bench
+
+int main() {
+  prophet::bench::table2();
+  prophet::bench::resnet18_vs_mxnet();
+  return 0;
+}

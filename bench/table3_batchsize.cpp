@@ -1,0 +1,59 @@
+// Table 3 — training rate of ResNet18 / ResNet50 at batch sizes 16-64,
+// Prophet vs ByteScheduler (paper: +1.5% to +36%, run under constrained
+// bandwidth; we use 2 Gbps worker NICs where the contention lives in this
+// substrate — see EXPERIMENTS.md for the trend discussion).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace prophet::bench {
+namespace {
+
+struct Row {
+  const char* model;
+  int batch;
+};
+
+int run() {
+  banner("Table 3 — Prophet vs ByteScheduler across batch sizes",
+         "1 PS + 3 workers, 2 Gbps worker NICs");
+  const std::vector<Row> rows{
+      {"resnet18", 16}, {"resnet18", 64},
+      {"resnet50", 16}, {"resnet50", 32}, {"resnet50", 64},
+  };
+  std::vector<ps::ClusterConfig> configs;
+  for (const auto& row : rows) {
+    const auto model = dnn::model_by_name(row.model);
+    configs.push_back(paper_cluster(model, row.batch, 3, Bandwidth::gbps(2),
+                                    ps::StrategyConfig::make_prophet(), 40));
+    configs.push_back(paper_cluster(
+        model, row.batch, 3, Bandwidth::gbps(2),
+        ps::StrategyConfig::make_bytescheduler(Bytes::mib(4), true), 40));
+  }
+  const auto results = run_all(configs);
+
+  TextTable table{{"model (batch)", "Prophet (samples/s)",
+                   "ByteScheduler (samples/s)", "improvement"}};
+  auto csv = make_csv("table3_batchsize",
+                      {"model", "batch", "prophet", "bytescheduler", "improvement"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double prophet = results[2 * i].mean_rate();
+    const double bs = results[2 * i + 1].mean_rate();
+    table.add_row({std::string{rows[i].model} + " (" +
+                       std::to_string(rows[i].batch) + ")",
+                   TextTable::num(prophet, 4), TextTable::num(bs, 4),
+                   TextTable::pct(prophet / bs - 1.0, 1)});
+    csv.write_row({rows[i].model, std::to_string(rows[i].batch),
+                   TextTable::num(prophet, 6), TextTable::num(bs, 6),
+                   TextTable::num(prophet / bs - 1.0, 4)});
+  }
+  table.print(std::cout);
+  std::printf("Paper rows: ResNet18 +11.6%%/+33%%, ResNet50 +1.5%%/+22%%/+36%%.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace prophet::bench
+
+int main() { return prophet::bench::run(); }

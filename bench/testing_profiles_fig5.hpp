@@ -1,0 +1,18 @@
+// The Fig. 5 gradient profile shared by the illustrative bench.
+#pragma once
+
+#include "core/profile.hpp"
+#include "dnn/stepwise.hpp"
+
+namespace prophet::bench {
+
+inline core::GradientProfile fig5_profile() {
+  core::GradientProfile profile;
+  profile.ready = {Duration::millis(30), Duration::millis(10), Duration::zero()};
+  profile.sizes = {Bytes::mib(1), Bytes::mib(3), Bytes::mib(1)};
+  profile.intervals = dnn::transfer_intervals(profile.ready);
+  profile.iterations_profiled = 1;
+  return profile;
+}
+
+}  // namespace prophet::bench

@@ -1,0 +1,116 @@
+// Unified experiment runner: any model x strategy x architecture x network
+// configuration from the command line, with optional trace export.
+//
+//   ./build/examples/run_experiment --model resnet50 --batch 64
+//       --workers 3 --gbps 2 --strategy prophet --arch ps --iterations 40
+//   ./build/examples/run_experiment --arch allreduce --strategy mg-wfbp
+//   ./build/examples/run_experiment --strategy prophet --trace run.trace.json
+#include <cstdio>
+#include <string>
+
+#include "allreduce/cluster.hpp"
+#include "common/flags.hpp"
+#include "ps/cluster.hpp"
+#include "ps/trace_export.hpp"
+
+namespace {
+
+void usage() {
+  std::printf(
+      "run_experiment — simulate one DDNN training configuration\n\n"
+      "  --model NAME       resnet18|resnet50|resnet152|inception_v3|vgg19|\n"
+      "                     alexnet|mobilenet_v1|bert_base|toy_cnn (default resnet50)\n"
+      "  --batch N          mini-batch per worker (default 64)\n"
+      "  --workers N        worker count (default 3)\n"
+      "  --gbps X           worker NIC rate in Gbit/s (default 3)\n"
+      "  --ps-gbps X        PS NIC rate (default 10; PS architecture only)\n"
+      "  --strategy NAME    fifo|p3|tictac|mg-wfbp|bytescheduler|\n"
+      "                     bytescheduler-autotune|prophet (default prophet)\n"
+      "  --arch NAME        ps|allreduce (default ps)\n"
+      "  --iterations N     training iterations (default 40)\n"
+      "  --profile-iters N  Prophet profiling length (default 10)\n"
+      "  --seed N           simulation seed (default 42)\n"
+      "  --asp              asynchronous parallel updates (PS only)\n"
+      "  --trace PATH       write a Chrome trace of the run (PS only)\n");
+}
+
+std::optional<prophet::ps::StrategyConfig> strategy_by_name(const std::string& name) {
+  using prophet::ps::StrategyConfig;
+  using prophet::Bytes;
+  if (name == "fifo") return StrategyConfig::fifo();
+  if (name == "p3") return StrategyConfig::p3();
+  if (name == "tictac") return StrategyConfig::tictac();
+  if (name == "mg-wfbp") return StrategyConfig::make_mg_wfbp();
+  if (name == "bytescheduler") return StrategyConfig::make_bytescheduler();
+  if (name == "bytescheduler-autotune") {
+    return StrategyConfig::make_bytescheduler(Bytes::mib(4), true);
+  }
+  if (name == "prophet") return StrategyConfig::make_prophet();
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace prophet;
+
+  const auto flags = Flags::parse(argc, argv);
+  if (!flags.has_value() || flags->get("help", false)) {
+    usage();
+    return flags.has_value() ? 0 : 1;
+  }
+
+  const std::string strategy_name = flags->get("strategy", std::string{"prophet"});
+  const auto strategy = strategy_by_name(strategy_name);
+  if (!strategy.has_value()) {
+    std::fprintf(stderr, "unknown --strategy '%s'\n\n", strategy_name.c_str());
+    usage();
+    return 1;
+  }
+
+  ps::ClusterConfig cfg;
+  cfg.model = dnn::model_by_name(flags->get("model", std::string{"resnet50"}));
+  cfg.batch = static_cast<int>(flags->get("batch", std::int64_t{64}));
+  cfg.num_workers = static_cast<std::size_t>(flags->get("workers", std::int64_t{3}));
+  cfg.worker_bandwidth = Bandwidth::gbps(flags->get("gbps", 3.0));
+  cfg.ps_bandwidth = Bandwidth::gbps(flags->get("ps-gbps", 10.0));
+  cfg.iterations = static_cast<std::size_t>(flags->get("iterations", std::int64_t{40}));
+  cfg.seed = static_cast<std::uint64_t>(flags->get("seed", std::int64_t{42}));
+  cfg.strategy = *strategy;
+  cfg.strategy.prophet.profile_iterations =
+      static_cast<std::size_t>(flags->get("profile-iters", std::int64_t{10}));
+  if (flags->get("asp", false)) cfg.sync = ps::SyncMode::kAsp;
+
+  const std::string arch = flags->get("arch", std::string{"ps"});
+  std::printf("%s | %s | %zu workers | %s | batch %d | %zu iterations\n",
+              arch.c_str(), cfg.model.name().c_str(), cfg.num_workers,
+              format_bandwidth(cfg.worker_bandwidth).c_str(), cfg.batch,
+              cfg.iterations);
+
+  if (arch == "allreduce") {
+    const auto result = ar::run_allreduce(cfg);
+    std::printf("[%s/ring] rate %.2f samples/s/worker, GPU utilization %.1f%%\n",
+                strategy_name.c_str(), result.mean_rate(),
+                100.0 * result.mean_utilization());
+    return 0;
+  }
+  if (arch != "ps") {
+    std::fprintf(stderr, "unknown --arch '%s' (want ps|allreduce)\n", arch.c_str());
+    return 1;
+  }
+
+  const auto result = ps::run_cluster(cfg);
+  std::printf("[%s/ps] rate %.2f samples/s/worker, GPU utilization %.1f%%\n",
+              strategy_name.c_str(), result.mean_rate(),
+              100.0 * result.mean_utilization());
+  const auto waits = result.workers[0].transfers.overall(
+      result.measure_first, result.measure_last, sched::TaskKind::kPush);
+  std::printf("mean gradient wait %.2f ms, mean transfer %.2f ms (%zu pushes)\n",
+              waits.mean_wait_ms, waits.mean_transfer_ms, waits.count);
+  if (flags->has("trace")) {
+    const std::string path = flags->get("trace", std::string{"run.trace.json"});
+    ps::export_chrome_trace(result, path);
+    std::printf("Chrome trace written to %s\n", path.c_str());
+  }
+  return 0;
+}

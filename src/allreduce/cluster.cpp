@@ -1,0 +1,112 @@
+#include "allreduce/cluster.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "allreduce/coordinator.hpp"
+#include "allreduce/worker.hpp"
+#include "common/check.hpp"
+#include "net/flow_network.hpp"
+#include "net/monitor.hpp"
+#include "ps/strategy.hpp"
+#include "sim/simulator.hpp"
+
+namespace prophet::ar {
+
+double AllReduceResult::mean_rate() const {
+  PROPHET_CHECK(!workers.empty());
+  double total = 0.0;
+  for (const auto& w : workers) total += w.rate_samples_per_sec;
+  return total / static_cast<double>(workers.size());
+}
+
+double AllReduceResult::mean_utilization() const {
+  PROPHET_CHECK(!workers.empty());
+  double total = 0.0;
+  for (const auto& w : workers) total += w.gpu_utilization;
+  return total / static_cast<double>(workers.size());
+}
+
+AllReduceResult run_allreduce(const ps::ClusterConfig& cfg,
+                              std::optional<std::size_t> measure_first) {
+  PROPHET_CHECK(cfg.num_workers >= 2);
+  sim::Simulator sim;
+  const net::TcpCostModel cost{cfg.tcp};
+  net::FlowNetwork network{sim, cost};
+
+  std::vector<net::NodeId> nodes;
+  for (std::size_t w = 0; w < cfg.num_workers; ++w) {
+    const Bandwidth bw = cfg.bandwidth_of_worker(w);
+    nodes.push_back(network.add_node("worker" + std::to_string(w), bw, bw));
+  }
+
+  const dnn::IterationModel iteration_model{cfg.model, cfg.gpu, cfg.batch,
+                                            cfg.kvstore, cfg.jitter_sigma};
+
+  // The collective scheduler sees the ring's effective per-member rate.
+  net::BandwidthMonitor monitor{sim, network, nodes[0], net::Direction::kTx,
+                                cfg.monitor};
+  auto scheduler =
+      ps::make_scheduler(cfg.strategy, sched::TaskKind::kPush,
+                         cfg.model.tensor_count(),
+                         [&monitor] { return monitor.estimate(); }, cost);
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  Coordinator coordinator{sim,
+                          network,
+                          nodes,
+                          cfg.model,
+                          std::move(scheduler),
+                          [&workers](std::size_t w, std::size_t key) {
+                            workers[w]->on_reduced(key);
+                          }};
+
+  Rng root{cfg.seed};
+  for (std::size_t w = 0; w < cfg.num_workers; ++w) {
+    workers.push_back(std::make_unique<Worker>(
+        sim, w, cfg.iterations, &iteration_model, &coordinator, cfg.batch,
+        cfg.metrics_bin, cfg.metrics_horizon, root.fork(w)));
+  }
+  for (auto& worker : workers) worker->start();
+
+  const TimePoint horizon = TimePoint::origin() + cfg.metrics_horizon;
+  auto all_done = [&] {
+    return std::all_of(workers.begin(), workers.end(),
+                       [](const auto& w) { return w->done(); });
+  };
+  while (!all_done() && sim.now() < horizon) {
+    if (!sim.step()) break;
+  }
+  PROPHET_CHECK_MSG(all_done(), "all-reduce training did not finish in time");
+  const Duration span = sim.now() - TimePoint::origin();
+  for (auto& worker : workers) worker->finish();
+  monitor.stop();
+  sim.run_until(horizon);
+
+  std::size_t first = measure_first.value_or(0);
+  if (!measure_first.has_value()) {
+    std::size_t warmup = 3;
+    if (cfg.strategy.kind == ps::StrategyConfig::Kind::kProphet) {
+      warmup = cfg.strategy.prophet.profile_iterations + 3;
+    }
+    PROPHET_CHECK(warmup + 1 < cfg.iterations);
+    first = warmup;
+  }
+
+  AllReduceResult result;
+  result.measure_first = first;
+  result.measure_last = cfg.iterations;
+  result.simulated_time = span;
+  for (const auto& worker : workers) {
+    const auto& tm = worker->training_metrics();
+    AllReduceResult::WorkerStats stats;
+    stats.iterations_completed = worker->current_iteration();
+    stats.rate_samples_per_sec = tm.rate_samples_per_sec(first, cfg.iterations);
+    stats.gpu_utilization = worker->gpu().utilization(
+        tm.iteration_start(first), tm.iteration_start(cfg.iterations));
+    result.workers.push_back(stats);
+  }
+  return result;
+}
+
+}  // namespace prophet::ar

@@ -1,0 +1,37 @@
+// Driver for all-reduce training runs: W workers in a ring, a collective
+// Coordinator running one of the communication strategies, and the same
+// metrics the PS engine reports — so the two dominant DDNN architectures
+// can be compared under identical workloads.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dnn/model_zoo.hpp"
+#include "metrics/training_metrics.hpp"
+#include "ps/config.hpp"
+
+namespace prophet::ar {
+
+// Reuses the PS ClusterConfig (model / batch / bandwidths / strategy /
+// iterations); PS-specific fields (ps_bandwidth, update costs, sync mode)
+// are ignored.
+struct AllReduceResult {
+  struct WorkerStats {
+    double rate_samples_per_sec = 0.0;
+    double gpu_utilization = 0.0;
+    std::size_t iterations_completed = 0;
+  };
+  std::vector<WorkerStats> workers;
+  Duration simulated_time{};
+  std::size_t measure_first = 0;
+  std::size_t measure_last = 0;
+
+  [[nodiscard]] double mean_rate() const;
+  [[nodiscard]] double mean_utilization() const;
+};
+
+AllReduceResult run_allreduce(const ps::ClusterConfig& config,
+                              std::optional<std::size_t> measure_first = {});
+
+}  // namespace prophet::ar

@@ -1,0 +1,52 @@
+#include "allreduce/ring.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace prophet::ar {
+
+RingAllReduce::RingAllReduce(sim::Simulator& sim, net::FlowNetwork& network,
+                             std::vector<net::NodeId> nodes)
+    : sim_{sim}, network_{network}, nodes_{std::move(nodes)} {
+  PROPHET_CHECK_MSG(nodes_.size() >= 2, "a ring needs at least two members");
+}
+
+void RingAllReduce::run(Bytes bytes, std::function<void()> done) {
+  PROPHET_CHECK_MSG(!busy_, "one collective at a time");
+  PROPHET_CHECK(bytes.count() > 0);
+  busy_ = true;
+  done_ = std::move(done);
+  const auto members = static_cast<std::int64_t>(nodes_.size());
+  chunk_ = Bytes::of(std::max<std::int64_t>(1, bytes.count() / members));
+  rounds_left_ = total_rounds();
+  start_round();
+}
+
+void RingAllReduce::start_round() {
+  PROPHET_CHECK(rounds_left_ > 0);
+  flows_in_round_ = nodes_.size();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const net::NodeId src = nodes_[i];
+    const net::NodeId dst = nodes_[(i + 1) % nodes_.size()];
+    network_.start_flow(src, dst, chunk_,
+                        [this](net::FlowId) { on_flow_done(); });
+  }
+}
+
+void RingAllReduce::on_flow_done() {
+  PROPHET_CHECK(flows_in_round_ > 0);
+  if (--flows_in_round_ > 0) return;  // round barrier
+  if (--rounds_left_ > 0) {
+    start_round();
+    return;
+  }
+  busy_ = false;
+  // Completion runs outside the flow callback chain so the handler may
+  // immediately start the next collective.
+  auto done = std::move(done_);
+  done_ = nullptr;
+  sim_.schedule_after(Duration::zero(), std::move(done));
+}
+
+}  // namespace prophet::ar

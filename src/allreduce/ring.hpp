@@ -1,0 +1,50 @@
+// Ring all-reduce collective over the flow network: W workers arranged in a
+// ring; a reduction of S bytes runs 2(W-1) rounds (reduce-scatter then
+// all-gather), each round moving S/W bytes from every worker to its ring
+// successor concurrently. Rounds are barrier-synchronized — the standard
+// bulk-synchronous model of NCCL-style rings.
+//
+// The cost structure this produces is the reason tensor fusion matters in
+// all-reduce stacks: every round pays the per-task setup, so small buckets
+// run latency-bound while fused buckets approach 2S/B * (W-1)/W.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "net/flow_network.hpp"
+#include "sim/simulator.hpp"
+
+namespace prophet::ar {
+
+class RingAllReduce {
+ public:
+  // `nodes` are the ring members in order (>= 2).
+  RingAllReduce(sim::Simulator& sim, net::FlowNetwork& network,
+                std::vector<net::NodeId> nodes);
+
+  // Starts a collective over `bytes` total payload; `done` fires when the
+  // all-gather completes on every member. One collective at a time.
+  void run(Bytes bytes, std::function<void()> done);
+  [[nodiscard]] bool busy() const { return busy_; }
+
+  // Rounds a full reduction takes: 2 * (W - 1).
+  [[nodiscard]] std::size_t total_rounds() const { return 2 * (nodes_.size() - 1); }
+
+ private:
+  void start_round();
+  void on_flow_done();
+
+  sim::Simulator& sim_;
+  net::FlowNetwork& network_;
+  std::vector<net::NodeId> nodes_;
+  bool busy_{false};
+  Bytes chunk_{};
+  std::size_t rounds_left_{0};
+  std::size_t flows_in_round_{0};
+  std::function<void()> done_;
+};
+
+}  // namespace prophet::ar

@@ -1,0 +1,29 @@
+// Runtime invariant checks. PROPHET_CHECK aborts with a message on violation;
+// it stays enabled in release builds because the simulator's correctness
+// claims (no concurrent transfers, priority ordering) are part of the
+// reproduction, not just debugging aids.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace prophet {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "PROPHET_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace prophet
+
+#define PROPHET_CHECK(expr)                                        \
+  do {                                                             \
+    if (!(expr)) ::prophet::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define PROPHET_CHECK_MSG(expr, msg)                                  \
+  do {                                                                \
+    if (!(expr)) ::prophet::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,48 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace prophet {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_{path}, columns_{header.size()} {
+  PROPHET_CHECK(columns_ > 0);
+  write_row(header);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  PROPHET_CHECK_MSG(cells.size() == columns_, "CSV row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row_values(std::initializer_list<double> values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    cells.emplace_back(buf);
+  }
+  write_row(cells);
+}
+
+std::string CsvWriter::escape(std::string_view cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quotes) return std::string{cell};
+  std::string out{"\""};
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace prophet

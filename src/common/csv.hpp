@@ -1,0 +1,31 @@
+// Minimal CSV writer for experiment artifacts (each bench drops a CSV next to
+// its printed table so the series can be re-plotted).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prophet {
+
+class CsvWriter {
+ public:
+  // Opens (truncates) `path`; writes the header row immediately.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  [[nodiscard]] bool ok() const { return out_.good(); }
+
+  void write_row(const std::vector<std::string>& cells);
+  // Convenience: formats doubles with enough precision for re-plotting.
+  void write_row_values(std::initializer_list<double> values);
+
+  static std::string escape(std::string_view cell);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace prophet

@@ -1,0 +1,68 @@
+#include "common/flags.hpp"
+
+#include <cstdlib>
+
+namespace prophet {
+
+std::optional<Flags> Flags::parse(int argc, const char* const* argv,
+                                  std::string* error) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    if (body.empty()) {
+      if (error != nullptr) *error = "bare '--' is not a flag";
+      return std::nullopt;
+    }
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` unless the next token is another flag (then boolean).
+    if (i + 1 < argc && std::string{argv[i + 1]}.rfind("--", 0) != 0) {
+      flags.values_[body] = argv[++i];
+    } else {
+      flags.values_[body] = "true";
+    }
+  }
+  return flags;
+}
+
+bool Flags::has(const std::string& name) const { return values_.contains(name); }
+
+std::string Flags::get(const std::string& name, const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it != values_.end() ? it->second : fallback;
+}
+
+double Flags::get(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  return it != values_.end() ? std::strtod(it->second.c_str(), nullptr) : fallback;
+}
+
+std::int64_t Flags::get(const std::string& name, std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  return it != values_.end()
+             ? std::strtoll(it->second.c_str(), nullptr, 10)
+             : fallback;
+}
+
+bool Flags::get(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> Flags::names() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [name, value] : values_) out.push_back(name);
+  return out;
+}
+
+}  // namespace prophet

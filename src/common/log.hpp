@@ -1,0 +1,27 @@
+// Leveled logging. Off by default in benches/tests; the simulator threads a
+// simulated timestamp through so traces read in simulation time, not wall time.
+#pragma once
+
+#include <cstdarg>
+#include <string_view>
+
+#include "common/time.hpp"
+
+namespace prophet {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// printf-style; `at` prefixes the line with the simulated time.
+void log_line(LogLevel level, TimePoint at, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace prophet
+
+#define PROPHET_LOG(level, at, ...)                          \
+  do {                                                       \
+    if (static_cast<int>(level) >= static_cast<int>(::prophet::log_level())) \
+      ::prophet::log_line(level, at, __VA_ARGS__);           \
+  } while (0)

@@ -1,0 +1,93 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace prophet {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const {
+  PROPHET_CHECK_MSG(n_ > 0, "mean of empty stats");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  PROPHET_CHECK_MSG(n_ > 0, "variance of empty stats");
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  PROPHET_CHECK_MSG(n_ > 0, "min of empty stats");
+  return min_;
+}
+
+double RunningStats::max() const {
+  PROPHET_CHECK_MSG(n_ > 0, "max of empty stats");
+  return max_;
+}
+
+double percentile(std::vector<double> values, double q) {
+  PROPHET_CHECK(!values.empty());
+  PROPHET_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+Ewma::Ewma(double alpha) : alpha_{alpha} {
+  PROPHET_CHECK(alpha > 0.0 && alpha <= 1.0);
+}
+
+void Ewma::add(double x) {
+  if (!initialized_) {
+    value_ = x;
+    initialized_ = true;
+  } else {
+    value_ = alpha_ * x + (1.0 - alpha_) * value_;
+  }
+}
+
+double Ewma::value() const {
+  PROPHET_CHECK_MSG(initialized_, "Ewma::value before first sample");
+  return value_;
+}
+
+}  // namespace prophet

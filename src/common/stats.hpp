@@ -1,0 +1,53 @@
+// Streaming and batch statistics used by the metrics/report layers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace prophet {
+
+// Welford online mean/variance; numerically stable for long runs.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  // population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+  double sum_{0.0};
+};
+
+// Batch percentile over a copied sample set (linear interpolation between
+// order statistics). `q` in [0, 1].
+double percentile(std::vector<double> values, double q);
+
+// Exponentially-weighted moving average, the estimator behind the paper's
+// periodic Network Bandwidth Monitor.
+class Ewma {
+ public:
+  explicit Ewma(double alpha);
+
+  void add(double x);
+  [[nodiscard]] bool has_value() const { return initialized_; }
+  [[nodiscard]] double value() const;
+
+ private:
+  double alpha_;
+  double value_{0.0};
+  bool initialized_{false};
+};
+
+}  // namespace prophet

@@ -1,0 +1,26 @@
+// ASCII table printer: the bench binaries print paper-style rows with it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace prophet {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  // Formats a double with `precision` significant digits.
+  static std::string num(double v, int precision = 4);
+  static std::string pct(double fraction, int decimals = 1);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace prophet

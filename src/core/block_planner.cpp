@@ -1,0 +1,83 @@
+#include "core/block_planner.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/check.hpp"
+
+namespace prophet::core {
+
+BlockPlanner::BlockPlanner(net::TcpCostModel cost, BlockPlannerConfig config)
+    : cost_{cost}, config_{config} {
+  PROPHET_CHECK(config_.budget_margin >= 0.0 && config_.budget_margin < 1.0);
+}
+
+Schedule BlockPlanner::plan(const GradientProfile& profile, Bandwidth bandwidth) const {
+  PROPHET_CHECK(!bandwidth.is_zero());
+  const std::size_t n = profile.gradient_count();
+  PROPHET_CHECK(n > 0);
+
+  // Distinct generation events in time order (the steps of the stepwise
+  // pattern); each event releases the gradients generated at that instant.
+  std::map<Duration, std::vector<std::size_t>> events;
+  for (std::size_t g = 0; g < n; ++g) events[profile.ready[g]].push_back(g);
+
+  Schedule schedule;
+  std::set<std::size_t> ready;  // ascending == priority order
+  Duration nic_free{};          // Constraint (8): single transfer at a time
+
+  auto event_it = events.begin();
+  while (event_it != events.end()) {
+    const Duration now = event_it->first;
+    for (std::size_t g : event_it->second) ready.insert(g);
+    ++event_it;
+    const bool is_final_event = event_it == events.end();
+
+    if (is_final_event) break;  // gradient 0's event: switch to forward phase
+
+    // Budget: everything assembled now must finish before the next
+    // generation event, so high-priority gradients are never blocked.
+    const Duration next_gen = event_it->first;
+    const Duration start = std::max(now, nic_free);
+    const Duration budget = (next_gen - start) * (1.0 - config_.budget_margin);
+    if (budget <= Duration::zero()) continue;
+
+    // Greedy assembly (Alg. 1 lines 6-11): take ready gradients in priority
+    // order while the block still fits. The first setup charge pays the
+    // per-task overhead; members add pure serialization time (that is the
+    // point of blocks).
+    ScheduledTask task;
+    task.start = start;
+    Bytes block_bytes{};
+    for (auto it = ready.begin(); it != ready.end();) {
+      const Bytes candidate = block_bytes + profile.sizes[*it];
+      if (cost_.duration(candidate, bandwidth) <= budget) {
+        block_bytes = candidate;
+        task.grads.push_back(*it);
+        it = ready.erase(it);
+      } else {
+        // Strict priority: never skip ahead of a gradient that does not fit.
+        break;
+      }
+    }
+    if (!task.grads.empty()) {
+      nic_free = task.start + cost_.duration(block_bytes, bandwidth);
+      schedule.tasks.push_back(std::move(task));
+    }
+  }
+
+  // Forward phase (Alg. 1 lines 13-18): gradient 0 goes first, at its
+  // generation time if the NIC is idle; the leftovers follow one by one in
+  // priority order.
+  for (std::size_t g : ready) {
+    ScheduledTask task;
+    task.start = std::max(profile.ready[g], nic_free);
+    task.grads.push_back(g);
+    nic_free = task.start + cost_.duration(profile.sizes[g], bandwidth);
+    schedule.tasks.push_back(std::move(task));
+  }
+  return schedule;
+}
+
+}  // namespace prophet::core

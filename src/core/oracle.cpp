@@ -1,0 +1,57 @@
+#include "core/oracle.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace prophet::core {
+
+OracleScheduler::OracleScheduler(std::size_t max_gradients)
+    : max_gradients_{max_gradients} {
+  PROPHET_CHECK(max_gradients_ >= 1 && max_gradients_ <= 24);
+}
+
+OracleResult OracleScheduler::solve(const PerfModel& model) const {
+  const auto& profile = model.profile();
+  const std::size_t n = profile.gradient_count();
+  PROPHET_CHECK_MSG(n <= max_gradients_, "instance too large for exhaustive search");
+
+  OracleResult best;
+  bool have_best = false;
+
+  // `mask` bit b set => a block boundary between gradient index b and b+1
+  // (indices in generation order: n-1 first). Groups execute in generation
+  // order; each starts when its highest-priority (= last generated) member
+  // exists and the NIC is free.
+  const std::uint64_t combinations = n >= 2 ? (1ULL << (n - 1)) : 1;
+  for (std::uint64_t mask = 0; mask < combinations; ++mask) {
+    Schedule schedule;
+    Duration nic_free{};
+    std::size_t hi = n;  // exclusive upper bound of the current group
+    for (std::size_t step = 0; step < n; ++step) {
+      const std::size_t idx = n - 1 - step;  // generation order
+      const bool boundary = idx == 0 || ((mask >> (idx - 1)) & 1ULL) != 0;
+      if (!boundary) continue;
+      ScheduledTask task;
+      for (std::size_t g = idx; g < hi; ++g) task.grads.push_back(g);
+      std::reverse(task.grads.begin(), task.grads.end());  // cosmetic
+      // Group ready when its most urgent member (smallest index, generated
+      // last) exists.
+      task.start = std::max(profile.ready[idx], nic_free);
+      nic_free = task.start + model.task_duration(task);
+      schedule.tasks.push_back(std::move(task));
+      hi = idx;
+    }
+    const WaitTimeBreakdown breakdown = model.evaluate(schedule);
+    ++best.schedules_evaluated;
+    if (!have_best || breakdown.t_wait < best.breakdown.t_wait) {
+      best.schedule = std::move(schedule);
+      best.breakdown = breakdown;
+      have_best = true;
+    }
+  }
+  PROPHET_CHECK(have_best);
+  return best;
+}
+
+}  // namespace prophet::core

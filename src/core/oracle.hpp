@@ -1,0 +1,35 @@
+// Reference (brute-force) scheduler: enumerates every grouping of gradients
+// into contiguous priority-order blocks, evaluates each with the performance
+// model, and returns the schedule minimizing T_wait.
+//
+// The paper argues its optimization problem is hard to solve exactly at
+// runtime (Sec. 3.2) and justifies the greedy Algorithm 1; this oracle makes
+// the claim testable: unit tests and the ablation bench measure how close
+// the greedy plan gets on small instances.
+#pragma once
+
+#include <cstddef>
+
+#include "core/perf_model.hpp"
+
+namespace prophet::core {
+
+struct OracleResult {
+  Schedule schedule;
+  WaitTimeBreakdown breakdown;
+  std::size_t schedules_evaluated = 0;
+};
+
+class OracleScheduler {
+ public:
+  // Refuses instances with more gradients than `max_gradients` (the search
+  // enumerates 2^(n-1) contiguous splits).
+  explicit OracleScheduler(std::size_t max_gradients = 20);
+
+  [[nodiscard]] OracleResult solve(const PerfModel& model) const;
+
+ private:
+  std::size_t max_gradients_;
+};
+
+}  // namespace prophet::core

@@ -1,0 +1,138 @@
+#include "core/perf_model.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace prophet::core {
+
+PerfModel::PerfModel(GradientProfile profile, std::vector<Duration> fwd_times,
+                     Bandwidth bandwidth, net::TcpCostModel cost)
+    : profile_{std::move(profile)},
+      fwd_times_{std::move(fwd_times)},
+      bandwidth_{bandwidth},
+      cost_{cost} {
+  PROPHET_CHECK(fwd_times_.size() == profile_.gradient_count());
+  PROPHET_CHECK(!bandwidth_.is_zero());
+}
+
+Duration PerfModel::transfer_estimate(std::size_t grad) const {
+  PROPHET_CHECK(grad < profile_.gradient_count());
+  return cost_.duration(profile_.sizes[grad], bandwidth_);
+}
+
+Duration PerfModel::task_duration(const ScheduledTask& task) const {
+  Bytes total{};
+  for (std::size_t g : task.grads) {
+    PROPHET_CHECK(g < profile_.gradient_count());
+    total += profile_.sizes[g];
+  }
+  return cost_.duration(total, bandwidth_);
+}
+
+WaitTimeBreakdown PerfModel::evaluate(const Schedule& schedule) const {
+  const std::size_t n = profile_.gradient_count();
+  WaitTimeBreakdown out;
+  out.update_done.assign(n, Duration::max());
+  out.forward_done.assign(n, Duration::max());
+
+  // Eq. (4): u^(i) = t + 2E — the pull mirrors the push through the same
+  // bottleneck, so a task's gradients update at start + 2 * task duration.
+  std::vector<bool> scheduled(n, false);
+  for (const auto& task : schedule.tasks) {
+    const Duration done = task.start + task_duration(task) * std::int64_t{2};
+    for (std::size_t g : task.grads) {
+      PROPHET_CHECK_MSG(!scheduled[g], "gradient scheduled twice");
+      scheduled[g] = true;
+      out.update_done[g] = done;
+    }
+  }
+  for (std::size_t g = 0; g < n; ++g) {
+    PROPHET_CHECK_MSG(scheduled[g], "schedule left a gradient untransferred");
+  }
+
+  // Eq. (3): forward dependency chain.
+  out.forward_done[0] = out.update_done[0] + fwd_times_[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    out.forward_done[i] =
+        std::max(out.forward_done[i - 1], out.update_done[i]) + fwd_times_[i];
+  }
+
+  // Eq. (2): T_wait.
+  Duration wait = out.update_done[0] - profile_.ready[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    wait += positive_part(out.update_done[i] - out.forward_done[i - 1]);
+  }
+  out.t_wait = wait;
+  out.span = out.forward_done[n - 1];
+  return out;
+}
+
+std::vector<std::string> PerfModel::check_constraints(const Schedule& schedule) const {
+  std::vector<std::string> violations;
+  char buf[160];
+  const Duration c0 = profile_.ready.empty() ? Duration::zero() : profile_.ready[0];
+
+  Duration prev_end = -Duration::max();
+  std::size_t prev_fwd_priority = 0;
+  bool have_prev_fwd = false;
+  for (std::size_t k = 0; k < schedule.tasks.size(); ++k) {
+    const auto& task = schedule.tasks[k];
+    PROPHET_CHECK(!task.grads.empty());
+    const Duration end = task.start + task_duration(task);
+
+    // Constraint (7): members must exist before the task starts.
+    for (std::size_t g : task.grads) {
+      if (task.start < profile_.ready[g]) {
+        std::snprintf(buf, sizeof buf,
+                      "constraint (7): task %zu starts at %.3f ms before gradient "
+                      "%zu is generated (%.3f ms)",
+                      k, task.start.to_millis(), g, profile_.ready[g].to_millis());
+        violations.emplace_back(buf);
+      }
+    }
+    // Constraint (8): no concurrent transfers.
+    if (k > 0 && task.start < prev_end) {
+      std::snprintf(buf, sizeof buf,
+                    "constraint (8): task %zu starts at %.3f ms inside the previous "
+                    "transfer (ends %.3f ms)",
+                    k, task.start.to_millis(), prev_end.to_millis());
+      violations.emplace_back(buf);
+    }
+    prev_end = end;
+
+    const std::size_t priority = *std::min_element(task.grads.begin(), task.grads.end());
+    if (task.start > c0) {
+      // Constraint (9): after gradient 0 exists, strict priority order.
+      if (have_prev_fwd && priority < prev_fwd_priority) {
+        std::snprintf(buf, sizeof buf,
+                      "constraint (9): task %zu (priority %zu) runs after a lower-"
+                      "priority task (priority %zu) post-c0",
+                      k, priority, prev_fwd_priority);
+        violations.emplace_back(buf);
+      }
+      prev_fwd_priority = priority;
+      have_prev_fwd = true;
+    } else {
+      // Constraint (11): backward-phase tasks must finish before the next
+      // higher-priority gradient is generated.
+      Duration next_gen = Duration::max();
+      for (std::size_t j = 0; j < priority; ++j) {
+        if (profile_.ready[j] > task.start) {
+          next_gen = std::min(next_gen, profile_.ready[j]);
+        }
+      }
+      if (end > next_gen) {
+        std::snprintf(buf, sizeof buf,
+                      "constraint (11): task %zu (priority %zu) ends at %.3f ms, past "
+                      "the next higher-priority generation at %.3f ms",
+                      k, priority, end.to_millis(), next_gen.to_millis());
+        violations.emplace_back(buf);
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace prophet::core

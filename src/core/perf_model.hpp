@@ -1,0 +1,71 @@
+// The paper's DDNN training performance model (Sec. 3, Eqs. (1)-(5)) plus
+// machine-checkable forms of Constraints (7)-(9) and (11).
+//
+// A Schedule is an ordered list of transfer tasks (each one or more whole
+// gradients); evaluate() derives per-gradient update-completion times u^(i)
+// (Eq. (4): push + pull), forward completion times p^(i) (Eq. (3)) and the
+// total GPU wait time T_wait (Eq. (2)) — the objective Prophet minimizes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "core/profile.hpp"
+#include "net/cost_model.hpp"
+
+namespace prophet::core {
+
+// One planned network operation; `start` is an offset from backward start.
+struct ScheduledTask {
+  std::vector<std::size_t> grads;
+  Duration start;
+};
+
+struct Schedule {
+  // Tasks in execution order (they never overlap: Constraint (8)).
+  std::vector<ScheduledTask> tasks;
+};
+
+struct WaitTimeBreakdown {
+  // u^(i): when gradient i's parameter update (push + aggregate + pull)
+  // completes, offset from backward start.
+  std::vector<Duration> update_done;
+  // p^(i): when layer i's next-iteration forward pass completes.
+  std::vector<Duration> forward_done;
+  // T_wait (Eq. (2)).
+  Duration t_wait;
+  // Wall-clock span from backward start to the last forward completion;
+  // what iteration time reduces to when compute times are fixed (Eq. (1)).
+  Duration span;
+};
+
+class PerfModel {
+ public:
+  // `fwd_times[i]` = T_fp^(i). `bandwidth` = B; `cost` supplies the concrete
+  // f(s, B) of Eq. (10) (per-task setup + serialization).
+  PerfModel(GradientProfile profile, std::vector<Duration> fwd_times,
+            Bandwidth bandwidth, net::TcpCostModel cost);
+
+  [[nodiscard]] const GradientProfile& profile() const { return profile_; }
+
+  // E^(i) of Eq. (5): estimated one-way transfer time of gradient i alone.
+  [[nodiscard]] Duration transfer_estimate(std::size_t grad) const;
+  // One-way duration of a whole task (single setup charge, summed bytes).
+  [[nodiscard]] Duration task_duration(const ScheduledTask& task) const;
+
+  [[nodiscard]] WaitTimeBreakdown evaluate(const Schedule& schedule) const;
+
+  // Returns human-readable violations of Constraints (7), (8), (9) and (11);
+  // empty means the schedule is feasible.
+  [[nodiscard]] std::vector<std::string> check_constraints(const Schedule& schedule) const;
+
+ private:
+  GradientProfile profile_;
+  std::vector<Duration> fwd_times_;
+  Bandwidth bandwidth_;
+  net::TcpCostModel cost_;
+};
+
+}  // namespace prophet::core

@@ -1,0 +1,68 @@
+#include "core/profile.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "dnn/stepwise.hpp"
+
+namespace prophet::core {
+
+Duration GradientProfile::backward_duration() const {
+  Duration last{};
+  for (Duration d : ready) last = std::max(last, d);
+  return last;
+}
+
+TrainingJobProfiler::TrainingJobProfiler(std::size_t gradient_count,
+                                         std::size_t target_iterations)
+    : gradient_count_{gradient_count},
+      target_{target_iterations},
+      sizes_(gradient_count, Bytes::zero()),
+      offset_sum_s_(gradient_count, 0.0),
+      seen_this_iter_(gradient_count, 0) {
+  PROPHET_CHECK(gradient_count > 0);
+  PROPHET_CHECK(target_iterations > 0);
+}
+
+void TrainingJobProfiler::begin_iteration(TimePoint backward_start) {
+  PROPHET_CHECK_MSG(!backward_start_.has_value(),
+                    "begin_iteration without matching end_iteration");
+  backward_start_ = backward_start;
+  std::fill(seen_this_iter_.begin(), seen_this_iter_.end(), std::int8_t{0});
+  seen_count_ = 0;
+}
+
+void TrainingJobProfiler::record_ready(std::size_t grad, Bytes size, TimePoint when) {
+  PROPHET_CHECK(grad < gradient_count_);
+  PROPHET_CHECK_MSG(backward_start_.has_value(), "record_ready outside an iteration");
+  PROPHET_CHECK_MSG(seen_this_iter_[grad] == 0, "gradient recorded twice in one iteration");
+  PROPHET_CHECK(when >= *backward_start_);
+  seen_this_iter_[grad] = 1;
+  ++seen_count_;
+  sizes_[grad] = size;
+  offset_sum_s_[grad] += (when - *backward_start_).to_seconds();
+}
+
+void TrainingJobProfiler::end_iteration() {
+  PROPHET_CHECK_MSG(backward_start_.has_value(), "end_iteration without begin");
+  PROPHET_CHECK_MSG(seen_count_ == gradient_count_,
+                    "iteration ended before every gradient was recorded");
+  backward_start_.reset();
+  ++iterations_;
+}
+
+GradientProfile TrainingJobProfiler::build() const {
+  PROPHET_CHECK_MSG(iterations_ > 0, "profile requested before any full iteration");
+  GradientProfile profile;
+  profile.sizes = sizes_;
+  profile.ready.resize(gradient_count_);
+  for (std::size_t i = 0; i < gradient_count_; ++i) {
+    profile.ready[i] = Duration::from_seconds(offset_sum_s_[i] /
+                                              static_cast<double>(iterations_));
+  }
+  profile.intervals = dnn::transfer_intervals(profile.ready);
+  profile.iterations_profiled = iterations_;
+  return profile;
+}
+
+}  // namespace prophet::core

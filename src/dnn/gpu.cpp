@@ -1,0 +1,42 @@
+#include "dnn/gpu.hpp"
+
+#include "common/check.hpp"
+
+namespace prophet::dnn {
+
+namespace {
+Duration layer_time(const GpuSpec& gpu, double gflops, Bytes activation, int batch,
+                    double scale) {
+  PROPHET_CHECK(batch > 0);
+  const double flop_s = gflops * 1e9 * batch * scale / gpu.sustained_gflops / 1e9;
+  const double mem_s = static_cast<double>(activation.count()) * batch *
+                       gpu.traffic_factor * scale / gpu.memory_bandwidth;
+  return Duration::from_seconds(flop_s + mem_s) + gpu.per_tensor_overhead;
+}
+}  // namespace
+
+Duration GpuSpec::fwd_time(const TensorSpec& t, int batch) const {
+  return layer_time(*this, t.fwd_gflops, t.activation_bytes, batch, 1.0);
+}
+
+Duration GpuSpec::bwd_time(const TensorSpec& t, int batch) const {
+  // bwd_gflops already encodes the dX+dW factor when the model builder set
+  // it; fall back to the ratio when it did not (e.g. BN tensors).
+  if (t.bwd_gflops > 0.0) {
+    return layer_time(*this, t.bwd_gflops, t.activation_bytes, batch, 1.0);
+  }
+  return layer_time(*this, t.fwd_gflops, t.activation_bytes, batch, bwd_fwd_ratio);
+}
+
+GpuSpec tesla_m60_pair() {
+  GpuSpec gpu;
+  gpu.name = "2x Tesla M60 (g3.8xlarge)";
+  gpu.sustained_gflops = 2800.0;
+  gpu.memory_bandwidth = 600e9;
+  gpu.traffic_factor = 4.0;
+  gpu.per_tensor_overhead = Duration::micros(400);
+  gpu.bwd_fwd_ratio = 2.0;
+  return gpu;
+}
+
+}  // namespace prophet::dnn

@@ -1,0 +1,40 @@
+// GPU compute-capacity model.
+//
+// Per-tensor layer times combine a FLOP-bound term, a memory-bound term (BN,
+// activations, elementwise traffic) and a fixed per-kernel overhead. The
+// Tesla M60 preset is calibrated so that compute-bound training rates land in
+// the range the paper measures on g3.8xlarge workers (2 x M60): ResNet50
+// batch 64 ~ 70 samples/s, ResNet18 batch 64 ~ 190 samples/s. Reproduction
+// targets shapes, not EC2 milliseconds; the calibration only anchors scale.
+#pragma once
+
+#include <string>
+
+#include "common/time.hpp"
+#include "dnn/tensor.hpp"
+
+namespace prophet::dnn {
+
+struct GpuSpec {
+  std::string name;
+  // Sustained fp32 throughput on convnet kernels (GFLOP/s), not peak.
+  double sustained_gflops = 2800.0;
+  // Effective memory bandwidth for activation traffic (bytes/s).
+  double memory_bandwidth = 600e9;
+  // Average number of times an activation crosses the memory bus per pass.
+  double traffic_factor = 4.0;
+  // Kernel launch + framework dispatch per tensor per pass.
+  Duration per_tensor_overhead = Duration::micros(1000);
+  // Backward work relative to forward (dX and dW kernels).
+  double bwd_fwd_ratio = 2.0;
+
+  // Time to run the forward (resp. backward) computation that tensor `t`
+  // participates in, for one mini-batch of `batch` samples.
+  [[nodiscard]] Duration fwd_time(const TensorSpec& t, int batch) const;
+  [[nodiscard]] Duration bwd_time(const TensorSpec& t, int batch) const;
+};
+
+// g3.8xlarge worker: 2 x NVIDIA Tesla M60 treated as one calibrated device.
+GpuSpec tesla_m60_pair();
+
+}  // namespace prophet::dnn

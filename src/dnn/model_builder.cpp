@@ -1,0 +1,129 @@
+#include "dnn/model_builder.hpp"
+
+#include <utility>
+
+namespace prophet::dnn {
+
+namespace {
+constexpr std::int64_t kFloatBytes = 4;
+
+int conv_out_dim(int in, int k, int stride, int pad) {
+  return (in + 2 * pad - k) / stride + 1;
+}
+}  // namespace
+
+ModelBuilder::ModelBuilder(std::string model_name, int input_hw, int input_channels)
+    : model_name_{std::move(model_name)}, hw_{input_hw}, channels_{input_channels} {
+  PROPHET_CHECK(input_hw > 0 && input_channels > 0);
+}
+
+void ModelBuilder::add_tensor(TensorSpec t) {
+  t.stage = stage_;
+  tensors_.push_back(std::move(t));
+}
+
+ModelBuilder& ModelBuilder::conv2d(const std::string& name, int out_channels, int kh,
+                                   int kw, int stride, bool batch_norm, bool bias,
+                                   int pad_h, int pad_w, int groups) {
+  PROPHET_CHECK(out_channels > 0 && kh > 0 && kw > 0 && stride > 0);
+  PROPHET_CHECK(groups > 0 && channels_ % groups == 0 && out_channels % groups == 0);
+  if (pad_h < 0) pad_h = (kh - 1) / 2;
+  if (pad_w < 0) pad_w = (kw - 1) / 2;
+  const int in_c = channels_;
+  const int out_h = conv_out_dim(hw_, kh, stride, pad_h);
+  const int out_w = conv_out_dim(hw_, kw, stride, pad_w);
+  PROPHET_CHECK_MSG(out_h > 0 && out_w > 0, "convolution shrank feature map away");
+
+  const std::int64_t weight_params =
+      static_cast<std::int64_t>(kh) * kw * (in_c / groups) * out_channels;
+  // MACs * 2: the standard FLOP convention for convolutions.
+  const double gflops = 2.0 * static_cast<double>(weight_params) *
+                        static_cast<double>(out_h) * static_cast<double>(out_w) / 1e9;
+  const auto act = Bytes::of(static_cast<std::int64_t>(out_h) * out_w * out_channels *
+                             kFloatBytes);
+
+  TensorSpec weight;
+  weight.name = name + ".weight";
+  weight.bytes = Bytes::of(weight_params * kFloatBytes);
+  weight.fwd_gflops = gflops;
+  weight.bwd_gflops = 2.0 * gflops;  // dX + dW passes
+  weight.activation_bytes = act;
+  add_tensor(std::move(weight));
+
+  if (bias) {
+    // Distinct parameter array == distinct gradient key, as in MXNet.
+    TensorSpec b;
+    b.name = name + ".bias";
+    b.bytes = Bytes::of(static_cast<std::int64_t>(out_channels) * kFloatBytes);
+    b.activation_bytes = act;
+    add_tensor(std::move(b));
+  }
+
+  if (batch_norm) {
+    // Gamma and beta are distinct parameter arrays (distinct KV keys), as in
+    // MXNet/Gluon; BN's own compute is memory-bound and counted via the
+    // activation footprint.
+    const auto bn_bytes = Bytes::of(static_cast<std::int64_t>(out_channels) * kFloatBytes);
+    for (const char* suffix : {".bn.gamma", ".bn.beta"}) {
+      TensorSpec bn;
+      bn.name = name + suffix;
+      bn.bytes = bn_bytes;
+      bn.activation_bytes = act;
+      add_tensor(std::move(bn));
+    }
+  }
+
+  hw_ = out_h;  // square tracking: asymmetric kernels keep pads symmetric enough
+  channels_ = out_channels;
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::depthwise(const std::string& name, int k, int stride) {
+  return conv2d(name, channels_, k, k, stride, /*batch_norm=*/true,
+                /*bias=*/false, -1, -1, channels_);
+}
+
+ModelBuilder& ModelBuilder::pool(int k, int stride, int pad) {
+  PROPHET_CHECK(k > 0 && stride > 0);
+  hw_ = conv_out_dim(hw_, k, stride, pad);
+  PROPHET_CHECK(hw_ > 0);
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::global_pool() {
+  hw_ = 1;
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::fc(const std::string& name, int out_features, bool bias) {
+  PROPHET_CHECK(out_features > 0);
+  const std::int64_t in_features = static_cast<std::int64_t>(hw_) * hw_ * channels_;
+  TensorSpec weight;
+  weight.name = name + ".weight";
+  weight.bytes = Bytes::of(in_features * out_features * kFloatBytes);
+  weight.fwd_gflops = 2.0 * static_cast<double>(in_features) * out_features / 1e9;
+  weight.bwd_gflops = 2.0 * weight.fwd_gflops;
+  weight.activation_bytes = Bytes::of(static_cast<std::int64_t>(out_features) * kFloatBytes);
+  add_tensor(std::move(weight));
+  if (bias) {
+    TensorSpec b;
+    b.name = name + ".bias";
+    b.bytes = Bytes::of(static_cast<std::int64_t>(out_features) * kFloatBytes);
+    b.activation_bytes = Bytes::of(static_cast<std::int64_t>(out_features) * kFloatBytes);
+    add_tensor(std::move(b));
+  }
+  hw_ = 1;
+  channels_ = out_features;
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::begin_stage() {
+  if (!tensors_.empty()) ++stage_;
+  return *this;
+}
+
+ModelSpec ModelBuilder::build() && {
+  return ModelSpec{std::move(model_name_), std::move(tensors_)};
+}
+
+}  // namespace prophet::dnn

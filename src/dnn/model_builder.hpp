@@ -1,0 +1,66 @@
+// Incremental builder that tracks spatial dimensions and channel counts while
+// layers are appended, deriving each tensor's parameter bytes, FLOPs and
+// activation footprint from the architecture itself (no hard-coded tables).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dnn/tensor.hpp"
+
+namespace prophet::dnn {
+
+class ModelBuilder {
+ public:
+  // `input_hw` is the (square) input resolution, `input_channels` usually 3.
+  ModelBuilder(std::string model_name, int input_hw, int input_channels);
+
+  // 2-D convolution, `kh` x `kw` kernel; adds a weight tensor (+ optional
+  // bias) and, if `batch_norm`, gamma/beta tensors. Padding defaults to
+  // "same-ish" ((k-1)/2); `stride` divides the spatial size (ceil);
+  // `groups` splits input/output channels (groups == in_channels gives a
+  // depthwise convolution).
+  ModelBuilder& conv2d(const std::string& name, int out_channels, int kh, int kw,
+                       int stride = 1, bool batch_norm = true, bool bias = false,
+                       int pad_h = -1, int pad_w = -1, int groups = 1);
+  // Depthwise convolution: one k x k filter per input channel.
+  ModelBuilder& depthwise(const std::string& name, int k, int stride = 1);
+  // Square-kernel convenience.
+  ModelBuilder& conv(const std::string& name, int out_channels, int k,
+                     int stride = 1, bool batch_norm = true, bool bias = false) {
+    return conv2d(name, out_channels, k, k, stride, batch_norm, bias);
+  }
+  // Pooling: spatial reduction only, no parameters; its (cheap) compute is
+  // attributed to the previous tensor.
+  ModelBuilder& pool(int k, int stride, int pad = 0);
+  ModelBuilder& global_pool();
+  ModelBuilder& fc(const std::string& name, int out_features, bool bias = true);
+
+  // Marks the start of a new architectural stage (residual block, inception
+  // module, VGG conv stage). Tensors appended afterwards carry the new stage.
+  ModelBuilder& begin_stage();
+
+  // Branch support for inception-style modules: snapshot the spatial state,
+  // build each branch from the snapshot, then merge with the concatenated
+  // channel count.
+  struct SpatialState {
+    int hw;
+    int channels;
+  };
+  [[nodiscard]] SpatialState state() const { return {hw_, channels_}; }
+  void restore(SpatialState s) { hw_ = s.hw; channels_ = s.channels; }
+  void merge_channels(int concatenated_channels) { channels_ = concatenated_channels; }
+
+  [[nodiscard]] ModelSpec build() &&;
+
+ private:
+  void add_tensor(TensorSpec t);
+
+  std::string model_name_;
+  int hw_;
+  int channels_;
+  int stage_{0};
+  std::vector<TensorSpec> tensors_;
+};
+
+}  // namespace prophet::dnn

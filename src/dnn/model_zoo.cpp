@@ -1,0 +1,381 @@
+#include "dnn/model_zoo.hpp"
+
+#include <array>
+#include <functional>
+
+#include "common/check.hpp"
+#include "dnn/model_builder.hpp"
+
+namespace prophet::dnn {
+
+namespace {
+
+// --- ResNet (He et al.) ----------------------------------------------------
+
+// BasicBlock: two 3x3 convs; used by ResNet18.
+void basic_block(ModelBuilder& b, const std::string& name, int width, int stride,
+                 bool downsample) {
+  b.begin_stage();
+  const auto entry = b.state();
+  b.conv(name + ".conv1", width, 3, stride);
+  b.conv(name + ".conv2", width, 3, 1);
+  if (downsample) {
+    const auto exit = b.state();
+    b.restore(entry);
+    b.conv(name + ".downsample", width, 1, stride);
+    b.restore(exit);
+  }
+}
+
+// Bottleneck: 1x1 reduce, 3x3, 1x1 expand (x4); used by ResNet50/152.
+void bottleneck_block(ModelBuilder& b, const std::string& name, int width, int stride,
+                      bool downsample) {
+  b.begin_stage();
+  const auto entry = b.state();
+  b.conv(name + ".conv1", width, 1, 1);
+  b.conv(name + ".conv2", width, 3, stride);
+  b.conv(name + ".conv3", width * 4, 1, 1);
+  if (downsample) {
+    const auto exit = b.state();
+    b.restore(entry);
+    b.conv(name + ".downsample", width * 4, 1, stride);
+    b.restore(exit);
+  }
+}
+
+using BlockFn = std::function<void(ModelBuilder&, const std::string&, int, int, bool)>;
+
+ModelSpec resnet(const std::string& name, const BlockFn& block, int expansion,
+                 const std::array<int, 4>& depths) {
+  ModelBuilder b{name, 224, 3};
+  b.conv("conv1", 64, 7, 2);
+  b.pool(3, 2, 1);
+  const std::array<int, 4> widths{64, 128, 256, 512};
+  int in_channels = 64;
+  for (int layer = 0; layer < 4; ++layer) {
+    const int width = widths[static_cast<std::size_t>(layer)];
+    const int out_channels = width * expansion;
+    for (int i = 0; i < depths[static_cast<std::size_t>(layer)]; ++i) {
+      const int stride = (i == 0 && layer > 0) ? 2 : 1;
+      const bool downsample = i == 0 && (stride != 1 || in_channels != out_channels);
+      block(b, "layer" + std::to_string(layer + 1) + "." + std::to_string(i), width,
+            stride, downsample);
+      in_channels = out_channels;
+    }
+  }
+  b.begin_stage();
+  b.global_pool();
+  b.fc("fc", 1000);
+  return std::move(b).build();
+}
+
+// --- Inception-v3 (Szegedy et al.) ------------------------------------------
+
+// Each branch rebuilds from the module entry state; channels concatenate.
+struct Branch {
+  std::function<void(ModelBuilder&)> body;
+};
+
+void inception_module(ModelBuilder& b, const std::vector<Branch>& branches,
+                      int pooled_hw_after = 0) {
+  b.begin_stage();
+  const auto entry = b.state();
+  int total_channels = 0;
+  for (const auto& branch : branches) {
+    b.restore(entry);
+    branch.body(b);
+    total_channels += b.state().channels;
+  }
+  b.merge_channels(total_channels);
+  if (pooled_hw_after > 0) {
+    // Reduction modules shrink spatially via their strided convs; the branch
+    // bodies already did so — just assert the tracked size.
+    PROPHET_CHECK(b.state().hw == pooled_hw_after);
+  }
+}
+
+ModelSpec build_inception_v3() {
+  ModelBuilder b{"inception_v3", 299, 3};
+  // Stem (paddings follow torchvision).
+  b.conv2d("stem.conv1", 32, 3, 3, 2, true, false, 0, 0);   // 299 -> 149
+  b.conv2d("stem.conv2", 32, 3, 3, 1, true, false, 0, 0);              // -> 147
+  b.conv("stem.conv3", 64, 3, 1);                                    // pad 1
+  b.pool(3, 2);                                                      // -> 73
+  b.conv("stem.conv4", 80, 1, 1);
+  b.conv2d("stem.conv5", 192, 3, 3, 1, true, false, 0, 0);             // -> 71
+  b.pool(3, 2);                                                      // -> 35
+
+  auto c = [](ModelBuilder& mb, const std::string& n, int out, int kh, int kw,
+              int stride = 1, int ph = -1, int pw = -1) {
+    mb.conv2d(n, out, kh, kw, stride, true, false, ph, pw);
+  };
+
+  // Mixed 5b/5c/5d (35x35); pool-proj channels 32, 64, 64.
+  for (int m = 0; m < 3; ++m) {
+    const std::string n = "mixed5" + std::string(1, static_cast<char>('b' + m));
+    const int pool_proj = m == 0 ? 32 : 64;
+    inception_module(
+        b, {Branch{[&](ModelBuilder& mb) { c(mb, n + ".b1x1", 64, 1, 1); }},
+            Branch{[&](ModelBuilder& mb) {
+              c(mb, n + ".b5x5_1", 48, 1, 1);
+              c(mb, n + ".b5x5_2", 64, 5, 5);
+            }},
+            Branch{[&](ModelBuilder& mb) {
+              c(mb, n + ".b3x3dbl_1", 64, 1, 1);
+              c(mb, n + ".b3x3dbl_2", 96, 3, 3);
+              c(mb, n + ".b3x3dbl_3", 96, 3, 3);
+            }},
+            Branch{[&](ModelBuilder& mb) { c(mb, n + ".pool_proj", pool_proj, 1, 1); }}});
+  }
+
+  // Mixed 6a: 35 -> 17 reduction.
+  inception_module(
+      b, {Branch{[&](ModelBuilder& mb) { c(mb, "mixed6a.b3x3", 384, 3, 3, 2, 0, 0); }},
+          Branch{[&](ModelBuilder& mb) {
+            c(mb, "mixed6a.dbl_1", 64, 1, 1);
+            c(mb, "mixed6a.dbl_2", 96, 3, 3);
+            c(mb, "mixed6a.dbl_3", 96, 3, 3, 2, 0, 0);
+          }},
+          // Max-pool branch: passes input channels through (192+... = 288).
+          Branch{[&](ModelBuilder& mb) { mb.pool(3, 2); }}},
+      17);
+
+  // Mixed 6b-6e (17x17) with factorized 7x7; c7 = 128, 160, 160, 192.
+  const std::array<int, 4> c7s{128, 160, 160, 192};
+  for (int m = 0; m < 4; ++m) {
+    const std::string n = "mixed6" + std::string(1, static_cast<char>('b' + m));
+    const int c7 = c7s[static_cast<std::size_t>(m)];
+    inception_module(
+        b, {Branch{[&](ModelBuilder& mb) { c(mb, n + ".b1x1", 192, 1, 1); }},
+            Branch{[&](ModelBuilder& mb) {
+              c(mb, n + ".b7x7_1", c7, 1, 1);
+              c(mb, n + ".b7x7_2", c7, 1, 7, 1, 0, 3);
+              c(mb, n + ".b7x7_3", 192, 7, 1, 1, 3, 0);
+            }},
+            Branch{[&](ModelBuilder& mb) {
+              c(mb, n + ".b7x7dbl_1", c7, 1, 1);
+              c(mb, n + ".b7x7dbl_2", c7, 7, 1, 1, 3, 0);
+              c(mb, n + ".b7x7dbl_3", c7, 1, 7, 1, 0, 3);
+              c(mb, n + ".b7x7dbl_4", c7, 7, 1, 1, 3, 0);
+              c(mb, n + ".b7x7dbl_5", 192, 1, 7, 1, 0, 3);
+            }},
+            Branch{[&](ModelBuilder& mb) { c(mb, n + ".pool_proj", 192, 1, 1); }}});
+  }
+
+  // Mixed 7a: 17 -> 8 reduction.
+  inception_module(
+      b, {Branch{[&](ModelBuilder& mb) {
+            c(mb, "mixed7a.b3x3_1", 192, 1, 1);
+            c(mb, "mixed7a.b3x3_2", 320, 3, 3, 2, 0, 0);
+          }},
+          Branch{[&](ModelBuilder& mb) {
+            c(mb, "mixed7a.b7x7x3_1", 192, 1, 1);
+            c(mb, "mixed7a.b7x7x3_2", 192, 1, 7, 1, 0, 3);
+            c(mb, "mixed7a.b7x7x3_3", 192, 7, 1, 1, 3, 0);
+            c(mb, "mixed7a.b7x7x3_4", 192, 3, 3, 2, 0, 0);
+          }},
+          Branch{[&](ModelBuilder& mb) { mb.pool(3, 2); }}},
+      8);
+
+  // Mixed 7b/7c (8x8) with expanded 3x3 splits.
+  for (int m = 0; m < 2; ++m) {
+    const std::string n = "mixed7" + std::string(1, static_cast<char>('b' + m));
+    inception_module(
+        b, {Branch{[&](ModelBuilder& mb) { c(mb, n + ".b1x1", 320, 1, 1); }},
+            Branch{[&](ModelBuilder& mb) {
+              c(mb, n + ".b3x3_1", 384, 1, 1);
+              const auto split = mb.state();
+              c(mb, n + ".b3x3_2a", 384, 1, 3, 1, 0, 1);
+              mb.restore(split);
+              c(mb, n + ".b3x3_2b", 384, 3, 1, 1, 1, 0);
+              mb.merge_channels(768);
+            }},
+            Branch{[&](ModelBuilder& mb) {
+              c(mb, n + ".b3x3dbl_1", 448, 1, 1);
+              c(mb, n + ".b3x3dbl_2", 384, 3, 3);
+              const auto split = mb.state();
+              c(mb, n + ".b3x3dbl_3a", 384, 1, 3, 1, 0, 1);
+              mb.restore(split);
+              c(mb, n + ".b3x3dbl_3b", 384, 3, 1, 1, 1, 0);
+              mb.merge_channels(768);
+            }},
+            Branch{[&](ModelBuilder& mb) { c(mb, n + ".pool_proj", 192, 1, 1); }}});
+  }
+
+  b.begin_stage();
+  b.global_pool();
+  b.fc("fc", 1000);
+  return std::move(b).build();
+}
+
+ModelSpec build_vgg19() {
+  ModelBuilder b{"vgg19", 224, 3};
+  const std::vector<std::vector<int>> stages{
+      {64, 64}, {128, 128}, {256, 256, 256, 256}, {512, 512, 512, 512},
+      {512, 512, 512, 512}};
+  int idx = 0;
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    b.begin_stage();
+    for (int width : stages[s]) {
+      // VGG uses biased convolutions and no batch norm.
+      b.conv("conv" + std::to_string(idx++), width, 3, 1, /*batch_norm=*/false,
+             /*bias=*/true);
+    }
+    b.pool(2, 2);
+  }
+  b.begin_stage();
+  b.fc("fc1", 4096);
+  b.fc("fc2", 4096);
+  b.fc("fc3", 1000);
+  return std::move(b).build();
+}
+
+ModelSpec build_alexnet() {
+  ModelBuilder b{"alexnet", 224, 3};
+  b.conv2d("conv1", 64, 11, 11, 4, /*batch_norm=*/false, /*bias=*/true, 2, 2);
+  b.pool(3, 2);
+  b.begin_stage();
+  b.conv("conv2", 192, 5, 1, false, true);
+  b.pool(3, 2);
+  b.begin_stage();
+  b.conv("conv3", 384, 3, 1, false, true);
+  b.conv("conv4", 256, 3, 1, false, true);
+  b.conv("conv5", 256, 3, 1, false, true);
+  b.pool(3, 2);
+  b.begin_stage();
+  b.fc("fc1", 4096);
+  b.fc("fc2", 4096);
+  b.fc("fc3", 1000);
+  return std::move(b).build();
+}
+
+// Transformer tensors are built directly (no spatial tracking): one stage
+// per encoder layer, matching how framework engines group their gradients.
+ModelSpec build_bert_base(int seq_len) {
+  PROPHET_CHECK(seq_len > 0);
+  constexpr int kLayers = 12;
+  constexpr int kDim = 768;
+  constexpr int kFfn = 3072;
+  constexpr int kVocab = 30522;
+  constexpr std::int64_t kFloat = 4;
+  const double seq = seq_len;
+
+  std::vector<TensorSpec> tensors;
+  int stage = 0;
+  auto add = [&](const std::string& name, std::int64_t params, double gflops_fwd) {
+    TensorSpec t;
+    t.name = name;
+    t.bytes = Bytes::of(params * kFloat);
+    t.fwd_gflops = gflops_fwd;
+    t.bwd_gflops = 2.0 * gflops_fwd;
+    // Activation footprint: one seq x dim fp32 tensor per parameterized op.
+    t.activation_bytes = Bytes::of(static_cast<std::int64_t>(seq) * kDim * kFloat);
+    t.stage = stage;
+    tensors.push_back(std::move(t));
+  };
+
+  // Embeddings (token + position) and their layer norm.
+  add("embeddings.word", static_cast<std::int64_t>(kVocab) * kDim, 0.0);
+  add("embeddings.position", static_cast<std::int64_t>(512) * kDim, 0.0);
+  add("embeddings.ln.gamma", kDim, 0.0);
+  add("embeddings.ln.beta", kDim, 0.0);
+
+  for (int layer = 0; layer < kLayers; ++layer) {
+    ++stage;
+    const std::string n = "encoder." + std::to_string(layer);
+    // Per-sample FLOPs (2 * MACs): projections are seq x dim x dim matmuls;
+    // attention scores/values add 2 * seq^2 * dim.
+    const double proj_gflops = 2.0 * seq * kDim * kDim / 1e9;
+    const double attn_gflops = 2.0 * 2.0 * seq * seq * kDim / 1e9;
+    for (const char* proj : {"q", "k", "v"}) {
+      add(n + ".attn." + proj + ".weight",
+          static_cast<std::int64_t>(kDim) * kDim, proj_gflops);
+      add(n + ".attn." + std::string{proj} + ".bias", kDim, 0.0);
+    }
+    add(n + ".attn.out.weight", static_cast<std::int64_t>(kDim) * kDim,
+        proj_gflops + attn_gflops);  // attention compute attributed here
+    add(n + ".attn.out.bias", kDim, 0.0);
+    add(n + ".ln1.gamma", kDim, 0.0);
+    add(n + ".ln1.beta", kDim, 0.0);
+    const double ffn_gflops = 2.0 * seq * kDim * kFfn / 1e9;
+    add(n + ".ffn.in.weight", static_cast<std::int64_t>(kDim) * kFfn, ffn_gflops);
+    add(n + ".ffn.in.bias", kFfn, 0.0);
+    add(n + ".ffn.out.weight", static_cast<std::int64_t>(kFfn) * kDim, ffn_gflops);
+    add(n + ".ffn.out.bias", kDim, 0.0);
+    add(n + ".ln2.gamma", kDim, 0.0);
+    add(n + ".ln2.beta", kDim, 0.0);
+  }
+  ++stage;
+  add("pooler.weight", static_cast<std::int64_t>(kDim) * kDim,
+      2.0 * kDim * kDim / 1e9);
+  add("pooler.bias", kDim, 0.0);
+
+  return ModelSpec{"bert_base", std::move(tensors)};
+}
+
+ModelSpec build_mobilenet_v1() {
+  ModelBuilder b{"mobilenet_v1", 224, 3};
+  b.conv("conv0", 32, 3, 2);
+  // (pointwise output channels, depthwise stride) per separable block.
+  const std::vector<std::pair<int, int>> blocks{
+      {64, 1},  {128, 2}, {128, 1}, {256, 2}, {256, 1},  {512, 2}, {512, 1},
+      {512, 1}, {512, 1}, {512, 1}, {512, 1}, {1024, 2}, {1024, 1}};
+  int idx = 0;
+  for (const auto& [out, stride] : blocks) {
+    b.begin_stage();
+    const std::string n = "block" + std::to_string(idx++);
+    b.depthwise(n + ".dw", 3, stride);
+    b.conv(n + ".pw", out, 1, 1);
+  }
+  b.begin_stage();
+  b.global_pool();
+  b.fc("fc", 1000);
+  return std::move(b).build();
+}
+
+ModelSpec build_toy_cnn() {
+  ModelBuilder b{"toy_cnn", 32, 3};
+  b.conv("conv1", 16, 3, 1);
+  b.begin_stage();
+  b.conv("conv2", 32, 3, 2);
+  b.conv("conv3", 32, 3, 1);
+  b.begin_stage();
+  b.conv("conv4", 64, 3, 2);
+  b.begin_stage();
+  b.global_pool();
+  b.fc("fc", 10);
+  return std::move(b).build();
+}
+
+}  // namespace
+
+ModelSpec resnet18() { return resnet("resnet18", basic_block, 1, {2, 2, 2, 2}); }
+ModelSpec resnet50() { return resnet("resnet50", bottleneck_block, 4, {3, 4, 6, 3}); }
+ModelSpec resnet152() { return resnet("resnet152", bottleneck_block, 4, {3, 8, 36, 3}); }
+ModelSpec inception_v3() { return build_inception_v3(); }
+ModelSpec vgg19() { return build_vgg19(); }
+ModelSpec alexnet() { return build_alexnet(); }
+ModelSpec mobilenet_v1() { return build_mobilenet_v1(); }
+ModelSpec bert_base(int seq_len) { return build_bert_base(seq_len); }
+ModelSpec toy_cnn() { return build_toy_cnn(); }
+
+ModelSpec model_by_name(const std::string& name) {
+  if (name == "resnet18") return resnet18();
+  if (name == "resnet50") return resnet50();
+  if (name == "resnet152") return resnet152();
+  if (name == "inception_v3") return inception_v3();
+  if (name == "vgg19") return vgg19();
+  if (name == "alexnet") return alexnet();
+  if (name == "mobilenet_v1") return mobilenet_v1();
+  if (name == "bert_base") return bert_base();
+  if (name == "toy_cnn") return toy_cnn();
+  PROPHET_CHECK_MSG(false, "unknown model name");
+  __builtin_unreachable();
+}
+
+std::vector<std::string> model_names() {
+  return {"resnet18", "resnet50",     "resnet152", "inception_v3", "vgg19",
+          "alexnet",  "mobilenet_v1", "bert_base", "toy_cnn"};
+}
+
+}  // namespace prophet::dnn

@@ -1,0 +1,41 @@
+// The DNN models the paper trains (Sec. 5.1): ResNet18/50/152, Inception-v3,
+// plus VGG19 (used for the stepwise-pattern observation of Sec. 2.2 / Fig. 4)
+// and a small synthetic model for tests and the Fig. 5 illustrative example.
+//
+// Parameter tensor sizes, FLOPs and activation footprints are derived from
+// the real architectures via ModelBuilder; unit tests pin the parameter
+// totals against the published counts (ResNet50 = 25.56 M params, ...).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dnn/tensor.hpp"
+
+namespace prophet::dnn {
+
+ModelSpec resnet18();
+ModelSpec resnet50();
+ModelSpec resnet152();
+ModelSpec inception_v3();
+ModelSpec vgg19();
+// AlexNet (Krizhevsky et al.): few huge FC tensors dominating the payload —
+// the classic hard case for FIFO scheduling.
+ModelSpec alexnet();
+// MobileNetV1 (Howard et al.): depthwise-separable convolutions — many tiny
+// tensors, a communication-latency-bound (rather than bandwidth-bound)
+// workload.
+ModelSpec mobilenet_v1();
+// BERT-base-like transformer encoder (12 layers, d=768, seq 128): large
+// uniform tensors and per-layer stages; a very different stepwise pattern
+// from convnets, exercising Prophet outside the paper's workload set.
+ModelSpec bert_base(int seq_len = 128);
+// Tiny 3-stage convnet: fast to simulate, used by unit tests.
+ModelSpec toy_cnn();
+
+// Lookup by name ("resnet50", ...). Aborts on unknown names; see
+// model_names() for the accepted set.
+ModelSpec model_by_name(const std::string& name);
+std::vector<std::string> model_names();
+
+}  // namespace prophet::dnn

@@ -1,0 +1,45 @@
+#include "dnn/stepwise.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace prophet::dnn {
+
+std::vector<GradientBlock> detect_blocks(const std::vector<Duration>& ready,
+                                         Duration tie_epsilon) {
+  PROPHET_CHECK(!ready.empty());
+  std::vector<GradientBlock> blocks;
+  // Walk in generation order: from the last index (first generated) down.
+  std::size_t last = ready.size() - 1;
+  for (std::size_t step = 1; step <= ready.size(); ++step) {
+    const std::size_t i = ready.size() - step;
+    const bool boundary =
+        i == 0 || (ready[i - 1] - ready[i] > tie_epsilon) ||
+        (ready[i] - ready[i - 1] > tie_epsilon);
+    if (boundary) {
+      blocks.push_back(GradientBlock{i, last, ready[last]});
+      if (i > 0) last = i - 1;
+    }
+  }
+  return blocks;
+}
+
+std::vector<Duration> transfer_intervals(const std::vector<Duration>& ready,
+                                         Duration tie_epsilon) {
+  PROPHET_CHECK(!ready.empty());
+  const std::size_t n = ready.size();
+  std::vector<Duration> intervals(n, Duration::max());
+  for (std::size_t i = 0; i < n; ++i) {
+    // Higher priority == smaller index; generated at or after ready[i].
+    Duration best = Duration::max();
+    for (std::size_t j = 0; j < i; ++j) {
+      const Duration gap = ready[j] - ready[i];
+      if (gap > tie_epsilon) best = std::min(best, gap);
+    }
+    intervals[i] = best;
+  }
+  return intervals;
+}
+
+}  // namespace prophet::dnn

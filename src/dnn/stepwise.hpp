@@ -1,0 +1,38 @@
+// Analysis of the stepwise pattern: block segmentation of a gradient
+// generation-time series and the expected-transfer-interval A^(i) used by
+// Algorithm 1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace prophet::dnn {
+
+// One step of the stepwise pattern: gradients [first, last] (inclusive, in
+// priority-index space) generated (nearly) simultaneously at `ready`.
+struct GradientBlock {
+  std::size_t first;
+  std::size_t last;
+  Duration ready;
+
+  [[nodiscard]] std::size_t size() const { return last - first + 1; }
+};
+
+// Segments ready times (indexed by gradient priority; non-increasing in the
+// index) into blocks: adjacent gradients whose ready times differ by at most
+// `tie_epsilon` share a block. Returned in generation order (latest-priority
+// block first, the block containing gradient 0 last).
+std::vector<GradientBlock> detect_blocks(const std::vector<Duration>& ready,
+                                         Duration tie_epsilon = Duration::micros(500));
+
+// A^(i) from Algorithm 1 line 1: the time from gradient i's generation until
+// the next *higher-priority* gradient is generated — the transmission budget
+// gradient i has before it would block someone more urgent. Gradients that
+// are members of the final generation step (including gradient 0) get
+// Duration::max(): nothing higher-priority is still pending.
+std::vector<Duration> transfer_intervals(const std::vector<Duration>& ready,
+                                         Duration tie_epsilon = Duration::micros(500));
+
+}  // namespace prophet::dnn

@@ -1,0 +1,74 @@
+// Model description consumed by the training simulator.
+//
+// A `TensorSpec` is one parameter tensor == one gradient key in the PS
+// key-value store == one unit of the paper's gradient index i. Index order is
+// *forward* order: tensor 0 belongs to the layer closest to the input, so
+// gradient 0 is produced last in backward propagation and needed first in the
+// next forward pass — i.e. index == transfer priority, exactly the paper's
+// convention.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace prophet::dnn {
+
+struct TensorSpec {
+  std::string name;
+  // Parameter (= gradient) payload in bytes, fp32.
+  Bytes bytes;
+  // Compute attributed to this tensor's layer, per training sample.
+  double fwd_gflops = 0.0;
+  double bwd_gflops = 0.0;
+  // Output activation footprint per sample (drives memory-bound time).
+  Bytes activation_bytes;
+  // Architectural stage (residual block / inception module / conv stage
+  // index). The KVStore flushes its aggregation buffer at stage boundaries,
+  // which is one of the root causes of the stepwise pattern (Sec. 2.2).
+  int stage = 0;
+};
+
+class ModelSpec {
+ public:
+  ModelSpec(std::string name, std::vector<TensorSpec> tensors)
+      : name_{std::move(name)}, tensors_{std::move(tensors)} {
+    PROPHET_CHECK(!tensors_.empty());
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t tensor_count() const { return tensors_.size(); }
+  [[nodiscard]] const TensorSpec& tensor(std::size_t i) const {
+    PROPHET_CHECK(i < tensors_.size());
+    return tensors_[i];
+  }
+  [[nodiscard]] const std::vector<TensorSpec>& tensors() const { return tensors_; }
+
+  [[nodiscard]] Bytes total_bytes() const {
+    Bytes total{};
+    for (const auto& t : tensors_) total += t.bytes;
+    return total;
+  }
+  [[nodiscard]] std::int64_t parameter_count() const {
+    return total_bytes().count() / 4;  // fp32
+  }
+  [[nodiscard]] double total_fwd_gflops() const {
+    double total = 0.0;
+    for (const auto& t : tensors_) total += t.fwd_gflops;
+    return total;
+  }
+  [[nodiscard]] int stage_count() const {
+    int max_stage = 0;
+    for (const auto& t : tensors_) max_stage = std::max(max_stage, t.stage);
+    return max_stage + 1;
+  }
+
+ private:
+  std::string name_;
+  std::vector<TensorSpec> tensors_;
+};
+
+}  // namespace prophet::dnn

@@ -1,0 +1,71 @@
+#include "metrics/chrome_trace.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace prophet::metrics {
+
+ChromeTraceWriter::ChromeTraceWriter(const std::string& path) : out_{path} {
+  out_ << "{\"traceEvents\":[";
+}
+
+ChromeTraceWriter::~ChromeTraceWriter() { close(); }
+
+void ChromeTraceWriter::comma() {
+  if (!first_) out_ << ",";
+  first_ = false;
+  out_ << "\n";
+}
+
+std::string ChromeTraceWriter::escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void ChromeTraceWriter::add_span(const std::string& name, const std::string& category,
+                                 int pid, int tid, TimePoint start,
+                                 Duration duration) {
+  PROPHET_CHECK(!closed_);
+  comma();
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":%d,"
+                "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}",
+                escape(name).c_str(), escape(category).c_str(), pid, tid,
+                start.to_seconds() * 1e6, duration.to_seconds() * 1e6);
+  out_ << buf;
+}
+
+void ChromeTraceWriter::name_process(int pid, const std::string& name) {
+  PROPHET_CHECK(!closed_);
+  comma();
+  out_ << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"args\":{\"name\":\"" << escape(name) << "\"}}";
+}
+
+void ChromeTraceWriter::name_thread(int pid, int tid, const std::string& name) {
+  PROPHET_CHECK(!closed_);
+  comma();
+  out_ << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << escape(name)
+       << "\"}}";
+}
+
+void ChromeTraceWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  out_ << "\n]}\n";
+  out_.flush();
+}
+
+}  // namespace prophet::metrics

@@ -1,0 +1,45 @@
+// Chrome trace-event exporter: training timelines viewable in
+// chrome://tracing or https://ui.perfetto.dev. Each worker becomes a
+// process with three lanes — GPU compute, gradient pushes, parameter pulls
+// — turning a simulation run into a browsable Gantt chart.
+#pragma once
+
+#include <fstream>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace prophet::metrics {
+
+class ChromeTraceWriter {
+ public:
+  // Opens (truncates) `path` and writes the JSON header.
+  explicit ChromeTraceWriter(const std::string& path);
+  ~ChromeTraceWriter();
+  ChromeTraceWriter(const ChromeTraceWriter&) = delete;
+  ChromeTraceWriter& operator=(const ChromeTraceWriter&) = delete;
+
+  [[nodiscard]] bool ok() const { return out_.good(); }
+
+  // Complete event ("ph":"X"): one box on lane (`pid`, `tid`).
+  void add_span(const std::string& name, const std::string& category, int pid,
+                int tid, TimePoint start, Duration duration);
+  // Names a process/thread lane in the viewer.
+  void name_process(int pid, const std::string& name);
+  void name_thread(int pid, int tid, const std::string& name);
+
+  // Writes the footer; further calls are invalid. Also invoked by the
+  // destructor if still open.
+  void close();
+
+  static std::string escape(const std::string& text);
+
+ private:
+  void comma();
+
+  std::ofstream out_;
+  bool first_{true};
+  bool closed_{false};
+};
+
+}  // namespace prophet::metrics

@@ -1,0 +1,53 @@
+#include "metrics/gpu_tracker.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace prophet::metrics {
+
+GpuTracker::GpuTracker(Duration bin, Duration horizon) : series_{bin, horizon} {}
+
+void GpuTracker::busy_from(TimePoint start) {
+  PROPHET_CHECK_MSG(!busy_since_.has_value(), "GPU already busy");
+  busy_since_ = start;
+}
+
+void GpuTracker::idle_from(TimePoint end) {
+  PROPHET_CHECK_MSG(busy_since_.has_value(), "GPU already idle");
+  PROPHET_CHECK(end >= *busy_since_);
+  series_.add_interval(*busy_since_, end);
+  total_busy_ += end - *busy_since_;
+  checkpoints_.emplace_back(end, total_busy_);
+  // Merge with the previous interval when contiguous (adjacent forward
+  // layers produce zero-length idle gaps).
+  if (!intervals_.empty() && intervals_.back().second == *busy_since_) {
+    intervals_.back().second = end;
+  } else if (end > *busy_since_) {
+    intervals_.emplace_back(*busy_since_, end);
+  }
+  busy_since_.reset();
+}
+
+void GpuTracker::finish(TimePoint now) {
+  if (busy_since_.has_value()) idle_from(now);
+}
+
+double GpuTracker::utilization(TimePoint from, TimePoint to) const {
+  PROPHET_CHECK(to > from);
+  // Busy time before a point: last checkpoint at or before it, plus nothing
+  // (idle) — interval-edge resolution is adequate for windows spanning many
+  // iterations, which is how the paper reports utilization.
+  auto busy_before = [this](TimePoint t) -> Duration {
+    Duration best{};
+    for (const auto& [at, busy] : checkpoints_) {
+      if (at <= t) best = busy;
+      else break;
+    }
+    return best;
+  };
+  const Duration busy = busy_before(to) - busy_before(from);
+  return std::clamp(busy / (to - from), 0.0, 1.0);
+}
+
+}  // namespace prophet::metrics

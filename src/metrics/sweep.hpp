@@ -1,0 +1,34 @@
+// Parallel parameter-sweep runner: benches fan independent simulator
+// configurations across hardware threads (each simulation is single-threaded
+// and deterministic; sweeps are embarrassingly parallel).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace prophet::metrics {
+
+// Applies `fn(index)` for every index in [0, count) using up to
+// `max_threads` worker threads (0 = hardware concurrency). Results are
+// written by `fn` into caller-owned, pre-sized storage; indices never
+// overlap, so no synchronization is required inside `fn`.
+void parallel_for_index(std::size_t count, const std::function<void(std::size_t)>& fn,
+                        unsigned max_threads = 0);
+
+// Convenience: maps configs -> results in parallel, preserving order.
+template <typename Config, typename Result>
+std::vector<Result> parallel_map(const std::vector<Config>& configs,
+                                 const std::function<Result(const Config&)>& fn,
+                                 unsigned max_threads = 0) {
+  std::vector<Result> results(configs.size());
+  parallel_for_index(
+      configs.size(),
+      [&](std::size_t i) { results[i] = fn(configs[i]); }, max_threads);
+  return results;
+}
+
+}  // namespace prophet::metrics

@@ -1,0 +1,46 @@
+#include "metrics/training_metrics.hpp"
+
+#include "common/check.hpp"
+
+namespace prophet::metrics {
+
+TrainingMetrics::TrainingMetrics(int batch_size) : batch_{batch_size} {
+  PROPHET_CHECK(batch_size > 0);
+}
+
+void TrainingMetrics::mark_iteration_start(std::size_t iter, TimePoint at) {
+  PROPHET_CHECK_MSG(iter == starts_.size(), "iterations must be marked in order");
+  starts_.push_back(at);
+}
+
+void TrainingMetrics::finish(TimePoint at) { end_ = at; }
+
+TimePoint TrainingMetrics::iteration_start(std::size_t iter) const {
+  PROPHET_CHECK(iter < starts_.size());
+  return starts_[iter];
+}
+
+Duration TrainingMetrics::mean_iteration_time(std::size_t first, std::size_t last) const {
+  PROPHET_CHECK(first < last);
+  PROPHET_CHECK_MSG(last < starts_.size() || (last == starts_.size() && end_ > starts_.back()),
+                    "window extends past recorded iterations");
+  const TimePoint from = starts_[first];
+  const TimePoint to = last < starts_.size() ? starts_[last] : end_;
+  return (to - from) / static_cast<std::int64_t>(last - first);
+}
+
+double TrainingMetrics::rate_samples_per_sec(std::size_t first, std::size_t last) const {
+  const Duration mean = mean_iteration_time(first, last);
+  return static_cast<double>(batch_) / mean.to_seconds();
+}
+
+std::vector<double> TrainingMetrics::per_iteration_rates(std::size_t first,
+                                                         std::size_t last) const {
+  std::vector<double> rates;
+  for (std::size_t i = first; i < last; ++i) {
+    rates.push_back(rate_samples_per_sec(i, i + 1));
+  }
+  return rates;
+}
+
+}  // namespace prophet::metrics

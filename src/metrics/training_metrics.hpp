@@ -1,0 +1,39 @@
+// Iteration-level accounting: training rate in samples/second — the paper's
+// headline metric (Figs. 8, 12; Tables 2, 3).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace prophet::metrics {
+
+class TrainingMetrics {
+ public:
+  explicit TrainingMetrics(int batch_size);
+
+  // Iteration `iter` began (forward start) at `at`.
+  void mark_iteration_start(std::size_t iter, TimePoint at);
+  void finish(TimePoint at);
+
+  [[nodiscard]] std::size_t iterations_started() const { return starts_.size(); }
+
+  // Mean iteration duration over iterations [first, last).
+  [[nodiscard]] Duration mean_iteration_time(std::size_t first, std::size_t last) const;
+  // Per-worker training rate over the same window.
+  [[nodiscard]] double rate_samples_per_sec(std::size_t first, std::size_t last) const;
+  // Start time of iteration `iter`.
+  [[nodiscard]] TimePoint iteration_start(std::size_t iter) const;
+  // Per-iteration rate series (samples/s for each single iteration), used by
+  // the fluctuation plots (Fig. 3(b)).
+  [[nodiscard]] std::vector<double> per_iteration_rates(std::size_t first,
+                                                        std::size_t last) const;
+
+ private:
+  int batch_;
+  std::vector<TimePoint> starts_;
+  TimePoint end_{};
+};
+
+}  // namespace prophet::metrics

@@ -1,0 +1,63 @@
+#include "metrics/transfer_log.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/check.hpp"
+
+namespace prophet::metrics {
+
+void TransferLog::mark_backward_start(std::size_t iteration, TimePoint at) {
+  backward_starts_.emplace_back(iteration, at);
+}
+
+std::vector<GradientTransferSummary> TransferLog::per_gradient(
+    std::size_t first_iter, std::size_t last_iter, sched::TaskKind kind) const {
+  std::size_t max_grad = 0;
+  for (const auto& rec : records_) max_grad = std::max(max_grad, rec.grad);
+  std::vector<GradientTransferSummary> out(max_grad + 1);
+  for (std::size_t g = 0; g <= max_grad; ++g) out[g].grad = g;
+
+  auto backward_start_of = [this](std::size_t iter) -> std::optional<TimePoint> {
+    for (const auto& [it, at] : backward_starts_) {
+      if (it == iter) return at;
+    }
+    return std::nullopt;
+  };
+
+  for (const auto& rec : records_) {
+    if (rec.kind != kind || rec.iteration < first_iter || rec.iteration >= last_iter) {
+      continue;
+    }
+    auto& summary = out[rec.grad];
+    summary.wait_ms.add(rec.wait().to_millis());
+    summary.transfer_ms.add(rec.transfer().to_millis());
+    if (const auto t0 = backward_start_of(rec.iteration)) {
+      summary.start_offset_ms.add((rec.started - *t0).to_millis());
+      summary.end_offset_ms.add((rec.finished - *t0).to_millis());
+    }
+  }
+  return out;
+}
+
+TransferLog::Overall TransferLog::overall(std::size_t first_iter, std::size_t last_iter,
+                                          sched::TaskKind kind) const {
+  RunningStats wait;
+  RunningStats transfer;
+  for (const auto& rec : records_) {
+    if (rec.kind != kind || rec.iteration < first_iter || rec.iteration >= last_iter) {
+      continue;
+    }
+    wait.add(rec.wait().to_millis());
+    transfer.add(rec.transfer().to_millis());
+  }
+  Overall out;
+  out.count = wait.count();
+  if (!wait.empty()) {
+    out.mean_wait_ms = wait.mean();
+    out.mean_transfer_ms = transfer.mean();
+  }
+  return out;
+}
+
+}  // namespace prophet::metrics

@@ -1,0 +1,64 @@
+// Per-gradient transfer records: wait time (ready -> transfer start) and
+// transmission time, per direction — the data behind Fig. 11 and the
+// "average wait 26 ms vs 67 ms" comparisons of Sec. 5.2.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "sched/task.hpp"
+
+namespace prophet::metrics {
+
+struct TransferRecord {
+  std::size_t iteration;
+  std::size_t grad;
+  sched::TaskKind kind;
+  Bytes bytes;           // bytes of this gradient in the task
+  TimePoint enqueued;    // became transferable
+  TimePoint started;     // task containing it left the NIC queue
+  TimePoint finished;    // task completed
+
+  [[nodiscard]] Duration wait() const { return started - enqueued; }
+  [[nodiscard]] Duration transfer() const { return finished - started; }
+};
+
+struct GradientTransferSummary {
+  std::size_t grad = 0;
+  RunningStats wait_ms;
+  RunningStats transfer_ms;
+  RunningStats start_offset_ms;  // start relative to iteration backward start
+  RunningStats end_offset_ms;
+};
+
+class TransferLog {
+ public:
+  void record(TransferRecord rec) { records_.push_back(rec); }
+  // Marks backward start of `iteration` (reference point for Fig. 11).
+  void mark_backward_start(std::size_t iteration, TimePoint at);
+
+  [[nodiscard]] const std::vector<TransferRecord>& records() const { return records_; }
+
+  // Aggregates per gradient over iterations [first, last), push direction
+  // only (Fig. 11 plots gradient pushes).
+  [[nodiscard]] std::vector<GradientTransferSummary> per_gradient(
+      std::size_t first_iter, std::size_t last_iter, sched::TaskKind kind) const;
+
+  // Mean wait / transfer across all records in the window.
+  struct Overall {
+    double mean_wait_ms = 0.0;
+    double mean_transfer_ms = 0.0;
+    std::size_t count = 0;
+  };
+  [[nodiscard]] Overall overall(std::size_t first_iter, std::size_t last_iter,
+                                sched::TaskKind kind) const;
+
+ private:
+  std::vector<TransferRecord> records_;
+  std::vector<std::pair<std::size_t, TimePoint>> backward_starts_;
+};
+
+}  // namespace prophet::metrics

@@ -1,0 +1,71 @@
+#include "net/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace prophet::net {
+
+TcpCostModel::TcpCostModel(TcpCostParams params) : params_{params} {
+  PROPHET_CHECK(params_.rtt > Duration::zero());
+  PROPHET_CHECK(params_.per_task_overhead >= Duration::zero());
+  PROPHET_CHECK(params_.initial_cwnd.count() > 0);
+}
+
+Duration TcpCostModel::setup_delay(Bytes size, Bandwidth line_rate) const {
+  PROPHET_CHECK(size.count() >= 0);
+  Duration delay = params_.per_task_overhead;
+  if (!params_.slow_start || line_rate.is_zero()) return delay;
+
+  // Slow-start: during ramp RTT k (k = 0, 1, ...) the window is cwnd0 * 2^k
+  // bytes and takes a full RTT regardless of size; the ramp ends once the
+  // window reaches the bandwidth-delay product. We charge, as *extra*
+  // latency beyond plain serialization, rtt - bytes/B for every ramp round
+  // actually used by this transfer.
+  const double bdp =
+      line_rate.bytes_per_second() * params_.rtt.to_seconds();
+  const auto cwnd0 = static_cast<double>(params_.initial_cwnd.count());
+  double window = cwnd0;
+  double remaining = static_cast<double>(size.count());
+  double extra_s = 0.0;
+  const double rtt_s = params_.rtt.to_seconds();
+  while (remaining > 0.0 && window < bdp) {
+    const double sent = std::min(remaining, window);
+    // A ramp round occupies one RTT; serialization alone would have taken
+    // sent / B. Only the positive difference is overhead.
+    extra_s += std::max(0.0, rtt_s - sent / line_rate.bytes_per_second());
+    remaining -= sent;
+    window *= 2.0;
+  }
+  return delay + Duration::from_seconds(extra_s);
+}
+
+Duration TcpCostModel::duration(Bytes size, Bandwidth line_rate) const {
+  PROPHET_CHECK(!line_rate.is_zero());
+  return setup_delay(size, line_rate) + line_rate.time_to_send(size);
+}
+
+Bytes TcpCostModel::max_bytes_within(Duration budget, Bandwidth line_rate) const {
+  PROPHET_CHECK(!line_rate.is_zero());
+  if (duration(Bytes::zero(), line_rate) > budget) return Bytes::zero();
+  std::int64_t lo = 0;  // always fits
+  std::int64_t hi = line_rate.bytes_in(budget).count() + 1;  // never fits
+  while (hi - lo > 1) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (duration(Bytes::of(mid), line_rate) <= budget) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return Bytes::of(lo);
+}
+
+Bandwidth TcpCostModel::effective_bandwidth(Bytes size, Bandwidth line_rate) const {
+  if (size.count() <= 0) return Bandwidth::zero();
+  const Duration d = duration(size, line_rate);
+  return Bandwidth::bytes_per_sec(static_cast<double>(size.count()) / d.to_seconds());
+}
+
+}  // namespace prophet::net

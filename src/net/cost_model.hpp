@@ -1,0 +1,66 @@
+// Per-transfer cost model — the concrete form of the paper's Eq. (10)
+// B^(i) = f(s^(i), B).
+//
+// The paper names three sources of small-transfer overhead (Sec. 2.2):
+// "TCP connection overhead, TCP slow start, and the synchronization between
+// nodes". We charge each scheduled transfer task
+//
+//   d(s, B) = T_sync + ramp(s, B) + s / B
+//
+// where T_sync is a fixed per-task handshake/synchronization cost and
+// ramp(s, B) is the extra latency of TCP slow start: the congestion window
+// doubles every RTT starting at `initial_cwnd` until it covers the
+// bandwidth-delay product, and bytes sent during the ramp are latency-bound
+// rather than bandwidth-bound.
+//
+// Effective bandwidth f(s, B) = s / d(s, B) then has exactly the limits the
+// paper requires: -> 0 as s -> 0 and -> B as s -> inf.
+#pragma once
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace prophet::net {
+
+struct TcpCostParams {
+  // Round-trip time between g3.8xlarge instances over the EC2 VPC fabric
+  // (virtualized TCP; far above bare-metal rack latency).
+  Duration rtt = Duration::micros(500);
+  // Fixed per-task overhead: BytePS RPC framing, rendezvous, key lookup at
+  // the PS, engine synchronization, user/kernel copies. Paid once per
+  // scheduled transfer task — this is what makes many small tasks slow
+  // (P3's pain in Fig. 3(a)) and block assembly worthwhile.
+  Duration per_task_overhead = Duration::micros(1000);
+  // Initial congestion window (10 MSS of 1460 B, the Linux default).
+  Bytes initial_cwnd = Bytes::of(14'600);
+  // Set false to model long-lived pre-warmed connections (no slow start).
+  bool slow_start = true;
+};
+
+class TcpCostModel {
+ public:
+  explicit TcpCostModel(TcpCostParams params = {});
+
+  [[nodiscard]] const TcpCostParams& params() const { return params_; }
+
+  // Latency charged before the flow drains at full rate: per-task overhead
+  // plus the slow-start ramp penalty. Independent of any bandwidth sharing
+  // that happens during draining.
+  [[nodiscard]] Duration setup_delay(Bytes size, Bandwidth line_rate) const;
+
+  // Total solo transfer duration: setup + serialization at `line_rate`.
+  [[nodiscard]] Duration duration(Bytes size, Bandwidth line_rate) const;
+
+  // f(s, B) = s / d(s, B).
+  [[nodiscard]] Bandwidth effective_bandwidth(Bytes size, Bandwidth line_rate) const;
+
+  // Largest payload whose solo transfer fits within `budget` (inverse of
+  // duration(); binary search — duration is monotone in size). Zero when not
+  // even an empty transfer fits.
+  [[nodiscard]] Bytes max_bytes_within(Duration budget, Bandwidth line_rate) const;
+
+ private:
+  TcpCostParams params_;
+};
+
+}  // namespace prophet::net

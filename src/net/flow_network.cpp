@@ -1,0 +1,214 @@
+#include "net/flow_network.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace prophet::net {
+
+namespace {
+// A flow is "done" when its remaining byte count falls below this; avoids
+// rescheduling completions for sub-byte floating-point residue.
+constexpr double kDrainEpsilon = 1e-6;
+}  // namespace
+
+FlowNetwork::FlowNetwork(sim::Simulator& sim, TcpCostModel cost_model)
+    : sim_{sim}, cost_model_{cost_model} {}
+
+NodeId FlowNetwork::add_node(std::string name, Bandwidth egress, Bandwidth ingress) {
+  PROPHET_CHECK(!egress.is_zero() && !ingress.is_zero());
+  nodes_.push_back(Node{std::move(name), Port{egress}, Port{ingress}});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+const std::string& FlowNetwork::node_name(NodeId id) const {
+  PROPHET_CHECK(id < nodes_.size());
+  return nodes_[id].name;
+}
+
+FlowNetwork::Port& FlowNetwork::port(NodeId id, Direction dir) {
+  PROPHET_CHECK(id < nodes_.size());
+  return dir == Direction::kTx ? nodes_[id].tx : nodes_[id].rx;
+}
+
+const FlowNetwork::Port& FlowNetwork::port(NodeId id, Direction dir) const {
+  PROPHET_CHECK(id < nodes_.size());
+  return dir == Direction::kTx ? nodes_[id].tx : nodes_[id].rx;
+}
+
+void FlowNetwork::set_capacity(NodeId id, Direction dir, Bandwidth cap) {
+  PROPHET_CHECK(!cap.is_zero());
+  advance_to_now();
+  port(id, dir).cap = cap;
+  reassign_rates();
+}
+
+Bandwidth FlowNetwork::capacity(NodeId id, Direction dir) const { return port(id, dir).cap; }
+
+FlowId FlowNetwork::start_flow(NodeId src, NodeId dst, Bytes size,
+                               std::function<void(FlowId)> on_complete) {
+  PROPHET_CHECK(src < nodes_.size() && dst < nodes_.size());
+  PROPHET_CHECK_MSG(src != dst, "loopback flows are not modeled");
+  PROPHET_CHECK(size.count() >= 0);
+  const FlowId id = next_flow_id_++;
+  Flow flow;
+  flow.src = src;
+  flow.dst = dst;
+  flow.remaining = static_cast<double>(size.count());
+  flow.on_complete = std::move(on_complete);
+  flows_.emplace(id, std::move(flow));
+
+  // The setup ramp is computed against the path's solo line rate: the best
+  // the congestion window could hope for, matching how slow start probes.
+  const Bandwidth line_rate =
+      std::min(nodes_[src].tx.cap, nodes_[dst].rx.cap);
+  const Duration setup = cost_model_.setup_delay(size, line_rate);
+  sim_.schedule_after(setup, [this, id] { enter_drain(id); });
+  return id;
+}
+
+Bandwidth FlowNetwork::flow_rate(FlowId id) const {
+  const auto it = flows_.find(id);
+  PROPHET_CHECK_MSG(it != flows_.end(), "flow_rate on unknown flow");
+  return Bandwidth::bytes_per_sec(it->second.rate);
+}
+
+void FlowNetwork::attach_tracker(NodeId id, Direction dir, BinnedSeries* series) {
+  port(id, dir).tracker = series;
+}
+
+std::int64_t FlowNetwork::total_bytes(NodeId id, Direction dir) {
+  advance_to_now();
+  return static_cast<std::int64_t>(port(id, dir).total_bytes);
+}
+
+Duration FlowNetwork::busy_time(NodeId id, Direction dir) {
+  advance_to_now();
+  return port(id, dir).busy;
+}
+
+void FlowNetwork::advance_to_now() {
+  const TimePoint now = sim_.now();
+  if (now == last_update_) return;
+  const double elapsed_s = (now - last_update_).to_seconds();
+  std::vector<bool> tx_busy(nodes_.size(), false);
+  std::vector<bool> rx_busy(nodes_.size(), false);
+  for (auto& [id, flow] : flows_) {
+    if (!flow.draining || flow.rate <= 0.0) continue;
+    const double drained = std::min(flow.remaining, flow.rate * elapsed_s);
+    flow.remaining -= drained;
+    auto& tx = nodes_[flow.src].tx;
+    auto& rx = nodes_[flow.dst].rx;
+    tx.total_bytes += drained;
+    rx.total_bytes += drained;
+    if (tx.tracker != nullptr) tx.tracker->add_amount_spread(last_update_, now, drained);
+    if (rx.tracker != nullptr) rx.tracker->add_amount_spread(last_update_, now, drained);
+    tx_busy[flow.src] = true;
+    rx_busy[flow.dst] = true;
+  }
+  const Duration elapsed = now - last_update_;
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    if (tx_busy[n]) nodes_[n].tx.busy += elapsed;
+    if (rx_busy[n]) nodes_[n].rx.busy += elapsed;
+  }
+  last_update_ = now;
+}
+
+void FlowNetwork::reassign_rates() {
+  // Progressive filling: repeatedly saturate the port with the smallest fair
+  // share, freeze its flows at that rate, remove the consumed capacity.
+  struct PortState {
+    double cap;
+    int unfrozen = 0;
+  };
+  std::vector<PortState> tx(nodes_.size());
+  std::vector<PortState> rx(nodes_.size());
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    tx[n].cap = nodes_[n].tx.cap.bytes_per_second();
+    rx[n].cap = nodes_[n].rx.cap.bytes_per_second();
+  }
+  std::vector<std::pair<FlowId, Flow*>> unfrozen;
+  for (auto& [id, flow] : flows_) {
+    if (!flow.draining) continue;
+    flow.rate = 0.0;
+    unfrozen.emplace_back(id, &flow);
+    ++tx[flow.src].unfrozen;
+    ++rx[flow.dst].unfrozen;
+  }
+
+  while (!unfrozen.empty()) {
+    // Find the tightest port among those with unfrozen flows.
+    double min_share = std::numeric_limits<double>::infinity();
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+      if (tx[n].unfrozen > 0) min_share = std::min(min_share, tx[n].cap / tx[n].unfrozen);
+      if (rx[n].unfrozen > 0) min_share = std::min(min_share, rx[n].cap / rx[n].unfrozen);
+    }
+    PROPHET_CHECK(min_share < std::numeric_limits<double>::infinity());
+    // Floating-point residue in the capacity subtractions can push a nearly
+    // exhausted port's share epsilon-negative; clamp so no flow ever gets a
+    // negative rate.
+    min_share = std::max(min_share, 0.0);
+    // Freeze every flow touching a port whose fair share equals the minimum.
+    auto is_tight = [&](const Flow& f) {
+      const double tx_share = tx[f.src].cap / tx[f.src].unfrozen;
+      const double rx_share = rx[f.dst].cap / rx[f.dst].unfrozen;
+      return tx_share <= min_share * (1.0 + 1e-12) || rx_share <= min_share * (1.0 + 1e-12);
+    };
+    bool froze_any = false;
+    for (auto it = unfrozen.begin(); it != unfrozen.end();) {
+      Flow& f = *it->second;
+      if (is_tight(f)) {
+        f.rate = min_share;
+        tx[f.src].cap -= min_share;
+        rx[f.dst].cap -= min_share;
+        --tx[f.src].unfrozen;
+        --rx[f.dst].unfrozen;
+        it = unfrozen.erase(it);
+        froze_any = true;
+      } else {
+        ++it;
+      }
+    }
+    PROPHET_CHECK_MSG(froze_any, "progressive filling made no progress");
+  }
+
+  // Reschedule completions at the new rates.
+  for (auto& [id, flow] : flows_) {
+    if (!flow.draining) continue;
+    flow.completion.cancel();
+    if (flow.remaining <= kDrainEpsilon) {
+      const FlowId fid = id;
+      flow.completion = sim_.schedule_after(Duration::zero(),
+                                            [this, fid] { complete_flow(fid); });
+    } else if (flow.rate > 0.0) {
+      const Duration eta = Duration::from_seconds(flow.remaining / flow.rate);
+      const FlowId fid = id;
+      flow.completion = sim_.schedule_after(eta, [this, fid] { complete_flow(fid); });
+    }
+    // rate == 0 (fully starved port) leaves the flow parked until the next
+    // reassignment; set_capacity / flow departures will wake it.
+  }
+}
+
+void FlowNetwork::enter_drain(FlowId id) {
+  const auto it = flows_.find(id);
+  PROPHET_CHECK(it != flows_.end());
+  advance_to_now();
+  it->second.draining = true;
+  reassign_rates();
+}
+
+void FlowNetwork::complete_flow(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  advance_to_now();
+  PROPHET_CHECK_MSG(it->second.remaining <= 1.0,
+                    "flow completion fired with bytes still pending");
+  auto on_complete = std::move(it->second.on_complete);
+  flows_.erase(it);
+  reassign_rates();
+  if (on_complete) on_complete(id);
+}
+
+}  // namespace prophet::net

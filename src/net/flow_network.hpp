@@ -1,0 +1,112 @@
+// Flow-level network model: a set of nodes (each with an egress and an
+// ingress port) exchanging flows whose rates are assigned by progressive
+// filling (max-min fairness) — the standard fluid approximation of TCP
+// sharing a bottleneck.
+//
+// This is the substrate under the PS architecture: worker->PS pushes share
+// the PS ingress port (incast), PS->worker pulls share the PS egress port,
+// and per-worker limits model heterogeneous clusters (Sec. 5.3).
+//
+// A flow passes through two phases:
+//   1. setup  — latency-bound (per-task overhead + TCP slow-start ramp from
+//               TcpCostModel); consumes no port capacity;
+//   2. drain  — its bytes drain at the max-min fair rate; rates are
+//               recomputed whenever a flow enters/leaves drain or a port
+//               capacity changes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/time_series.hpp"
+#include "common/units.hpp"
+#include "net/cost_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace prophet::net {
+
+using NodeId = std::uint32_t;
+using FlowId = std::uint64_t;
+
+enum class Direction { kTx, kRx };
+
+class FlowNetwork {
+ public:
+  FlowNetwork(sim::Simulator& sim, TcpCostModel cost_model);
+  FlowNetwork(const FlowNetwork&) = delete;
+  FlowNetwork& operator=(const FlowNetwork&) = delete;
+
+  NodeId add_node(std::string name, Bandwidth egress, Bandwidth ingress);
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const std::string& node_name(NodeId id) const;
+
+  // Dynamic capacity change (takes effect immediately; in-flight flows are
+  // re-rated). Models the varying-bandwidth experiments of Sec. 5.3.
+  void set_capacity(NodeId id, Direction dir, Bandwidth cap);
+  [[nodiscard]] Bandwidth capacity(NodeId id, Direction dir) const;
+
+  // Starts a flow of `size` bytes from `src` to `dst`. `on_complete` fires
+  // (once) when the last byte drains. Zero-size flows complete after setup.
+  FlowId start_flow(NodeId src, NodeId dst, Bytes size,
+                    std::function<void(FlowId)> on_complete);
+
+  [[nodiscard]] bool flow_active(FlowId id) const { return flows_.contains(id); }
+  [[nodiscard]] std::size_t active_flow_count() const { return flows_.size(); }
+  // Current drain rate; zero while in setup.
+  [[nodiscard]] Bandwidth flow_rate(FlowId id) const;
+
+  // --- observability ------------------------------------------------------
+  // Optional per-node throughput series (bytes credited as flows drain).
+  void attach_tracker(NodeId id, Direction dir, BinnedSeries* series);
+  // Bytes moved through the port up to the current simulation time. Not
+  // const: in-flight flows are settled up to now() before reading.
+  [[nodiscard]] std::int64_t total_bytes(NodeId id, Direction dir);
+  // Cumulative time the port had at least one draining flow, up to now().
+  [[nodiscard]] Duration busy_time(NodeId id, Direction dir);
+
+ private:
+  struct Port {
+    Bandwidth cap;
+    double total_bytes = 0.0;
+    Duration busy{};
+    BinnedSeries* tracker = nullptr;
+  };
+  struct Node {
+    std::string name;
+    Port tx;
+    Port rx;
+  };
+  struct Flow {
+    NodeId src;
+    NodeId dst;
+    double remaining;  // bytes left to drain
+    bool draining = false;
+    double rate = 0.0;  // bytes/s, valid while draining
+    std::function<void(FlowId)> on_complete;
+    sim::EventHandle completion;
+  };
+
+  Port& port(NodeId id, Direction dir);
+  [[nodiscard]] const Port& port(NodeId id, Direction dir) const;
+
+  // Credits drained bytes / busy time for [last_update_, now] at current
+  // rates, then sets last_update_ = now. Must precede any rate change.
+  void advance_to_now();
+  // Recomputes max-min fair rates and reschedules completion events.
+  void reassign_rates();
+  void enter_drain(FlowId id);
+  void complete_flow(FlowId id);
+
+  sim::Simulator& sim_;
+  TcpCostModel cost_model_;
+  std::vector<Node> nodes_;
+  std::unordered_map<FlowId, Flow> flows_;
+  FlowId next_flow_id_{1};
+  TimePoint last_update_{};
+};
+
+}  // namespace prophet::net

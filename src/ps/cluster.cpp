@@ -1,0 +1,156 @@
+#include "ps/cluster.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.hpp"
+#include "net/flow_network.hpp"
+#include "ps/server.hpp"
+#include "ps/worker.hpp"
+#include "sim/simulator.hpp"
+
+namespace prophet::ps {
+
+double ClusterResult::mean_rate() const {
+  PROPHET_CHECK(!workers.empty());
+  double total = 0.0;
+  for (const auto& w : workers) total += w.rate_samples_per_sec;
+  return total / static_cast<double>(workers.size());
+}
+
+double ClusterResult::mean_utilization() const {
+  PROPHET_CHECK(!workers.empty());
+  double total = 0.0;
+  for (const auto& w : workers) total += w.gpu_utilization;
+  return total / static_cast<double>(workers.size());
+}
+
+Cluster::Cluster(ClusterConfig config) : config_{std::move(config)} {
+  PROPHET_CHECK(config_.num_workers > 0);
+  PROPHET_CHECK(config_.iterations >= 2);
+}
+
+ClusterResult Cluster::run(std::optional<std::size_t> measure_first) {
+  const ClusterConfig& cfg = config_;
+  sim::Simulator sim;
+  const net::TcpCostModel cost{cfg.tcp};
+  net::FlowNetwork network{sim, cost};
+
+  const net::NodeId ps_node =
+      network.add_node("ps", cfg.ps_bandwidth, cfg.ps_bandwidth);
+  std::vector<net::NodeId> worker_nodes;
+  for (std::size_t w = 0; w < cfg.num_workers; ++w) {
+    const Bandwidth bw = cfg.bandwidth_of_worker(w);
+    worker_nodes.push_back(
+        network.add_node("worker" + std::to_string(w), bw, bw));
+  }
+
+  // Per-worker throughput series, attached before any traffic flows.
+  std::vector<BinnedSeries> tx_series(cfg.num_workers,
+                                      BinnedSeries{cfg.metrics_bin, cfg.metrics_horizon});
+  std::vector<BinnedSeries> rx_series(cfg.num_workers,
+                                      BinnedSeries{cfg.metrics_bin, cfg.metrics_horizon});
+  for (std::size_t w = 0; w < cfg.num_workers; ++w) {
+    network.attach_tracker(worker_nodes[w], net::Direction::kTx, &tx_series[w]);
+    network.attach_tracker(worker_nodes[w], net::Direction::kRx, &rx_series[w]);
+  }
+
+  const dnn::IterationModel iteration_model{cfg.model, cfg.gpu, cfg.batch,
+                                            cfg.kvstore, cfg.jitter_sigma};
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  Server server{sim,
+                cfg.model,
+                cfg.num_workers,
+                cfg.sync == SyncMode::kAsp,
+                cfg.update_fixed,
+                cfg.update_bytes_per_sec,
+                [&workers](std::size_t w, std::size_t key) {
+                  workers[w]->on_param_updated(key);
+                },
+                cfg.serialize_ps_cpu};
+
+  Rng root{cfg.seed};
+  for (std::size_t w = 0; w < cfg.num_workers; ++w) {
+    Worker::Params params;
+    params.id = w;
+    params.node = worker_nodes[w];
+    params.ps_node = ps_node;
+    params.iterations = cfg.iterations;
+    params.iteration_model = &iteration_model;
+    params.server = &server;
+    params.strategy = cfg.strategy;
+    params.cost = cost;
+    params.monitor = cfg.monitor;
+    params.metrics_bin = cfg.metrics_bin;
+    params.metrics_horizon = cfg.metrics_horizon;
+    params.batch = cfg.batch;
+    workers.push_back(
+        std::make_unique<Worker>(sim, network, params, root.fork(w)));
+  }
+  for (auto& worker : workers) worker->start();
+
+  // Run until every worker crossed its final iteration boundary (residual
+  // pulls may still be in flight), bounded by the metrics horizon.
+  const TimePoint horizon = TimePoint::origin() + cfg.metrics_horizon;
+  auto all_done = [&] {
+    return std::all_of(workers.begin(), workers.end(),
+                       [](const auto& w) { return w->done(); });
+  };
+  while (!all_done() && sim.now() < horizon) {
+    if (!sim.step()) break;
+  }
+  PROPHET_CHECK_MSG(all_done(), "training did not finish within the metrics horizon");
+  const Duration training_span = sim.now() - TimePoint::origin();
+  for (auto& worker : workers) worker->finish();
+  // Drain residual network traffic (monitors are stopped, so this converges).
+  sim.run_until(horizon);
+
+  // Default window: past Prophet's profiling phase so strategies compare at
+  // steady state; the same window is applied to every strategy.
+  std::size_t first = measure_first.value_or(0);
+  if (!measure_first.has_value()) {
+    std::size_t warmup = 3;
+    if (cfg.strategy.kind == StrategyConfig::Kind::kProphet) {
+      warmup = cfg.strategy.prophet.profile_iterations + 3;
+    }
+    PROPHET_CHECK_MSG(warmup + 1 < cfg.iterations,
+                      "not enough iterations to measure past warmup");
+    first = warmup;
+  }
+  const std::size_t last = cfg.iterations;
+
+  ClusterResult result;
+  result.measure_first = first;
+  result.measure_last = last;
+  result.simulated_time = training_span;
+  result.events_fired = sim.events_fired();
+  for (std::size_t w = 0; w < cfg.num_workers; ++w) {
+    const Worker& worker = *workers[w];
+    WorkerResult wr{.id = w,
+                    .rate_samples_per_sec = 0.0,
+                    .gpu_utilization = 0.0,
+                    .iterations_completed = worker.current_iteration(),
+                    .prophet_activated_at = worker.prophet_activated_at(),
+                    .training = worker.training_metrics(),
+                    .transfers = worker.transfers(),
+                    .gpu_series = worker.gpu().series(),
+                    .gpu_intervals = worker.gpu().intervals(),
+                    .tx_series = tx_series[w],
+                    .rx_series = rx_series[w]};
+    const auto& tm = worker.training_metrics();
+    wr.rate_samples_per_sec = tm.rate_samples_per_sec(first, last);
+    wr.gpu_utilization =
+        worker.gpu().utilization(tm.iteration_start(first), tm.iteration_start(last));
+    result.workers.push_back(std::move(wr));
+  }
+  return result;
+}
+
+ClusterResult run_cluster(const ClusterConfig& config,
+                          std::optional<std::size_t> measure_first) {
+  Cluster cluster{config};
+  return cluster.run(measure_first);
+}
+
+}  // namespace prophet::ps

@@ -1,0 +1,68 @@
+// Full configuration of a simulated DDNN training cluster (Sec. 5.1 setup:
+// up to 8 g3.8xlarge instances, 1 PS + N workers, 1-10 Gbps networks).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "dnn/gpu.hpp"
+#include "dnn/iteration_model.hpp"
+#include "dnn/model_zoo.hpp"
+#include "net/cost_model.hpp"
+#include "net/monitor.hpp"
+#include "ps/strategy.hpp"
+
+namespace prophet::ps {
+
+enum class SyncMode {
+  kBsp,  // Bulk Synchronous Parallel (the paper's setting)
+  kAsp,  // Asynchronous Parallel (paper's future-work extension)
+};
+
+struct ClusterConfig {
+  std::size_t num_workers = 3;
+  dnn::ModelSpec model = dnn::resnet50();
+  int batch = 64;
+  std::size_t iterations = 30;
+  std::uint64_t seed = 42;
+  // Per-layer compute time jitter (lognormal sigma).
+  double jitter_sigma = 0.02;
+
+  dnn::GpuSpec gpu = dnn::tesla_m60_pair();
+  dnn::KvStoreConfig kvstore;
+  net::TcpCostParams tcp;
+  net::BandwidthMonitorConfig monitor;
+  SyncMode sync = SyncMode::kBsp;
+  StrategyConfig strategy = StrategyConfig::make_prophet();
+
+  // Uniform worker NIC rate; entries in `worker_bandwidth_override`
+  // (indexed by worker) replace it for heterogeneous clusters (Sec. 5.3).
+  Bandwidth worker_bandwidth = Bandwidth::gbps(10);
+  std::vector<Bandwidth> worker_bandwidth_override;
+  Bandwidth ps_bandwidth = Bandwidth::gbps(10);
+
+  // PS-side aggregation + optimizer step applied per updated key: the PS is
+  // CPU-bound (sums W gradient copies and runs the optimizer), a well-known
+  // parameter-server bottleneck.
+  Duration update_fixed = Duration::micros(200);
+  double update_bytes_per_sec = 4e9;
+  // Model the PS CPU as a serialized resource (updates queue) instead of
+  // independent per-key delays.
+  bool serialize_ps_cpu = false;
+
+  // Utilization / throughput series resolution and horizon.
+  Duration metrics_bin = Duration::millis(250);
+  Duration metrics_horizon = Duration::seconds(900);
+
+  [[nodiscard]] Bandwidth bandwidth_of_worker(std::size_t w) const {
+    if (w < worker_bandwidth_override.size() &&
+        !worker_bandwidth_override[w].is_zero()) {
+      return worker_bandwidth_override[w];
+    }
+    return worker_bandwidth;
+  }
+};
+
+}  // namespace prophet::ps

@@ -1,0 +1,90 @@
+#include "ps/server.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace prophet::ps {
+
+Server::Server(sim::Simulator& sim, const dnn::ModelSpec& model,
+               std::size_t num_workers, bool asp, Duration update_fixed,
+               double update_bytes_per_sec, UpdateCallback on_updated,
+               bool serialize_cpu)
+    : sim_{sim},
+      num_workers_{num_workers},
+      asp_{asp},
+      update_fixed_{update_fixed},
+      update_bytes_per_sec_{update_bytes_per_sec},
+      on_updated_{std::move(on_updated)},
+      serialize_cpu_{serialize_cpu} {
+  PROPHET_CHECK(num_workers_ > 0);
+  PROPHET_CHECK(update_bytes_per_sec_ > 0.0);
+  PROPHET_CHECK(on_updated_ != nullptr);
+  keys_.resize(model.tensor_count());
+  for (std::size_t k = 0; k < keys_.size(); ++k) {
+    keys_[k].size = model.tensor(k).bytes;
+    keys_[k].received.assign(num_workers_, 0);
+  }
+}
+
+void Server::on_push_bytes(std::size_t worker, std::size_t key, Bytes bytes) {
+  PROPHET_CHECK(key < keys_.size());
+  PROPHET_CHECK(worker < num_workers_);
+  KeyState& state = keys_[key];
+  state.received[worker] += bytes.count();
+  PROPHET_CHECK_MSG(state.received[worker] <= state.size.count(),
+                    "worker pushed more bytes than the key holds this round");
+  if (state.received[worker] < state.size.count()) return;
+
+  if (asp_) {
+    // ASP: this worker's contribution updates immediately and only this
+    // worker learns the new value.
+    state.received[worker] = 0;
+    ++state.versions;
+    const Duration cost =
+        update_fixed_ + Duration::from_seconds(
+                            static_cast<double>(state.size.count()) /
+                            update_bytes_per_sec_);
+    const std::size_t k = key;
+    const std::size_t w = worker;
+    schedule_update(cost, [this, w, k] { on_updated_(w, k); });
+    return;
+  }
+
+  ++state.arrived;
+  PROPHET_CHECK(state.arrived <= num_workers_);
+  if (state.arrived == num_workers_) complete_round(key);
+}
+
+void Server::complete_round(std::size_t key) {
+  KeyState& state = keys_[key];
+  state.arrived = 0;
+  std::fill(state.received.begin(), state.received.end(), 0);
+  ++state.versions;
+  // Aggregation of W copies + optimizer step, charged per byte.
+  const Duration cost =
+      update_fixed_ +
+      Duration::from_seconds(static_cast<double>(state.size.count()) *
+                             static_cast<double>(num_workers_) /
+                             update_bytes_per_sec_);
+  schedule_update(cost, [this, key] {
+    for (std::size_t w = 0; w < num_workers_; ++w) on_updated_(w, key);
+  });
+}
+
+void Server::schedule_update(Duration cost, std::function<void()> done) {
+  if (!serialize_cpu_) {
+    sim_.schedule_after(cost, std::move(done));
+    return;
+  }
+  const TimePoint start = std::max(sim_.now(), cpu_free_);
+  cpu_free_ = start + cost;
+  sim_.schedule_at(cpu_free_, std::move(done));
+}
+
+std::size_t Server::version(std::size_t key) const {
+  PROPHET_CHECK(key < keys_.size());
+  return keys_[key].versions;
+}
+
+}  // namespace prophet::ps

@@ -1,0 +1,64 @@
+// The parameter server: aggregates each key's gradient pushes across
+// workers, applies the update, and announces updated parameters.
+//
+// BSP: key k updates once every worker's push for the current round arrived;
+// all workers are then notified (their pull schedulers can fetch it).
+// ASP: each worker's push triggers an immediate update visible to that
+// worker alone — the paper's future-work extension.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "dnn/tensor.hpp"
+#include "sim/simulator.hpp"
+
+namespace prophet::ps {
+
+class Server {
+ public:
+  // `on_updated(worker, key)` fires when `key`'s new value becomes pullable
+  // by `worker`.
+  using UpdateCallback = std::function<void(std::size_t worker, std::size_t key)>;
+
+  // `serialize_cpu` models the PS's aggregation/optimizer work as a single
+  // serialized resource (the classic CPU-bound parameter server): concurrent
+  // key updates queue instead of proceeding in parallel.
+  Server(sim::Simulator& sim, const dnn::ModelSpec& model, std::size_t num_workers,
+         bool asp, Duration update_fixed, double update_bytes_per_sec,
+         UpdateCallback on_updated, bool serialize_cpu = false);
+
+  // All bytes of `key` from `worker` for the current round have arrived.
+  void on_push_bytes(std::size_t worker, std::size_t key, Bytes bytes);
+
+  // Number of completed update rounds for `key`.
+  [[nodiscard]] std::size_t version(std::size_t key) const;
+
+ private:
+  void complete_round(std::size_t key);
+  // Schedules an update of `cost`, honoring CPU serialization; `done` runs
+  // at the update's completion instant.
+  void schedule_update(Duration cost, std::function<void()> done);
+
+  sim::Simulator& sim_;
+  std::size_t num_workers_;
+  bool asp_;
+  Duration update_fixed_;
+  double update_bytes_per_sec_;
+  UpdateCallback on_updated_;
+  bool serialize_cpu_;
+  TimePoint cpu_free_{};
+
+  struct KeyState {
+    Bytes size;
+    std::vector<std::int64_t> received;  // bytes received per worker this round
+    std::size_t arrived = 0;             // workers fully received this round
+    std::size_t versions = 0;
+  };
+  std::vector<KeyState> keys_;
+};
+
+}  // namespace prophet::ps

@@ -1,0 +1,88 @@
+#include "ps/strategy.hpp"
+
+#include "common/check.hpp"
+#include "sched/fifo.hpp"
+#include "sched/p3.hpp"
+#include "sched/tictac.hpp"
+
+namespace prophet::ps {
+
+std::string StrategyConfig::name() const {
+  switch (kind) {
+    case Kind::kFifo: return "mxnet-fifo";
+    case Kind::kP3: return "p3";
+    case Kind::kTicTac: return "tictac";
+    case Kind::kMgWfbp: return "mg-wfbp";
+    case Kind::kByteScheduler:
+      return bytescheduler.autotune ? "bytescheduler-autotune" : "bytescheduler";
+    case Kind::kProphet: return "prophet";
+  }
+  return "?";
+}
+
+StrategyConfig StrategyConfig::fifo() {
+  StrategyConfig s;
+  s.kind = Kind::kFifo;
+  return s;
+}
+
+StrategyConfig StrategyConfig::p3(Bytes partition) {
+  StrategyConfig s;
+  s.kind = Kind::kP3;
+  s.p3_partition = partition;
+  return s;
+}
+
+StrategyConfig StrategyConfig::tictac() {
+  StrategyConfig s;
+  s.kind = Kind::kTicTac;
+  return s;
+}
+
+StrategyConfig StrategyConfig::make_mg_wfbp(Bytes merge_bytes) {
+  StrategyConfig s;
+  s.kind = Kind::kMgWfbp;
+  s.mg_wfbp.merge_bytes = merge_bytes;
+  return s;
+}
+
+StrategyConfig StrategyConfig::make_bytescheduler(Bytes credit, bool autotune) {
+  StrategyConfig s;
+  s.kind = Kind::kByteScheduler;
+  s.bytescheduler.credit_bytes = credit;
+  s.bytescheduler.autotune = autotune;
+  return s;
+}
+
+StrategyConfig StrategyConfig::make_prophet(core::ProphetConfig config) {
+  StrategyConfig s;
+  s.kind = Kind::kProphet;
+  s.prophet = config;
+  return s;
+}
+
+std::unique_ptr<sched::CommScheduler> make_scheduler(
+    const StrategyConfig& strategy, sched::TaskKind kind, std::size_t gradient_count,
+    core::ProphetScheduler::BandwidthFn bandwidth_fn, const net::TcpCostModel& cost) {
+  switch (strategy.kind) {
+    case StrategyConfig::Kind::kFifo:
+      return std::make_unique<sched::FifoScheduler>(kind, strategy.blocking_ack);
+    case StrategyConfig::Kind::kP3:
+      return std::make_unique<sched::P3Scheduler>(kind, strategy.p3_partition,
+                                                  strategy.blocking_ack);
+    case StrategyConfig::Kind::kTicTac:
+      return std::make_unique<sched::TicTacScheduler>(kind, strategy.blocking_ack);
+    case StrategyConfig::Kind::kMgWfbp:
+      return std::make_unique<sched::MgWfbpScheduler>(kind, strategy.mg_wfbp);
+    case StrategyConfig::Kind::kByteScheduler:
+      return std::make_unique<sched::ByteSchedulerScheduler>(kind,
+                                                             strategy.bytescheduler);
+    case StrategyConfig::Kind::kProphet:
+      return std::make_unique<core::ProphetScheduler>(
+          kind, gradient_count, std::move(bandwidth_fn), cost, strategy.prophet);
+  }
+  PROPHET_CHECK_MSG(false, "unknown strategy kind");
+  __builtin_unreachable();
+}
+
+}  // namespace prophet::ps

@@ -1,0 +1,55 @@
+// Strategy selection: which communication scheduler a training run uses.
+// Covers the paper's four contenders — default MXNet (FIFO), P3,
+// ByteScheduler (fixed or auto-tuned credit) and Prophet.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/prophet_scheduler.hpp"
+#include "net/cost_model.hpp"
+#include "sched/bytescheduler.hpp"
+#include "sched/mg_wfbp.hpp"
+#include "sched/scheduler.hpp"
+
+namespace prophet::ps {
+
+struct StrategyConfig {
+  enum class Kind {
+    kFifo,           // default MXNet
+    kP3,             // Jayarajan et al., MLSys'19
+    kTicTac,         // Hashemi et al., MLSys'19 (related work, Sec. 6.1)
+    kMgWfbp,         // Shi et al., INFOCOM'19 (related work, Sec. 6.2)
+    kByteScheduler,  // Peng et al., SOSP'19
+    kProphet,        // this paper
+  };
+
+  Kind kind = Kind::kProphet;
+  // P3 partition size (paper Sec. 5.1: 4 MB).
+  Bytes p3_partition = Bytes::mib(4);
+  // Blocking-call acknowledgment charged per task by the MXNet-FIFO and P3
+  // baselines (server turnaround of their synchronous send paths).
+  Duration blocking_ack = Duration::micros(1500);
+  sched::ByteSchedulerConfig bytescheduler;
+  sched::MgWfbpConfig mg_wfbp;
+  core::ProphetConfig prophet;
+
+  [[nodiscard]] std::string name() const;
+
+  static StrategyConfig fifo();
+  static StrategyConfig p3(Bytes partition = Bytes::mib(4));
+  static StrategyConfig tictac();
+  static StrategyConfig make_mg_wfbp(Bytes merge_bytes = Bytes::mib(8));
+  static StrategyConfig make_bytescheduler(Bytes credit = Bytes::mib(4),
+                                            bool autotune = false);
+  static StrategyConfig make_prophet(core::ProphetConfig config = {});
+};
+
+// Instantiates the scheduler for one worker direction. `bandwidth_fn` feeds
+// Prophet's planner from the worker's bandwidth monitor; other strategies
+// ignore it.
+std::unique_ptr<sched::CommScheduler> make_scheduler(
+    const StrategyConfig& strategy, sched::TaskKind kind, std::size_t gradient_count,
+    core::ProphetScheduler::BandwidthFn bandwidth_fn, const net::TcpCostModel& cost);
+
+}  // namespace prophet::ps

@@ -1,0 +1,15 @@
+// Exports a finished training run as a Chrome trace (chrome://tracing /
+// Perfetto): one process per worker with GPU-compute, gradient-push and
+// parameter-pull lanes. GPU gaps in the viewer are exactly the T_wait the
+// paper's scheduling minimizes.
+#pragma once
+
+#include <string>
+
+#include "ps/cluster.hpp"
+
+namespace prophet::ps {
+
+void export_chrome_trace(const ClusterResult& result, const std::string& path);
+
+}  // namespace prophet::ps

@@ -1,0 +1,226 @@
+#include "ps/worker.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.hpp"
+
+namespace prophet::ps {
+
+Worker::Worker(sim::Simulator& sim, net::FlowNetwork& network, Params params, Rng rng)
+    : sim_{sim},
+      network_{network},
+      params_{params},
+      rng_{rng},
+      training_{params.batch},
+      gpu_{params.metrics_bin, params.metrics_horizon},
+      transfer_log_{} {
+  PROPHET_CHECK(params_.iteration_model != nullptr);
+  PROPHET_CHECK(params_.server != nullptr);
+  const std::size_t n = params_.iteration_model->model().tensor_count();
+
+  tx_monitor_ = std::make_unique<net::BandwidthMonitor>(
+      sim_, network_, params_.node, net::Direction::kTx, params_.monitor);
+  rx_monitor_ = std::make_unique<net::BandwidthMonitor>(
+      sim_, network_, params_.node, net::Direction::kRx, params_.monitor);
+
+  push_sched_ = make_scheduler(params_.strategy, sched::TaskKind::kPush, n,
+                               [m = tx_monitor_.get()] { return m->estimate(); },
+                               params_.cost);
+  pull_sched_ = make_scheduler(params_.strategy, sched::TaskKind::kPull, n,
+                               [m = rx_monitor_.get()] { return m->estimate(); },
+                               params_.cost);
+
+  pulls_done_.assign(n, 0);
+  pull_pending_bytes_.assign(n, 0);
+  enqueue_time_push_.assign(n, TimePoint::origin());
+  enqueue_time_pull_.assign(n, TimePoint::origin());
+  enqueue_iter_push_.assign(n, 0);
+}
+
+sched::CommScheduler& Worker::scheduler(sched::TaskKind kind) {
+  return kind == sched::TaskKind::kPush ? *push_sched_ : *pull_sched_;
+}
+
+void Worker::start() { begin_iteration(); }
+
+void Worker::begin_iteration() {
+  training_.mark_iteration_start(iter_, sim_.now());
+  if (done()) return;  // final boundary recorded; no more compute
+  timing_ = params_.iteration_model->sample(rng_);
+  fwd_layer_ = 0;
+  waiting_for_param_ = false;
+  advance_forward();
+}
+
+bool Worker::forward_gate_open(std::size_t layer) const {
+  return iter_ == 0 || pulls_done_[layer] >= iter_;
+}
+
+void Worker::advance_forward() {
+  const std::size_t n = pulls_done_.size();
+  while (fwd_layer_ < n) {
+    if (!forward_gate_open(fwd_layer_)) {
+      // Eq. (3): layer fwd blocked until its parameter update is pulled;
+      // this idle gap is exactly the (u - p)^+ term of T_wait.
+      waiting_for_param_ = true;
+      return;
+    }
+    gpu_.busy_from(sim_.now());
+    sim_.schedule_after(timing_.fwd[fwd_layer_], [this] {
+      gpu_.idle_from(sim_.now());
+      ++fwd_layer_;
+      advance_forward();
+    });
+    return;  // resumes from the completion event
+  }
+  begin_backward();
+}
+
+void Worker::begin_backward() {
+  const TimePoint now = sim_.now();
+  transfer_log_.mark_backward_start(iter_, now);
+
+  // Iteration lifecycle hooks: iteration k-1 "ends" when forward k has
+  // fully completed, i.e. right now.
+  if (iter_ > 0) {
+    push_sched_->on_iteration_end(iter_ - 1, now);
+    pull_sched_->on_iteration_end(iter_ - 1, now);
+  }
+  push_sched_->on_iteration_start(iter_, now);
+  pull_sched_->on_iteration_start(iter_, now);
+
+  // Prophet: once the push side finishes profiling, share the profile with
+  // the pull side and note the activation iteration (Fig. 13 boundary).
+  if (auto* push_prophet = dynamic_cast<core::ProphetScheduler*>(push_sched_.get())) {
+    if (push_prophet->profile_ready()) {
+      if (!prophet_activated_at_.has_value()) prophet_activated_at_ = iter_;
+      if (auto* pull_prophet =
+              dynamic_cast<core::ProphetScheduler*>(pull_sched_.get());
+          pull_prophet != nullptr && !pull_prophet->profile_ready()) {
+        pull_prophet->set_profile(push_prophet->profile());
+      }
+    }
+  }
+
+  // Backward compute occupies the GPU until the final flush.
+  gpu_.busy_from(now);
+
+  // Gradient emissions at the KVStore flush instants (stepwise pattern).
+  std::map<Duration, std::vector<std::size_t>> events;
+  for (std::size_t g = 0; g < timing_.ready_offset.size(); ++g) {
+    events[timing_.ready_offset[g]].push_back(g);
+  }
+  for (const auto& [offset, grads] : events) {
+    sim_.schedule_after(offset, [this, grads = grads] {
+      for (std::size_t g : grads) {
+        enqueue_time_push_[g] = sim_.now();
+        enqueue_iter_push_[g] = iter_;
+        push_sched_->enqueue(g, params_.iteration_model->model().tensor(g).bytes,
+                             sim_.now());
+      }
+      pump(sched::TaskKind::kPush);
+    });
+  }
+  sim_.schedule_after(timing_.backward_total(), [this] { end_backward(); });
+}
+
+void Worker::end_backward() {
+  gpu_.idle_from(sim_.now());
+  ++iter_;
+  begin_iteration();
+}
+
+void Worker::pump(sched::TaskKind kind) {
+  bool& inflight = kind == sched::TaskKind::kPush ? push_inflight_ : pull_inflight_;
+  if (inflight) return;
+  const TimePoint hold = kind == sched::TaskKind::kPush ? push_hold_ : pull_hold_;
+  if (sim_.now() < hold) return;  // ack window; a pump is scheduled at `hold`
+  auto task = scheduler(kind).next_task(sim_.now());
+  if (!task.has_value()) {
+    // The scheduler may be holding tensors whose release is time-driven;
+    // poll again shortly so such work cannot strand.
+    sim::EventHandle& poll = kind == sched::TaskKind::kPush ? push_poll_ : pull_poll_;
+    if (scheduler(kind).has_pending() && !poll.pending()) {
+      poll = sim_.schedule_after(Duration::millis(1), [this, kind] { pump(kind); });
+    }
+    return;
+  }
+  PROPHET_CHECK(!task->items.empty());
+  inflight = true;
+  const net::NodeId src = kind == sched::TaskKind::kPush ? params_.node : params_.ps_node;
+  const net::NodeId dst = kind == sched::TaskKind::kPush ? params_.ps_node : params_.node;
+  const TimePoint started = sim_.now();
+  // Evaluated before the lambda capture moves the task out.
+  const Bytes flow_bytes = task->total_bytes();
+  network_.start_flow(src, dst, flow_bytes,
+                      [this, kind, t = std::move(*task), started](net::FlowId) {
+                        on_flow_done(kind, t, started);
+                      });
+}
+
+void Worker::on_flow_done(sched::TaskKind kind, const sched::TransferTask& task,
+                          TimePoint started) {
+  const TimePoint now = sim_.now();
+  bool& inflight = kind == sched::TaskKind::kPush ? push_inflight_ : pull_inflight_;
+  inflight = false;
+
+  for (const auto& item : task.items) {
+    metrics::TransferRecord rec;
+    // Attribute the record to the round the tensor was enqueued in: pushes
+    // belong to their backward iteration, pulls to the matching update.
+    rec.iteration = kind == sched::TaskKind::kPush ? enqueue_iter_push_[item.grad]
+                                                   : pulls_done_[item.grad];
+    rec.grad = item.grad;
+    rec.kind = kind;
+    rec.bytes = item.bytes;
+    rec.enqueued = kind == sched::TaskKind::kPush ? enqueue_time_push_[item.grad]
+                                                  : enqueue_time_pull_[item.grad];
+    rec.started = started;
+    rec.finished = now;
+    transfer_log_.record(rec);
+
+    if (kind == sched::TaskKind::kPush) {
+      params_.server->on_push_bytes(params_.id, item.grad, item.bytes);
+    } else {
+      pull_pending_bytes_[item.grad] -= item.bytes.count();
+      PROPHET_CHECK(pull_pending_bytes_[item.grad] >= 0);
+      if (pull_pending_bytes_[item.grad] == 0) {
+        ++pulls_done_[item.grad];
+        if (waiting_for_param_ && forward_gate_open(fwd_layer_)) {
+          waiting_for_param_ = false;
+          advance_forward();
+        }
+      }
+    }
+  }
+  scheduler(kind).on_task_done(task, started, now);
+  if (task.post_delay > Duration::zero()) {
+    // Credit-based flow control: hold the NIC until the window-replenishing
+    // acknowledgment returns.
+    TimePoint& hold = kind == sched::TaskKind::kPush ? push_hold_ : pull_hold_;
+    hold = now + task.post_delay;
+    sim_.schedule_after(task.post_delay, [this, kind] { pump(kind); });
+  } else {
+    pump(kind);
+  }
+}
+
+void Worker::on_param_updated(std::size_t key) {
+  const Bytes size = params_.iteration_model->model().tensor(key).bytes;
+  PROPHET_CHECK_MSG(pull_pending_bytes_[key] == 0,
+                    "param updated while a previous pull is still pending");
+  pull_pending_bytes_[key] = size.count();
+  enqueue_time_pull_[key] = sim_.now();
+  pull_sched_->enqueue(key, size, sim_.now());
+  pump(sched::TaskKind::kPull);
+}
+
+void Worker::finish() {
+  gpu_.finish(sim_.now());
+  training_.finish(sim_.now());
+  tx_monitor_->stop();
+  rx_monitor_->stop();
+}
+
+}  // namespace prophet::ps

@@ -1,0 +1,130 @@
+// One training worker: runs the forward/backward compute loop, emits
+// gradients through the KVStore stepwise model, and drives its push / pull
+// NICs through the configured communication scheduler.
+//
+// Timeline per iteration k (the paper's Fig. 6):
+//   forward k   — layer by layer; layer i of iteration k requires k completed
+//                 pulls of key i (Eq. (3) dependency). Waiting here is the
+//                 GPU idle time T_wait that Prophet minimizes.
+//   backward k  — continuous GPU work; gradients become transferable at the
+//                 KVStore flush instants (the stepwise pattern) and are
+//                 handed to the push scheduler (WFBP overlap).
+// The NIC pump keeps at most one task in flight per direction
+// (Constraint (8)); every completed push feeds the PS, every completed pull
+// unblocks forward layers.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dnn/iteration_model.hpp"
+#include "metrics/gpu_tracker.hpp"
+#include "metrics/training_metrics.hpp"
+#include "metrics/transfer_log.hpp"
+#include "net/flow_network.hpp"
+#include "net/monitor.hpp"
+#include "ps/server.hpp"
+#include "ps/strategy.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace prophet::ps {
+
+class Worker {
+ public:
+  struct Params {
+    std::size_t id;
+    net::NodeId node;
+    net::NodeId ps_node;
+    std::size_t iterations;
+    const dnn::IterationModel* iteration_model;
+    Server* server;
+    StrategyConfig strategy;
+    net::TcpCostModel cost;
+    net::BandwidthMonitorConfig monitor;
+    Duration metrics_bin;
+    Duration metrics_horizon;
+    int batch;
+  };
+
+  Worker(sim::Simulator& sim, net::FlowNetwork& network, Params params, Rng rng);
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  // Kicks off iteration 0 at the current simulation time.
+  void start();
+  // PS callback: `key`'s updated value became pullable by this worker.
+  void on_param_updated(std::size_t key);
+  // Closes open metric intervals; call once after the simulation drains.
+  void finish();
+
+  [[nodiscard]] std::size_t id() const { return params_.id; }
+  [[nodiscard]] bool done() const { return iter_ >= params_.iterations; }
+  [[nodiscard]] std::size_t current_iteration() const { return iter_; }
+
+  // --- results ------------------------------------------------------------
+  [[nodiscard]] const metrics::TrainingMetrics& training_metrics() const {
+    return training_;
+  }
+  [[nodiscard]] const metrics::GpuTracker& gpu() const { return gpu_; }
+  [[nodiscard]] const metrics::TransferLog& transfers() const { return transfer_log_; }
+  [[nodiscard]] const net::BandwidthMonitor& uplink_monitor() const { return *tx_monitor_; }
+  // Iteration at which Prophet's profile became active (nullopt: not Prophet
+  // or still profiling).
+  [[nodiscard]] std::optional<std::size_t> prophet_activated_at() const {
+    return prophet_activated_at_;
+  }
+
+ private:
+  void begin_iteration();
+  void advance_forward();
+  void begin_backward();
+  void end_backward();
+  void pump(sched::TaskKind kind);
+  void on_flow_done(sched::TaskKind kind, const sched::TransferTask& task,
+                    TimePoint started);
+  [[nodiscard]] bool forward_gate_open(std::size_t layer) const;
+  [[nodiscard]] sched::CommScheduler& scheduler(sched::TaskKind kind);
+
+  sim::Simulator& sim_;
+  net::FlowNetwork& network_;
+  Params params_;
+  Rng rng_;
+
+  std::unique_ptr<sched::CommScheduler> push_sched_;
+  std::unique_ptr<sched::CommScheduler> pull_sched_;
+  std::unique_ptr<net::BandwidthMonitor> tx_monitor_;
+  std::unique_ptr<net::BandwidthMonitor> rx_monitor_;
+
+  metrics::TrainingMetrics training_;
+  metrics::GpuTracker gpu_;
+  metrics::TransferLog transfer_log_;
+
+  std::size_t iter_{0};
+  std::size_t fwd_layer_{0};
+  bool waiting_for_param_{false};
+  dnn::IterationTiming timing_;
+  // Completed pulls per key; forward layer i of iteration k needs
+  // pulls_done_[i] >= k.
+  std::vector<std::size_t> pulls_done_;
+  std::vector<std::int64_t> pull_pending_bytes_;  // per key, current pull round
+  std::vector<TimePoint> enqueue_time_push_;
+  std::vector<TimePoint> enqueue_time_pull_;
+  std::vector<std::size_t> enqueue_iter_push_;
+  bool push_inflight_{false};
+  bool pull_inflight_{false};
+  // Re-poll timers for schedulers that decline work now but hold pending
+  // tensors whose release is time-driven (MG-WFBP age triggers, Prophet
+  // interval waits under mispredicted profiles).
+  sim::EventHandle push_poll_;
+  sim::EventHandle pull_poll_;
+  // NIC hold-off deadlines from blocking/credit acknowledgments: pumps
+  // triggered inside the window (e.g. by an enqueue) must not start a task.
+  TimePoint push_hold_{};
+  TimePoint pull_hold_{};
+  std::optional<std::size_t> prophet_activated_at_;
+};
+
+}  // namespace prophet::ps

@@ -1,0 +1,51 @@
+#include "sched/partition_queue.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace prophet::sched {
+
+PartitionQueue::PartitionQueue(Bytes partition_bytes)
+    : partition_bytes_{partition_bytes} {
+  PROPHET_CHECK(partition_bytes.count() > 0);
+}
+
+void PartitionQueue::add(std::size_t grad, Bytes bytes) {
+  PROPHET_CHECK(bytes.count() > 0);
+  std::int64_t offset = 0;
+  while (offset < bytes.count()) {
+    const std::int64_t len =
+        std::min(partition_bytes_.count(), bytes.count() - offset);
+    const bool last = offset + len == bytes.count();
+    const bool inserted =
+        partitions_.emplace(std::make_pair(grad, offset), Slice{Bytes::of(len), last})
+            .second;
+    PROPHET_CHECK_MSG(inserted, "tensor enqueued twice");
+    queued_ += Bytes::of(len);
+    offset += len;
+  }
+}
+
+std::optional<Bytes> PartitionQueue::peek_bytes() const {
+  if (partitions_.empty()) return std::nullopt;
+  return partitions_.begin()->second.bytes;
+}
+
+std::vector<TransferItem> PartitionQueue::pop(Bytes budget) {
+  std::vector<TransferItem> items;
+  Bytes used{};
+  while (!partitions_.empty()) {
+    const auto it = partitions_.begin();
+    const auto [grad, offset] = it->first;
+    const Slice slice = it->second;
+    if (!items.empty() && used + slice.bytes > budget) break;
+    items.push_back(TransferItem{grad, Bytes::of(offset), slice.bytes, slice.last});
+    used += slice.bytes;
+    queued_ -= slice.bytes;
+    partitions_.erase(it);
+  }
+  return items;
+}
+
+}  // namespace prophet::sched

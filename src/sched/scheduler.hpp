@@ -1,0 +1,63 @@
+// The communication-scheduler interface: the seam where the paper's four
+// strategies plug into the training loop.
+//
+// Protocol, per worker and per direction (push / pull are independent
+// instances because a full-duplex NIC carries them concurrently):
+//
+//   1. The training engine calls enqueue() when a tensor becomes
+//      transferable (gradient aggregated by the KVStore, or parameter
+//      updated at the PS).
+//   2. Whenever its NIC is idle the engine calls next_task(); the scheduler
+//      returns the next network operation or nullopt to stay idle.
+//   3. on_task_done() reports completion (BytePS's reportFinish), feeding
+//      strategies that learn from observed transfer times.
+//
+// Constraint (8) of the paper — no concurrent gradient transfers — is the
+// engine's side of the contract: it never has more than one task in flight
+// per direction. Preemption granularity therefore equals task granularity,
+// exactly the knob the four strategies differ on.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "sched/task.hpp"
+
+namespace prophet::sched {
+
+class CommScheduler {
+ public:
+  explicit CommScheduler(TaskKind kind) : kind_{kind} {}
+  virtual ~CommScheduler() = default;
+
+  // Direction this instance serves; tasks it emits carry this kind.
+  [[nodiscard]] TaskKind kind() const { return kind_; }
+
+  // Tensor `grad` (full size `bytes`) became available for transfer.
+  virtual void enqueue(std::size_t grad, Bytes bytes, TimePoint now) = 0;
+  // NIC is idle; return the next operation, or nullopt if nothing to send.
+  virtual std::optional<TransferTask> next_task(TimePoint now) = 0;
+  // A previously returned task finished its network transfer.
+  virtual void on_task_done(const TransferTask& task, TimePoint started,
+                            TimePoint finished) = 0;
+
+  // Iteration lifecycle hints (re-planning, auto-tuning epochs).
+  virtual void on_iteration_start(std::size_t iteration, TimePoint now);
+  virtual void on_iteration_end(std::size_t iteration, TimePoint now);
+
+  // True if the scheduler still holds queued work.
+  [[nodiscard]] virtual bool has_pending() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ private:
+  TaskKind kind_;
+};
+
+inline void CommScheduler::on_iteration_start(std::size_t, TimePoint) {}
+inline void CommScheduler::on_iteration_end(std::size_t, TimePoint) {}
+
+}  // namespace prophet::sched

@@ -1,0 +1,22 @@
+#include "sched/task.hpp"
+
+#include <cstdio>
+
+namespace prophet::sched {
+
+std::string TransferTask::describe() const {
+  std::string out = to_string(kind);
+  out += " [";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += ", ";
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "g%zu@%lld+%lld", items[i].grad,
+                  static_cast<long long>(items[i].offset.count()),
+                  static_cast<long long>(items[i].bytes.count()));
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace prophet::sched

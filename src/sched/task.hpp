@@ -1,0 +1,62 @@
+// Transfer tasks: the unit handed from a communication scheduler to the NIC.
+//
+// One task == one network operation (one flow in the network model). A task
+// carries one or more *items* — gradient partitions or whole gradients —
+// because grouping is precisely what distinguishes the strategies under
+// study: FIFO sends whole tensors, P3 sends single small partitions,
+// ByteScheduler sends credit-sized groups, Prophet sends gradient blocks.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace prophet::sched {
+
+// Direction of a transfer relative to the worker.
+enum class TaskKind {
+  kPush,  // gradient: worker -> PS
+  kPull,  // updated parameter: PS -> worker
+};
+
+inline const char* to_string(TaskKind kind) {
+  return kind == TaskKind::kPush ? "push" : "pull";
+}
+
+// A contiguous slice of one gradient/parameter tensor.
+struct TransferItem {
+  std::size_t grad;   // gradient index == priority (0 is most urgent)
+  Bytes offset;       // first byte of the slice within the tensor
+  Bytes bytes;        // slice length
+  bool last_slice;    // true if this completes the tensor in this direction
+};
+
+struct TransferTask {
+  TaskKind kind{TaskKind::kPush};
+  std::vector<TransferItem> items;
+  // NIC hold-off after this task completes before the next task may start.
+  // Credit-based scheduling (ByteScheduler) uses it for the application-level
+  // acknowledgment that replenishes the credit window; streaming schedulers
+  // leave it zero.
+  Duration post_delay{};
+
+  [[nodiscard]] Bytes total_bytes() const {
+    Bytes total{};
+    for (const auto& item : items) total += item.bytes;
+    return total;
+  }
+  // Task priority == the most urgent item it carries.
+  [[nodiscard]] std::size_t priority() const {
+    PROPHET_CHECK(!items.empty());
+    std::size_t best = items.front().grad;
+    for (const auto& item : items) best = std::min(best, item.grad);
+    return best;
+  }
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace prophet::sched

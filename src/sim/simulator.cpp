@@ -1,0 +1,93 @@
+#include "sim/simulator.hpp"
+
+namespace prophet::sim {
+
+void EventHandle::cancel() {
+  if (done_ && !*done_) {
+    *done_ = true;
+    if (live_ && *live_ > 0) --*live_;
+  }
+}
+
+bool EventHandle::pending() const { return done_ && !*done_; }
+
+EventHandle Simulator::schedule_at(TimePoint at, Callback cb) {
+  PROPHET_CHECK_MSG(at >= now_, "scheduling into the past");
+  PROPHET_CHECK(cb != nullptr);
+  auto done = std::make_shared<bool>(false);
+  queue_.push(Record{at, next_seq_++, std::move(cb), done});
+  ++*live_events_;
+  return EventHandle{std::move(done), live_events_};
+}
+
+EventHandle Simulator::schedule_after(Duration delay, Callback cb) {
+  PROPHET_CHECK_MSG(delay >= Duration::zero(), "negative delay");
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+EventHandle Simulator::schedule_periodic(Duration period,
+                                         std::function<void(TimePoint)> cb) {
+  PROPHET_CHECK(period > Duration::zero());
+  // The chain flag is distinct from the per-record done flags: cancelling
+  // the chain stops future work, while each queued tick keeps its own
+  // lifecycle (it may already be in the queue and fires as a no-op).
+  auto chain_cancelled = std::make_shared<bool>(false);
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, cb = std::move(cb), chain_cancelled, tick]() {
+    if (*chain_cancelled) return;
+    cb(now_);
+    if (*chain_cancelled) return;
+    schedule_at(now_ + period, *tick);
+  };
+  schedule_at(now_ + period, *tick);
+  // The chain handle does not hold a queue slot itself; pass no live counter.
+  return EventHandle{std::move(chain_cancelled), nullptr};
+}
+
+void Simulator::drop_cancelled() {
+  while (!queue_.empty() && *queue_.top().done) {
+    queue_.pop();
+  }
+}
+
+void Simulator::fire_front() {
+  Record rec = queue_.top();
+  queue_.pop();
+  PROPHET_CHECK(rec.at >= now_);
+  now_ = rec.at;
+  *rec.done = true;
+  if (*live_events_ > 0) --*live_events_;
+  ++fired_;
+  rec.cb();
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t fired = 0;
+  for (;;) {
+    drop_cancelled();
+    if (queue_.empty()) break;
+    fire_front();
+    ++fired;
+  }
+  return fired;
+}
+
+std::uint64_t Simulator::run_until(TimePoint deadline) {
+  std::uint64_t fired = 0;
+  for (;;) {
+    drop_cancelled();
+    if (queue_.empty() || queue_.top().at > deadline) break;
+    fire_front();
+    ++fired;
+  }
+  return fired;
+}
+
+bool Simulator::step() {
+  drop_cancelled();
+  if (queue_.empty()) return false;
+  fire_front();
+  return true;
+}
+
+}  // namespace prophet::sim

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sched/bayesopt.hpp"
+
+namespace prophet::sched {
+namespace {
+
+TEST(BayesOpt, InitialProbesAreSpaceFilling) {
+  BayesOpt1D opt{0.0, 10.0};
+  Rng rng{1};
+  const double first = opt.suggest(rng);
+  opt.observe(first, 0.0);
+  const double second = opt.suggest(rng);
+  opt.observe(second, 0.0);
+  // The first two anchors sit near the opposite ends of the range.
+  EXPECT_LT(first, 3.0);
+  EXPECT_GT(second, 7.0);
+}
+
+TEST(BayesOpt, PosteriorInterpolatesObservations) {
+  BayesOpt1D opt{0.0, 1.0};
+  opt.observe(0.2, 1.0);
+  opt.observe(0.8, 3.0);
+  const auto at_obs = opt.posterior(0.2);
+  EXPECT_NEAR(at_obs.mean, 1.0, 0.25);
+  // Far from data the posterior reverts toward the prior mean with wide
+  // uncertainty.
+  const auto mid = opt.posterior(0.5);
+  EXPECT_GT(mid.stddev, at_obs.stddev);
+}
+
+TEST(BayesOpt, FindsMaximumOfSmoothFunction) {
+  // f peaks at x = 6.5 on [0, 10].
+  auto f = [](double x) { return 5.0 - (x - 6.5) * (x - 6.5) * 0.3; };
+  BayesOpt1D opt{0.0, 10.0};
+  Rng rng{42};
+  for (int i = 0; i < 20; ++i) {
+    const double x = opt.suggest(rng);
+    opt.observe(x, f(x));
+  }
+  EXPECT_NEAR(opt.best_x(), 6.5, 1.0);
+  EXPECT_NEAR(opt.best_y(), 5.0, 0.4);
+}
+
+TEST(BayesOpt, KeepsExploringWithUcb) {
+  // Fig. 3(b) reproduces *because* UCB keeps probing uncertain regions:
+  // suggestions should not collapse to a single point immediately.
+  auto f = [](double x) { return -std::abs(x - 3.0); };
+  BayesOpt1D opt{0.0, 10.0};
+  Rng rng{7};
+  std::set<long> distinct;
+  for (int i = 0; i < 15; ++i) {
+    const double x = opt.suggest(rng);
+    distinct.insert(std::lround(x * 10.0));
+    opt.observe(x, f(x));
+  }
+  EXPECT_GE(distinct.size(), 5u);
+}
+
+TEST(BayesOpt, DeterministicGivenSeedAndHistory) {
+  auto run = [] {
+    BayesOpt1D opt{0.0, 1.0};
+    Rng rng{9};
+    std::vector<double> xs;
+    for (int i = 0; i < 8; ++i) {
+      const double x = opt.suggest(rng);
+      xs.push_back(x);
+      opt.observe(x, x * (1.0 - x));
+    }
+    return xs;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(BayesOpt, ObservationCountAndBestTracking) {
+  BayesOpt1D opt{0.0, 4.0};
+  EXPECT_EQ(opt.observation_count(), 0u);
+  opt.observe(1.0, 10.0);
+  opt.observe(3.0, 20.0);
+  EXPECT_EQ(opt.observation_count(), 2u);
+  EXPECT_DOUBLE_EQ(opt.best_x(), 3.0);
+  EXPECT_DOUBLE_EQ(opt.best_y(), 20.0);
+}
+
+TEST(BayesOpt, HandlesNoisyObservationsWithoutCrashing) {
+  BayesOpt1D opt{0.0, 1.0};
+  Rng rng{3};
+  for (int i = 0; i < 30; ++i) {
+    const double x = opt.suggest(rng);
+    opt.observe(x, 1.0 + 0.05 * rng.normal(0.0, 1.0));
+  }
+  // Duplicate-x observations must not break the Cholesky factorization
+  // (noise term keeps the kernel matrix positive definite).
+  opt.observe(0.5, 1.0);
+  opt.observe(0.5, 1.1);
+  const auto p = opt.posterior(0.5);
+  EXPECT_TRUE(std::isfinite(p.mean));
+  EXPECT_TRUE(std::isfinite(p.stddev));
+}
+
+}  // namespace
+}  // namespace prophet::sched

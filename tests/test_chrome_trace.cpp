@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "metrics/chrome_trace.hpp"
+#include "ps/trace_export.hpp"
+
+namespace prophet {
+namespace {
+
+using namespace prophet::literals;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class ChromeTraceTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "prophet_trace_test.json";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(ChromeTraceTest, EmitsWellFormedSpans) {
+  {
+    metrics::ChromeTraceWriter trace{path_};
+    ASSERT_TRUE(trace.ok());
+    trace.name_process(0, "worker0");
+    trace.name_thread(0, 1, "gradient push");
+    trace.add_span("g3", "push", 0, 1, TimePoint::origin() + 2_ms, 5_ms);
+    trace.close();
+  }
+  const std::string out = read_file(path_);
+  EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"g3\""), std::string::npos);
+  EXPECT_NE(out.find("\"ts\":2000.000"), std::string::npos);
+  EXPECT_NE(out.find("\"dur\":5000.000"), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"worker0\""), std::string::npos);
+  // Balanced JSON delimiters (cheap well-formedness check).
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+            std::count(out.begin(), out.end(), '}'));
+  EXPECT_EQ(std::count(out.begin(), out.end(), '['),
+            std::count(out.begin(), out.end(), ']'));
+}
+
+TEST_F(ChromeTraceTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(metrics::ChromeTraceWriter::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST_F(ChromeTraceTest, DestructorClosesFile) {
+  { metrics::ChromeTraceWriter trace{path_}; }
+  const std::string out = read_file(path_);
+  EXPECT_EQ(out, "{\"traceEvents\":[\n]}\n");
+}
+
+TEST_F(ChromeTraceTest, ExportsFullClusterRun) {
+  ps::ClusterConfig cfg;
+  cfg.model = dnn::toy_cnn();
+  cfg.num_workers = 2;
+  cfg.batch = 16;
+  cfg.iterations = 6;
+  cfg.strategy = ps::StrategyConfig::make_prophet();
+  cfg.strategy.prophet.profile_iterations = 2;
+  const auto result = ps::run_cluster(cfg, 2);
+  ps::export_chrome_trace(result, path_);
+
+  const std::string out = read_file(path_);
+  EXPECT_NE(out.find("\"name\":\"worker0\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"worker1\""), std::string::npos);
+  EXPECT_NE(out.find("GPU compute"), std::string::npos);
+  EXPECT_NE(out.find("gradient push"), std::string::npos);
+  EXPECT_NE(out.find("parameter pull"), std::string::npos);
+  // Every transfer record appears as a span; workers also emit compute.
+  std::size_t spans = 0;
+  for (std::size_t pos = out.find("\"ph\":\"X\""); pos != std::string::npos;
+       pos = out.find("\"ph\":\"X\"", pos + 1)) {
+    ++spans;
+  }
+  std::size_t expected = 0;
+  for (const auto& w : result.workers) {
+    expected += w.transfers.records().size() + w.gpu_intervals.size();
+  }
+  EXPECT_EQ(spans, expected);
+}
+
+}  // namespace
+}  // namespace prophet

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "net/cost_model.hpp"
+
+namespace prophet::net {
+namespace {
+
+using namespace prophet::literals;
+
+TcpCostModel make_model() {
+  TcpCostParams params;
+  params.rtt = 500_us;
+  params.per_task_overhead = 1_ms;
+  params.initial_cwnd = Bytes::of(14'600);
+  return TcpCostModel{params};
+}
+
+TEST(TcpCostModel, ZeroBytesCostsOnlyOverheadPlusRamp) {
+  const TcpCostModel model = make_model();
+  const Duration d = model.duration(Bytes::zero(), Bandwidth::gbps(1));
+  EXPECT_DOUBLE_EQ(d.to_millis(), 1.0);  // no ramp rounds consumed by 0 bytes
+}
+
+TEST(TcpCostModel, LargeTransferApproachesLineRate) {
+  const TcpCostModel model = make_model();
+  const Bandwidth line = Bandwidth::gbps(10);
+  const Bytes size = Bytes::mib(512);
+  const Bandwidth eff = model.effective_bandwidth(size, line);
+  EXPECT_GT(eff.bytes_per_second(), 0.98 * line.bytes_per_second());
+  EXPECT_LE(eff.bytes_per_second(), line.bytes_per_second());
+}
+
+TEST(TcpCostModel, SmallTransferHeavilyPenalized) {
+  const TcpCostModel model = make_model();
+  const Bandwidth line = Bandwidth::gbps(10);
+  const Bandwidth eff = model.effective_bandwidth(Bytes::kib(4), line);
+  // Eq. (10): f(s, B) -> 0 for small s.
+  EXPECT_LT(eff.bytes_per_second(), 0.01 * line.bytes_per_second());
+}
+
+TEST(TcpCostModel, EffectiveBandwidthMonotoneInSize) {
+  const TcpCostModel model = make_model();
+  const Bandwidth line = Bandwidth::gbps(3);
+  double prev = 0.0;
+  for (std::int64_t size : {1'000, 10'000, 100'000, 1'000'000, 10'000'000, 100'000'000}) {
+    const double eff = model.effective_bandwidth(Bytes::of(size), line).bytes_per_second();
+    EXPECT_GT(eff, prev);
+    prev = eff;
+  }
+}
+
+TEST(TcpCostModel, DurationMonotoneInSize) {
+  const TcpCostModel model = make_model();
+  const Bandwidth line = Bandwidth::gbps(3);
+  Duration prev{};
+  for (std::int64_t size = 0; size <= 1 << 24; size = size == 0 ? 1024 : size * 4) {
+    const Duration d = model.duration(Bytes::of(size), line);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(TcpCostModel, SlowStartChargesMoreAtHigherBandwidth) {
+  // Higher line rate -> larger bandwidth-delay product -> more ramp rounds.
+  const TcpCostModel model = make_model();
+  const Bytes size = Bytes::mib(1);
+  const Duration setup_1g = model.setup_delay(size, Bandwidth::gbps(1));
+  const Duration setup_10g = model.setup_delay(size, Bandwidth::gbps(10));
+  EXPECT_GT(setup_10g, setup_1g);
+}
+
+TEST(TcpCostModel, DisablingSlowStartRemovesRamp) {
+  TcpCostParams params;
+  params.rtt = 500_us;
+  params.per_task_overhead = 1_ms;
+  params.slow_start = false;
+  const TcpCostModel model{params};
+  EXPECT_EQ(model.setup_delay(Bytes::mib(8), Bandwidth::gbps(10)), 1_ms);
+}
+
+TEST(TcpCostModel, GroupingBeatsSlicing) {
+  // The economic argument for gradient blocks: one task of N bytes is
+  // strictly cheaper than k tasks of N/k bytes.
+  const TcpCostModel model = make_model();
+  const Bandwidth line = Bandwidth::gbps(3);
+  const Duration grouped = model.duration(Bytes::mib(8), line);
+  const Duration sliced = model.duration(Bytes::mib(1), line) * std::int64_t{8};
+  EXPECT_LT(grouped, sliced * 0.8);
+}
+
+TEST(TcpCostModel, MaxBytesWithinInvertsDuration) {
+  const TcpCostModel model = make_model();
+  const Bandwidth line = Bandwidth::gbps(3);
+  for (Duration budget : {2_ms, 5_ms, 20_ms, 100_ms}) {
+    const Bytes fit = model.max_bytes_within(budget, line);
+    EXPECT_LE(model.duration(fit, line), budget);
+    EXPECT_GT(model.duration(fit + Bytes::of(1), line), budget);
+  }
+}
+
+TEST(TcpCostModel, MaxBytesWithinTinyBudgetIsZero) {
+  const TcpCostModel model = make_model();
+  EXPECT_EQ(model.max_bytes_within(100_us, Bandwidth::gbps(3)).count(), 0);
+}
+
+}  // namespace
+}  // namespace prophet::net

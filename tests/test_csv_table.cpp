@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace prophet {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "prophet_csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter csv{path_, {"a", "b"}};
+    ASSERT_TRUE(csv.ok());
+    csv.write_row({"1", "x"});
+    csv.write_row_values({2.5, 3.0});
+  }
+  EXPECT_EQ(read_file(path_), "a,b\n1,x\n2.5,3\n");
+}
+
+TEST_F(CsvTest, EscapesSpecialCharacters) {
+  {
+    CsvWriter csv{path_, {"v"}};
+    csv.write_row({"has,comma"});
+    csv.write_row({"has\"quote"});
+  }
+  EXPECT_EQ(read_file(path_), "v\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(CsvEscape, PassthroughForPlainCells) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("new\nline"), "\"new\nline\"");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t{{"name", "rate"}};
+  t.add_row({"fifo", "42"});
+  t.add_row({"prophet", "75.4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name    | rate |"), std::string::npos);
+  EXPECT_NE(out.find("| prophet | 75.4 |"), std::string::npos);
+  EXPECT_NE(out.find("+---------+------+"), std::string::npos);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(75.4217, 3), "75.4");
+  EXPECT_EQ(TextTable::num(0.000123, 2), "0.00012");
+  EXPECT_EQ(TextTable::pct(0.9115, 2), "91.15%");
+  EXPECT_EQ(TextTable::pct(0.5), "50.0%");
+}
+
+}  // namespace
+}  // namespace prophet

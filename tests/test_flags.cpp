@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "common/flags.hpp"
+
+namespace prophet {
+namespace {
+
+Flags parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  const auto flags = Flags::parse(static_cast<int>(args.size()), args.data());
+  EXPECT_TRUE(flags.has_value());
+  return *flags;
+}
+
+TEST(Flags, SpaceSeparatedValues) {
+  const Flags f = parse({"--model", "resnet50", "--batch", "64"});
+  EXPECT_EQ(f.get("model", std::string{}), "resnet50");
+  EXPECT_EQ(f.get("batch", std::int64_t{0}), 64);
+}
+
+TEST(Flags, EqualsSeparatedValues) {
+  const Flags f = parse({"--gbps=2.5", "--strategy=prophet"});
+  EXPECT_DOUBLE_EQ(f.get("gbps", 0.0), 2.5);
+  EXPECT_EQ(f.get("strategy", std::string{}), "prophet");
+}
+
+TEST(Flags, BooleanForms) {
+  const Flags f = parse({"--asp", "--trace", "out.json", "--verbose=yes"});
+  EXPECT_TRUE(f.get("asp", false));
+  EXPECT_TRUE(f.get("verbose", false));
+  EXPECT_EQ(f.get("trace", std::string{}), "out.json");
+  EXPECT_FALSE(f.get("absent", false));
+  EXPECT_TRUE(f.get("absent", true));
+}
+
+TEST(Flags, TrailingBooleanFlag) {
+  const Flags f = parse({"--workers", "4", "--asp"});
+  EXPECT_EQ(f.get("workers", std::int64_t{0}), 4);
+  EXPECT_TRUE(f.get("asp", false));
+}
+
+TEST(Flags, PositionalArguments) {
+  const Flags f = parse({"first", "--x", "1", "second"});
+  EXPECT_EQ(f.positional(), (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const Flags f = parse({});
+  EXPECT_EQ(f.get("model", std::string{"fallback"}), "fallback");
+  EXPECT_DOUBLE_EQ(f.get("gbps", 3.5), 3.5);
+  EXPECT_EQ(f.get("n", std::int64_t{7}), 7);
+  EXPECT_FALSE(f.has("model"));
+}
+
+TEST(Flags, NamesLists) {
+  const Flags f = parse({"--b", "2", "--a=1"});
+  EXPECT_EQ(f.names(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Flags, BareDashDashIsError) {
+  std::vector<const char*> args{"prog", "--"};
+  std::string error;
+  const auto flags =
+      Flags::parse(static_cast<int>(args.size()), args.data(), &error);
+  EXPECT_FALSE(flags.has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace prophet

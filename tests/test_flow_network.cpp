@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/time_series.hpp"
+#include "net/flow_network.hpp"
+
+namespace prophet::net {
+namespace {
+
+using namespace prophet::literals;
+
+TcpCostModel no_overhead_model() {
+  TcpCostParams params;
+  params.per_task_overhead = 0_ns;
+  params.slow_start = false;
+  return TcpCostModel{params};
+}
+
+struct Fixture {
+  sim::Simulator sim;
+  FlowNetwork net;
+  explicit Fixture(TcpCostModel model = no_overhead_model()) : net{sim, model} {}
+};
+
+TEST(FlowNetwork, SoloFlowDrainsAtLineRate) {
+  Fixture f;
+  const NodeId a = f.net.add_node("a", Bandwidth::gbps(1), Bandwidth::gbps(1));
+  const NodeId b = f.net.add_node("b", Bandwidth::gbps(1), Bandwidth::gbps(1));
+  bool done = false;
+  f.net.start_flow(a, b, Bytes::of(125'000'000), [&](FlowId) {
+    done = true;
+    EXPECT_NEAR(f.sim.now().to_seconds(), 1.0, 1e-6);
+  });
+  f.sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(FlowNetwork, SetupDelayPrecedesDraining) {
+  TcpCostParams params;
+  params.per_task_overhead = 10_ms;
+  params.slow_start = false;
+  Fixture f{TcpCostModel{params}};
+  const NodeId a = f.net.add_node("a", Bandwidth::gbps(1), Bandwidth::gbps(1));
+  const NodeId b = f.net.add_node("b", Bandwidth::gbps(1), Bandwidth::gbps(1));
+  bool done = false;
+  f.net.start_flow(a, b, Bytes::of(125'000'000), [&](FlowId) {
+    done = true;
+    EXPECT_NEAR(f.sim.now().to_seconds(), 1.010, 1e-6);
+  });
+  f.sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(FlowNetwork, ZeroByteFlowCompletesAfterSetup) {
+  TcpCostParams params;
+  params.per_task_overhead = 2_ms;
+  params.slow_start = false;
+  Fixture f{TcpCostModel{params}};
+  const NodeId a = f.net.add_node("a", Bandwidth::gbps(1), Bandwidth::gbps(1));
+  const NodeId b = f.net.add_node("b", Bandwidth::gbps(1), Bandwidth::gbps(1));
+  bool done = false;
+  f.net.start_flow(a, b, Bytes::zero(), [&](FlowId) {
+    done = true;
+    EXPECT_NEAR(f.sim.now().to_millis(), 2.0, 1e-6);
+  });
+  f.sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(FlowNetwork, IncastSharesIngressFairly) {
+  Fixture f;
+  const NodeId ps = f.net.add_node("ps", Bandwidth::gbps(1), Bandwidth::gbps(1));
+  const NodeId w1 = f.net.add_node("w1", Bandwidth::gbps(1), Bandwidth::gbps(1));
+  const NodeId w2 = f.net.add_node("w2", Bandwidth::gbps(1), Bandwidth::gbps(1));
+  int done = 0;
+  // Two equal flows into one 1 Gbps port: each gets 62.5 MB/s, finishing
+  // together at 1 s for 62.5 MB payloads.
+  for (NodeId w : {w1, w2}) {
+    f.net.start_flow(w, ps, Bytes::of(62'500'000), [&](FlowId) {
+      ++done;
+      EXPECT_NEAR(f.sim.now().to_seconds(), 1.0, 1e-6);
+    });
+  }
+  f.sim.run();
+  EXPECT_EQ(done, 2);
+}
+
+TEST(FlowNetwork, MaxMinRespectsSlowerSender) {
+  Fixture f;
+  const NodeId ps = f.net.add_node("ps", Bandwidth::gbps(10), Bandwidth::gbps(10));
+  const NodeId fast = f.net.add_node("fast", Bandwidth::gbps(8), Bandwidth::gbps(8));
+  const NodeId slow = f.net.add_node("slow", Bandwidth::mbps(500), Bandwidth::mbps(500));
+  // Slow sender is capped by its own egress (62.5 MB/s); the fast one gets
+  // the rest of the PS ingress. Progressive filling must not starve either.
+  double slow_done_s = 0.0;
+  double fast_done_s = 0.0;
+  f.net.start_flow(slow, ps, Bytes::of(62'500'000),
+                   [&](FlowId) { slow_done_s = f.sim.now().to_seconds(); });
+  f.net.start_flow(fast, ps, Bytes::of(500'000'000),
+                   [&](FlowId) { fast_done_s = f.sim.now().to_seconds(); });
+  f.sim.run();
+  EXPECT_NEAR(slow_done_s, 1.0, 1e-6);  // 62.5 MB at 62.5 MB/s
+  // Fast flow: 500 MB at min(1 GB/s egress, 1.25 GB/s - 62.5 MB/s share)
+  // = 1 GB/s for the first second, then still 1 GB/s (own NIC bound).
+  EXPECT_NEAR(fast_done_s, 0.5, 1e-6);
+}
+
+TEST(FlowNetwork, DepartureRedistributesBandwidth) {
+  Fixture f;
+  const NodeId ps = f.net.add_node("ps", Bandwidth::gbps(1), Bandwidth::gbps(1));
+  const NodeId w1 = f.net.add_node("w1", Bandwidth::gbps(1), Bandwidth::gbps(1));
+  const NodeId w2 = f.net.add_node("w2", Bandwidth::gbps(1), Bandwidth::gbps(1));
+  double small_done = 0.0;
+  double big_done = 0.0;
+  // Small flow shares for 0.4 s (draining 25 MB at 62.5 MB/s), then the big
+  // flow speeds up to full rate.
+  f.net.start_flow(w1, ps, Bytes::of(25'000'000),
+                   [&](FlowId) { small_done = f.sim.now().to_seconds(); });
+  f.net.start_flow(w2, ps, Bytes::of(100'000'000),
+                   [&](FlowId) { big_done = f.sim.now().to_seconds(); });
+  f.sim.run();
+  EXPECT_NEAR(small_done, 0.4, 1e-6);
+  // Big flow: 25 MB in the shared 0.4 s, then 75 MB at 125 MB/s = 0.6 s.
+  EXPECT_NEAR(big_done, 1.0, 1e-6);
+}
+
+TEST(FlowNetwork, DynamicCapacityChangeRerates) {
+  Fixture f;
+  const NodeId a = f.net.add_node("a", Bandwidth::gbps(1), Bandwidth::gbps(1));
+  const NodeId b = f.net.add_node("b", Bandwidth::gbps(1), Bandwidth::gbps(1));
+  double done_s = 0.0;
+  f.net.start_flow(a, b, Bytes::of(125'000'000),
+                   [&](FlowId) { done_s = f.sim.now().to_seconds(); });
+  // Halve the sender's rate halfway through: 62.5 MB drained by then, the
+  // rest drains at 62.5 MB/s -> total 0.5 + 1.0 = 1.5 s.
+  f.sim.schedule_after(500_ms, [&] {
+    f.net.set_capacity(a, Direction::kTx, Bandwidth::mbps(500));
+  });
+  f.sim.run();
+  EXPECT_NEAR(done_s, 1.5, 1e-6);
+}
+
+TEST(FlowNetwork, TracksBytesAndBusyTime) {
+  Fixture f;
+  const NodeId a = f.net.add_node("a", Bandwidth::gbps(1), Bandwidth::gbps(1));
+  const NodeId b = f.net.add_node("b", Bandwidth::gbps(1), Bandwidth::gbps(1));
+  BinnedSeries tx{100_ms, 10_s};
+  f.net.attach_tracker(a, Direction::kTx, &tx);
+  f.net.start_flow(a, b, Bytes::of(125'000'000), [](FlowId) {});
+  f.sim.run();
+  EXPECT_EQ(f.net.total_bytes(a, Direction::kTx), 125'000'000);
+  EXPECT_EQ(f.net.total_bytes(b, Direction::kRx), 125'000'000);
+  EXPECT_NEAR(f.net.busy_time(a, Direction::kTx).to_seconds(), 1.0, 1e-6);
+  // Throughput series: ~12.5 MB per 100 ms bin while draining.
+  EXPECT_NEAR(tx.bin_amount(5), 12'500'000.0, 1.0);
+}
+
+TEST(FlowNetwork, FlowRateVisibleWhileDraining) {
+  Fixture f;
+  const NodeId a = f.net.add_node("a", Bandwidth::gbps(1), Bandwidth::gbps(1));
+  const NodeId b = f.net.add_node("b", Bandwidth::gbps(1), Bandwidth::gbps(1));
+  const FlowId id = f.net.start_flow(a, b, Bytes::of(125'000'000), [](FlowId) {});
+  EXPECT_TRUE(f.net.flow_active(id));
+  EXPECT_DOUBLE_EQ(f.net.flow_rate(id).bytes_per_second(), 0.0);  // setup phase
+  f.sim.run_until(TimePoint::origin() + 100_ms);
+  EXPECT_NEAR(f.net.flow_rate(id).bytes_per_second(), 125e6, 1.0);
+  f.sim.run();
+  EXPECT_FALSE(f.net.flow_active(id));
+  EXPECT_EQ(f.net.active_flow_count(), 0u);
+}
+
+TEST(FlowNetwork, ManyConcurrentFlowsConserveBytes) {
+  Fixture f;
+  const NodeId ps = f.net.add_node("ps", Bandwidth::gbps(2), Bandwidth::gbps(2));
+  std::vector<NodeId> workers;
+  for (int i = 0; i < 5; ++i) {
+    workers.push_back(f.net.add_node("w", Bandwidth::gbps(1), Bandwidth::gbps(1)));
+  }
+  int done = 0;
+  for (NodeId w : workers) {
+    f.net.start_flow(w, ps, Bytes::mib(7), [&](FlowId) { ++done; });
+    f.net.start_flow(ps, w, Bytes::mib(3), [&](FlowId) { ++done; });
+  }
+  f.sim.run();
+  EXPECT_EQ(done, 10);
+  EXPECT_EQ(f.net.total_bytes(ps, Direction::kRx), Bytes::mib(35).count());
+  EXPECT_EQ(f.net.total_bytes(ps, Direction::kTx), Bytes::mib(15).count());
+}
+
+}  // namespace
+}  // namespace prophet::net

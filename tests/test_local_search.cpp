@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/block_planner.hpp"
+#include "core/local_search.hpp"
+#include "core/oracle.hpp"
+#include "testing_profiles.hpp"
+
+namespace prophet::core {
+namespace {
+
+using namespace prophet::literals;
+using testing::make_profile;
+using testing::simple_cost;
+
+constexpr double kMiBps100 = 1024.0 * 1024.0 * 100;
+
+GradientProfile random_profile(Rng& rng, std::size_t n) {
+  std::vector<Duration> ready(n);
+  std::vector<Bytes> sizes(n);
+  Duration clock{};
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::size_t idx = n - 1 - step;
+    if (step == 0 || rng.bernoulli(0.6)) clock += Duration::millis(rng.uniform_int(2, 25));
+    ready[idx] = clock;
+    sizes[idx] = Bytes::kib(rng.uniform_int(16, 4096));
+  }
+  return make_profile(std::move(ready), std::move(sizes));
+}
+
+TEST(LocalSearch, RetimeRespectsReadinessAndSerialization) {
+  const auto profile = make_profile({20_ms, 10_ms, 0_ms},
+                                    std::vector<Bytes>(3, Bytes::mib(1)));
+  const PerfModel model{profile, std::vector<Duration>(3, 2_ms),
+                        Bandwidth::bytes_per_sec(kMiBps100), simple_cost()};
+  Schedule raw;
+  raw.tasks.push_back({{2}, 0_ms});
+  raw.tasks.push_back({{1}, 0_ms});  // bogus start; retime must fix it
+  raw.tasks.push_back({{0}, 0_ms});
+  const Schedule timed = LocalSearchPlanner::retime(raw, model);
+  EXPECT_EQ(timed.tasks[0].start, 0_ms);
+  EXPECT_EQ(timed.tasks[1].start, 11_ms);  // NIC busy until 11
+  EXPECT_EQ(timed.tasks[2].start, 22_ms);
+  // Constraints (7) and (8) hold after retiming.
+  for (const auto& violation : model.check_constraints(timed)) {
+    EXPECT_EQ(violation.find("constraint (7)"), std::string::npos) << violation;
+    EXPECT_EQ(violation.find("constraint (8)"), std::string::npos) << violation;
+  }
+}
+
+TEST(LocalSearch, NeverWorseThanItsStartingPoint) {
+  Rng rng{99};
+  const Bandwidth bw = Bandwidth::bytes_per_sec(kMiBps100);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto profile = random_profile(rng, 10);
+    const PerfModel model{profile, std::vector<Duration>(10, 2_ms), bw,
+                          simple_cost()};
+    const Schedule planned = BlockPlanner{simple_cost()}.plan(profile, bw);
+    const auto refined = LocalSearchPlanner{}.refine(planned, model);
+    const auto base = model.evaluate(LocalSearchPlanner::retime(planned, model));
+    EXPECT_LE(refined.breakdown.t_wait.count_nanos(),
+              base.t_wait.count_nanos())
+        << "trial " << trial;
+  }
+}
+
+TEST(LocalSearch, FindsMergeWhenOverheadDominates) {
+  // Three tiny simultaneous gradients with a huge per-task setup: merging
+  // into one task is clearly better, and local search must find it.
+  const auto profile = make_profile({0_ms, 0_ms, 0_ms},
+                                    std::vector<Bytes>(3, Bytes::kib(16)));
+  const PerfModel model{profile, std::vector<Duration>(3, 1_ms),
+                        Bandwidth::gbps(10), simple_cost(10_ms)};
+  Schedule singletons;
+  singletons.tasks.push_back({{2}, 0_ms});
+  singletons.tasks.push_back({{1}, 0_ms});
+  singletons.tasks.push_back({{0}, 0_ms});
+  const auto refined = LocalSearchPlanner{}.refine(singletons, model);
+  EXPECT_EQ(refined.schedule.tasks.size(), 1u);
+  EXPECT_GT(refined.moves_applied, 0u);
+}
+
+TEST(LocalSearch, FindsSplitWhenBlockDelaysUrgentGradient) {
+  // One merged task containing gradient 0 and a big low-priority tensor:
+  // splitting lets gradient 0's update finish earlier.
+  const auto profile = make_profile({10_ms, 0_ms},
+                                    {Bytes::kib(64), Bytes::mib(8)});
+  const PerfModel model{profile, {1_ms, 1_ms},
+                        Bandwidth::bytes_per_sec(kMiBps100), simple_cost(100_us)};
+  Schedule merged;
+  merged.tasks.push_back({{1, 0}, 10_ms});
+  const auto refined = LocalSearchPlanner{}.refine(merged, model);
+  EXPECT_GE(refined.schedule.tasks.size(), 2u);
+  EXPECT_LT(refined.breakdown.t_wait,
+            model.evaluate(LocalSearchPlanner::retime(merged, model)).t_wait);
+}
+
+TEST(LocalSearch, StaysNearTheExhaustiveOracle) {
+  // The oracle exhaustively searches contiguous generation-order groupings
+  // (ignoring the paper's runtime Constraint (9)); local search explores a
+  // different neighborhood (order-preserving moves + adjacent swaps). On
+  // random backlogged instances it must stay within a small factor of the
+  // oracle, and occasionally beat it by leaving the contiguous space.
+  Rng rng{2024};
+  const Bandwidth bw = Bandwidth::bytes_per_sec(kMiBps100);
+  int beat_oracle = 0;
+  const int trials = 15;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto profile = random_profile(rng, 8);
+    const PerfModel model{profile, std::vector<Duration>(8, 2_ms), bw,
+                          simple_cost()};
+    const Schedule planned = BlockPlanner{simple_cost()}.plan(profile, bw);
+    const auto refined = LocalSearchPlanner{}.refine(planned, model);
+    const auto oracle = OracleScheduler{}.solve(model);
+    EXPECT_LE(refined.breakdown.t_wait.to_seconds(),
+              1.6 * oracle.breakdown.t_wait.to_seconds())
+        << "trial " << trial;
+    if (refined.breakdown.t_wait < oracle.breakdown.t_wait) ++beat_oracle;
+  }
+  EXPECT_GE(beat_oracle, 1);
+}
+
+}  // namespace
+}  // namespace prophet::core

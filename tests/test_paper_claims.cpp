@@ -1,0 +1,153 @@
+// Property-style tests asserting the paper's qualitative claims across
+// seeds, bandwidths and models — the reproduction's guard rails.
+#include <gtest/gtest.h>
+
+#include "ps/cluster.hpp"
+
+namespace prophet::ps {
+namespace {
+
+ClusterConfig base_config(StrategyConfig strategy, double gbps,
+                          std::uint64_t seed = 42) {
+  ClusterConfig cfg;
+  cfg.model = dnn::resnet50();
+  cfg.num_workers = 3;
+  cfg.batch = 64;
+  cfg.iterations = 26;
+  cfg.seed = seed;
+  cfg.worker_bandwidth = Bandwidth::gbps(gbps);
+  cfg.ps_bandwidth = Bandwidth::gbps(10);
+  cfg.strategy = strategy;
+  cfg.strategy.prophet.profile_iterations = 6;
+  return cfg;
+}
+
+double rate(StrategyConfig strategy, double gbps, std::uint64_t seed = 42) {
+  return run_cluster(base_config(strategy, gbps, seed), 8).mean_rate();
+}
+
+class AcrossSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AcrossSeeds, ProphetBeatsFifoUnderConstrainedBandwidth) {
+  // Sec. 5.3: at 3 Gbps Prophet outperforms default MXNet by ~39%.
+  const std::uint64_t seed = GetParam();
+  const double prophet = rate(StrategyConfig::make_prophet(), 2.0, seed);
+  const double fifo = rate(StrategyConfig::fifo(), 2.0, seed);
+  EXPECT_GT(prophet, 1.15 * fifo);
+}
+
+TEST_P(AcrossSeeds, ProphetAtLeastMatchesP3Everywhere) {
+  const std::uint64_t seed = GetParam();
+  for (double gbps : {1.0, 3.0, 10.0}) {
+    EXPECT_GE(rate(StrategyConfig::make_prophet(), gbps, seed),
+              0.98 * rate(StrategyConfig::p3(), gbps, seed))
+        << "bandwidth " << gbps;
+  }
+}
+
+TEST_P(AcrossSeeds, ProphetAtLeastMatchesByteSchedulerEverywhere) {
+  // Sec. 5.3: 6.9-36.4% better in poor networks, comparable in good ones.
+  const std::uint64_t seed = GetParam();
+  for (double gbps : {1.0, 2.0, 10.0}) {
+    EXPECT_GE(rate(StrategyConfig::make_prophet(), gbps, seed),
+              0.98 * rate(StrategyConfig::make_bytescheduler(), gbps, seed))
+        << "bandwidth " << gbps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AcrossSeeds, ::testing::Values(42u, 7u, 1234u));
+
+TEST(PaperClaims, HighBandwidthEqualizesPriorityStrategies) {
+  // Sec. 5.3: at 10 Gbps the optimization space is marginal — P3,
+  // ByteScheduler and Prophet converge.
+  const double prophet = rate(StrategyConfig::make_prophet(), 10.0);
+  const double p3 = rate(StrategyConfig::p3(), 10.0);
+  const double bs = rate(StrategyConfig::make_bytescheduler(), 10.0);
+  // P3 keeps a slightly larger residual (its per-partition blocking acks
+  // never fully amortize); the paper likewise reports "comparable" rather
+  // than identical rates at 10 Gbps.
+  EXPECT_NEAR(p3, prophet, 0.08 * prophet);
+  EXPECT_NEAR(bs, prophet, 0.06 * prophet);
+}
+
+TEST(PaperClaims, RateDegradesGracefullyWithBandwidth) {
+  // Table 2 shape: monotone-ish growth, saturation at high bandwidth.
+  double prev = 0.0;
+  for (double gbps : {1.0, 2.0, 4.0, 10.0}) {
+    const double r = rate(StrategyConfig::make_prophet(), gbps);
+    EXPECT_GT(r, prev * 0.99) << "bandwidth " << gbps;
+    prev = r;
+  }
+}
+
+TEST(PaperClaims, LargerBatchWidensProphetAdvantageOverByteScheduler) {
+  // Table 3: bigger mini-batches lengthen the block intervals, giving
+  // Prophet more room against ByteScheduler; tiny batches are
+  // communication-bound for both priority schedulers.
+  // Robust core of the claim: Prophet never loses to ByteScheduler at any
+  // batch size. (The paper's monotone-in-batch improvement trend does not
+  // reproduce in this substrate — see EXPERIMENTS.md, Table 3 notes.)
+  auto improvement = [&](int batch) {
+    auto prophet_cfg = base_config(StrategyConfig::make_prophet(), 2.0);
+    auto bs_cfg = base_config(StrategyConfig::make_bytescheduler(), 2.0);
+    prophet_cfg.batch = batch;
+    bs_cfg.batch = batch;
+    return run_cluster(prophet_cfg, 8).mean_rate() /
+           run_cluster(bs_cfg, 8).mean_rate();
+  };
+  for (int batch : {16, 32, 64}) {
+    EXPECT_GE(improvement(batch), 0.99) << "batch " << batch;
+  }
+}
+
+TEST(PaperClaims, GpuUtilizationOrderingMatchesRates) {
+  // Fig. 9: Prophet's higher rate comes from higher GPU utilization.
+  const auto prophet = run_cluster(base_config(StrategyConfig::make_prophet(), 2.0), 8);
+  const auto fifo = run_cluster(base_config(StrategyConfig::fifo(), 2.0), 8);
+  EXPECT_GT(prophet.mean_utilization(), fifo.mean_utilization());
+  EXPECT_GT(prophet.mean_utilization(), 0.85);
+}
+
+TEST(PaperClaims, ProphetReducesMeanGradientWait) {
+  // Fig. 11: Prophet's mean per-gradient wait is well below FIFO's.
+  const auto prophet = run_cluster(base_config(StrategyConfig::make_prophet(), 2.0), 8);
+  const auto fifo = run_cluster(base_config(StrategyConfig::fifo(), 2.0), 8);
+  const auto pw = prophet.workers[0].transfers.overall(8, 26, sched::TaskKind::kPush);
+  const auto fw = fifo.workers[0].transfers.overall(8, 26, sched::TaskKind::kPush);
+  ASSERT_GT(pw.count, 0u);
+  ASSERT_GT(fw.count, 0u);
+  EXPECT_LT(pw.mean_wait_ms, fw.mean_wait_ms);
+}
+
+TEST(PaperClaims, ScalingWorkersKeepsPerWorkerRateRoughlyFlat) {
+  // Fig. 12: per-worker rate decays only slightly from 2 to 8 workers
+  // (PS capacity scaled with the cluster as in BytePS deployments).
+  std::vector<double> rates;
+  for (std::size_t workers : {2u, 4u, 8u}) {
+    auto cfg = base_config(StrategyConfig::make_prophet(), 10.0);
+    cfg.num_workers = workers;
+    cfg.ps_bandwidth = Bandwidth::gbps(10.0 * static_cast<double>(workers) / 2.0);
+    rates.push_back(run_cluster(cfg, 8).mean_rate());
+  }
+  EXPECT_GT(rates[2], 0.9 * rates[0]);
+}
+
+TEST(PaperClaims, ProfilingPhaseThenImproves) {
+  // Fig. 13: during profiling Prophet runs the engine default (priority +
+  // fixed credit groups); once the block assembler activates, iterations
+  // never get slower and typically get faster.
+  auto cfg = base_config(StrategyConfig::make_prophet(), 2.0);
+  cfg.strategy.prophet.profile_iterations = 10;
+  cfg.iterations = 30;
+  const auto result = run_cluster(cfg, 12);
+  const auto& training = result.workers[0].training;
+  const double early = training.rate_samples_per_sec(2, 9);
+  const double late = training.rate_samples_per_sec(12, 30);
+  EXPECT_GE(late, 0.995 * early);
+  // And the activation is observable.
+  ASSERT_TRUE(result.workers[0].prophet_activated_at.has_value());
+  EXPECT_EQ(*result.workers[0].prophet_activated_at, 10u);
+}
+
+}  // namespace
+}  // namespace prophet::ps

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "sched/partition_queue.hpp"
+
+namespace prophet::sched {
+namespace {
+
+TEST(PartitionQueue, SlicesTensorIntoPartitions) {
+  PartitionQueue q{Bytes::mib(1)};
+  q.add(3, Bytes::mib(2) + Bytes::kib(512));
+  EXPECT_EQ(q.partition_count(), 3u);
+  const auto items = q.pop(Bytes::mib(100));
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].offset.count(), 0);
+  EXPECT_EQ(items[0].bytes, Bytes::mib(1));
+  EXPECT_FALSE(items[0].last_slice);
+  EXPECT_EQ(items[1].offset, Bytes::mib(1));
+  EXPECT_EQ(items[2].offset, Bytes::mib(2));
+  EXPECT_EQ(items[2].bytes, Bytes::kib(512));
+  EXPECT_TRUE(items[2].last_slice);
+}
+
+TEST(PartitionQueue, SmallTensorIsSinglePartition) {
+  PartitionQueue q{Bytes::mib(4)};
+  q.add(0, Bytes::kib(1));
+  const auto items = q.pop(Bytes::of(1));
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_TRUE(items[0].last_slice);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(PartitionQueue, PopsInPriorityThenOffsetOrder) {
+  PartitionQueue q{Bytes::mib(1)};
+  q.add(5, Bytes::mib(2));
+  q.add(2, Bytes::mib(2));
+  q.add(9, Bytes::mib(1));
+  const auto items = q.pop(Bytes::mib(100));
+  ASSERT_EQ(items.size(), 5u);
+  EXPECT_EQ(items[0].grad, 2u);
+  EXPECT_EQ(items[1].grad, 2u);
+  EXPECT_LT(items[0].offset, items[1].offset);
+  EXPECT_EQ(items[2].grad, 5u);
+  EXPECT_EQ(items[4].grad, 9u);
+}
+
+TEST(PartitionQueue, BudgetLimitsPop) {
+  PartitionQueue q{Bytes::mib(1)};
+  q.add(0, Bytes::mib(5));
+  const auto first = q.pop(Bytes::mib(2));
+  EXPECT_EQ(first.size(), 2u);
+  EXPECT_EQ(q.partition_count(), 3u);
+  const auto rest = q.pop(Bytes::mib(100));
+  EXPECT_EQ(rest.size(), 3u);
+  EXPECT_TRUE(rest.back().last_slice);
+}
+
+TEST(PartitionQueue, AlwaysPopsAtLeastOne) {
+  PartitionQueue q{Bytes::mib(4)};
+  q.add(1, Bytes::mib(4));
+  const auto items = q.pop(Bytes::of(1));
+  EXPECT_EQ(items.size(), 1u);
+}
+
+TEST(PartitionQueue, HigherPriorityArrivalPreemptsQueuedWork) {
+  PartitionQueue q{Bytes::mib(1)};
+  q.add(10, Bytes::mib(3));
+  (void)q.pop(Bytes::mib(1));  // one partition of 10 in flight
+  q.add(0, Bytes::mib(1));     // urgent tensor arrives
+  const auto items = q.pop(Bytes::mib(1));
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].grad, 0u);
+}
+
+TEST(PartitionQueue, PeekBytes) {
+  PartitionQueue q{Bytes::mib(1)};
+  EXPECT_FALSE(q.peek_bytes().has_value());
+  q.add(4, Bytes::kib(700));
+  ASSERT_TRUE(q.peek_bytes().has_value());
+  EXPECT_EQ(q.peek_bytes()->count(), Bytes::kib(700).count());
+}
+
+TEST(PartitionQueueDeath, DoubleEnqueueAborts) {
+  PartitionQueue q{Bytes::mib(1)};
+  q.add(1, Bytes::mib(1));
+  EXPECT_DEATH(q.add(1, Bytes::mib(1)), "tensor enqueued twice");
+}
+
+}  // namespace
+}  // namespace prophet::sched

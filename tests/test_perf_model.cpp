@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "core/perf_model.hpp"
+#include "testing_profiles.hpp"
+
+namespace prophet::core {
+namespace {
+
+using namespace prophet::literals;
+using testing::make_profile;
+using testing::simple_cost;
+
+// 3 gradients, generated at 20/10/0 ms (index 0 last), 1 MiB each.
+PerfModel three_grad_model(Bandwidth bandwidth = Bandwidth::bytes_per_sec(1024.0 * 1024.0 * 100)) {
+  auto profile = make_profile({20_ms, 10_ms, 0_ms},
+                              {Bytes::mib(1), Bytes::mib(1), Bytes::mib(1)});
+  // 100 MiB/s -> 10 ms serialization per gradient; +1 ms task overhead.
+  return PerfModel{std::move(profile), {5_ms, 5_ms, 5_ms}, bandwidth, simple_cost()};
+}
+
+TEST(PerfModel, TransferEstimateIsEq5PlusOverhead) {
+  const PerfModel model = three_grad_model();
+  EXPECT_NEAR(model.transfer_estimate(0).to_millis(), 11.0, 1e-9);
+}
+
+TEST(PerfModel, TaskDurationChargesOneOverheadPerBlock) {
+  const PerfModel model = three_grad_model();
+  ScheduledTask block{{1, 2}, 0_ms};
+  EXPECT_NEAR(model.task_duration(block).to_millis(), 21.0, 1e-9);
+}
+
+TEST(PerfModel, EvaluateComputesEq2To4ByHand) {
+  const PerfModel model = three_grad_model();
+  // One task per gradient, started at generation (gradient 2 at 0, 1 at 10,
+  // 0 at 20 -- but the NIC serializes: task 1 ends at 0+11=11, so task for
+  // gradient 1 starts at 11, gradient 0 at 22.
+  Schedule schedule;
+  schedule.tasks.push_back({{2}, 0_ms});
+  schedule.tasks.push_back({{1}, 11_ms});
+  schedule.tasks.push_back({{0}, 22_ms});
+  const WaitTimeBreakdown result = model.evaluate(schedule);
+  // u = t + 2E: u(2)=22, u(1)=33, u(0)=44.
+  EXPECT_NEAR(result.update_done[2].to_millis(), 22.0, 1e-9);
+  EXPECT_NEAR(result.update_done[1].to_millis(), 33.0, 1e-9);
+  EXPECT_NEAR(result.update_done[0].to_millis(), 44.0, 1e-9);
+  // p(0)=u(0)+5=49; p(1)=max(49,33)+5=54; p(2)=max(54,22)+5=59.
+  EXPECT_NEAR(result.forward_done[0].to_millis(), 49.0, 1e-9);
+  EXPECT_NEAR(result.forward_done[1].to_millis(), 54.0, 1e-9);
+  EXPECT_NEAR(result.forward_done[2].to_millis(), 59.0, 1e-9);
+  // T_wait = (u0 - c0) + (u1-p0)^+ + (u2-p1)^+ = 24 + 0 + 0.
+  EXPECT_NEAR(result.t_wait.to_millis(), 24.0, 1e-9);
+  EXPECT_NEAR(result.span.to_millis(), 59.0, 1e-9);
+}
+
+TEST(PerfModel, BlockingLowPriorityInflatesWait) {
+  const PerfModel model = three_grad_model();
+  // Pathological: gradient 0 queued behind a block of {1,2} started late.
+  Schedule bad;
+  bad.tasks.push_back({{1, 2}, 10_ms});   // ends 31
+  bad.tasks.push_back({{0}, 31_ms});      // u(0) = 31 + 22 = 53
+  Schedule good;
+  good.tasks.push_back({{2}, 0_ms});
+  good.tasks.push_back({{1}, 11_ms});
+  good.tasks.push_back({{0}, 22_ms});     // u(0) = 44
+  EXPECT_GT(model.evaluate(bad).t_wait, model.evaluate(good).t_wait);
+}
+
+TEST(PerfModel, ConstraintCheckAcceptsFeasibleSchedule) {
+  const PerfModel model = three_grad_model();
+  // With 11 ms per transfer and 10 ms generation gaps, no backward-phase
+  // transfer can finish before the next generation event (Constraint (11)),
+  // so the only feasible plans run post-c0 in strict priority order.
+  Schedule schedule;
+  schedule.tasks.push_back({{0}, 21_ms});
+  schedule.tasks.push_back({{1}, 32_ms});
+  schedule.tasks.push_back({{2}, 43_ms});
+  EXPECT_TRUE(model.check_constraints(schedule).empty());
+}
+
+TEST(PerfModel, ConstraintCheckAcceptsBackwardBlocksInsideIntervals) {
+  // Wider gaps: gradient 2's transfer (11 ms) fits the 20 ms interval.
+  auto profile = make_profile({40_ms, 20_ms, 0_ms},
+                              {Bytes::mib(1), Bytes::mib(1), Bytes::mib(1)});
+  const PerfModel model{std::move(profile), {5_ms, 5_ms, 5_ms},
+                        Bandwidth::bytes_per_sec(1024.0 * 1024.0 * 100),
+                        simple_cost()};
+  Schedule schedule;
+  schedule.tasks.push_back({{2}, 0_ms});
+  schedule.tasks.push_back({{1}, 20_ms});
+  schedule.tasks.push_back({{0}, 40_ms});
+  EXPECT_TRUE(model.check_constraints(schedule).empty());
+}
+
+TEST(PerfModel, Constraint7ViolationDetected) {
+  const PerfModel model = three_grad_model();
+  Schedule schedule;
+  schedule.tasks.push_back({{0}, 5_ms});  // gradient 0 exists only at 20 ms
+  schedule.tasks.push_back({{1}, 30_ms});
+  schedule.tasks.push_back({{2}, 45_ms});
+  const auto violations = model.check_constraints(schedule);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("constraint (7)"), std::string::npos);
+}
+
+TEST(PerfModel, Constraint8ViolationDetected) {
+  const PerfModel model = three_grad_model();
+  Schedule schedule;
+  schedule.tasks.push_back({{0}, 21_ms});  // ends at 32 ms
+  schedule.tasks.push_back({{1}, 30_ms});  // starts inside the previous task
+  schedule.tasks.push_back({{2}, 44_ms});
+  const auto violations = model.check_constraints(schedule);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("constraint (8)"), std::string::npos);
+}
+
+TEST(PerfModel, Constraint9ViolationDetected) {
+  const PerfModel model = three_grad_model();
+  Schedule schedule;
+  schedule.tasks.push_back({{2}, 0_ms});
+  schedule.tasks.push_back({{0}, 22_ms});
+  schedule.tasks.push_back({{1}, 40_ms});  // lower priority after 0, post-c0
+  const auto violations = model.check_constraints(schedule);
+  bool found = false;
+  for (const auto& v : violations) {
+    if (v.find("constraint (9)") != std::string::npos) found = true;
+  }
+  // Running gradient 1 after gradient 0 is fine; the violation is a task
+  // with priority 1 after... actually the order 2,0,1 violates (9) because
+  // priority 1 < prev priority 0 is false (1 > 0). Build a real violation:
+  EXPECT_FALSE(found);
+  Schedule bad;
+  bad.tasks.push_back({{2}, 22_ms});  // post-c0 (c0 = 20 ms)
+  bad.tasks.push_back({{1}, 40_ms});  // priority 1 after priority 2: OK? no -
+  bad.tasks.push_back({{0}, 60_ms}); // priority 0 after 1: violates order
+  const auto bad_violations = model.check_constraints(bad);
+  bool found_bad = false;
+  for (const auto& v : bad_violations) {
+    if (v.find("constraint (9)") != std::string::npos) found_bad = true;
+  }
+  EXPECT_TRUE(found_bad);
+}
+
+TEST(PerfModel, Constraint11ViolationDetected) {
+  const PerfModel model = three_grad_model();
+  Schedule schedule;
+  // Gradient 2's transfer (11 ms) crosses gradient 1's generation at 10 ms.
+  schedule.tasks.push_back({{2}, 5_ms});
+  schedule.tasks.push_back({{1}, 16_ms});
+  schedule.tasks.push_back({{0}, 27_ms});
+  const auto violations = model.check_constraints(schedule);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("constraint (11)"), std::string::npos);
+}
+
+TEST(PerfModelDeath, IncompleteScheduleAborts) {
+  const PerfModel model = three_grad_model();
+  Schedule schedule;
+  schedule.tasks.push_back({{2}, 0_ms});
+  EXPECT_DEATH((void)model.evaluate(schedule), "untransferred");
+}
+
+TEST(PerfModelDeath, DuplicateGradientAborts) {
+  const PerfModel model = three_grad_model();
+  Schedule schedule;
+  schedule.tasks.push_back({{2, 1, 0}, 20_ms});
+  schedule.tasks.push_back({{2}, 60_ms});
+  EXPECT_DEATH((void)model.evaluate(schedule), "scheduled twice");
+}
+
+}  // namespace
+}  // namespace prophet::core

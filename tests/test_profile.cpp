@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "core/profile.hpp"
+
+namespace prophet::core {
+namespace {
+
+using namespace prophet::literals;
+
+TimePoint at(std::int64_t ms) { return TimePoint::origin() + Duration::millis(ms); }
+
+TEST(Profiler, AveragesReadyOffsetsAcrossIterations) {
+  TrainingJobProfiler profiler{2, 2};
+  profiler.begin_iteration(at(0));
+  profiler.record_ready(1, Bytes::mib(1), at(10));
+  profiler.record_ready(0, Bytes::kib(4), at(30));
+  profiler.end_iteration();
+  EXPECT_FALSE(profiler.complete());
+
+  profiler.begin_iteration(at(100));
+  profiler.record_ready(1, Bytes::mib(1), at(120));
+  profiler.record_ready(0, Bytes::kib(4), at(134));
+  profiler.end_iteration();
+  EXPECT_TRUE(profiler.complete());
+
+  const GradientProfile profile = profiler.build();
+  EXPECT_EQ(profile.gradient_count(), 2u);
+  EXPECT_EQ(profile.iterations_profiled, 2u);
+  EXPECT_EQ(profile.sizes[1], Bytes::mib(1));
+  EXPECT_NEAR(profile.ready[1].to_millis(), 15.0, 1e-9);  // (10+20)/2
+  EXPECT_NEAR(profile.ready[0].to_millis(), 32.0, 1e-9);  // (30+34)/2
+  EXPECT_NEAR(profile.backward_duration().to_millis(), 32.0, 1e-9);
+  // A^(1) = c(0) - c(1) = 17 ms; A^(0) = max (final step).
+  EXPECT_NEAR(profile.intervals[1].to_millis(), 17.0, 1e-9);
+  EXPECT_EQ(profile.intervals[0], Duration::max());
+}
+
+TEST(Profiler, BuildMidwayUsesRecordedIterations) {
+  TrainingJobProfiler profiler{1, 50};
+  profiler.begin_iteration(at(0));
+  profiler.record_ready(0, Bytes::mib(2), at(5));
+  profiler.end_iteration();
+  const GradientProfile profile = profiler.build();
+  EXPECT_EQ(profile.iterations_profiled, 1u);
+  EXPECT_NEAR(profile.ready[0].to_millis(), 5.0, 1e-9);
+}
+
+TEST(ProfilerDeath, RecordOutsideIterationAborts) {
+  TrainingJobProfiler profiler{1, 5};
+  EXPECT_DEATH(profiler.record_ready(0, Bytes::mib(1), at(1)),
+               "record_ready outside an iteration");
+}
+
+TEST(ProfilerDeath, DoubleRecordAborts) {
+  TrainingJobProfiler profiler{2, 5};
+  profiler.begin_iteration(at(0));
+  profiler.record_ready(0, Bytes::mib(1), at(1));
+  EXPECT_DEATH(profiler.record_ready(0, Bytes::mib(1), at(2)),
+               "recorded twice");
+}
+
+TEST(ProfilerDeath, IncompleteIterationAborts) {
+  TrainingJobProfiler profiler{3, 5};
+  profiler.begin_iteration(at(0));
+  profiler.record_ready(2, Bytes::mib(1), at(1));
+  EXPECT_DEATH(profiler.end_iteration(), "before every gradient");
+}
+
+TEST(ProfilerDeath, BuildWithNoIterationsAborts) {
+  TrainingJobProfiler profiler{2, 5};
+  EXPECT_DEATH((void)profiler.build(), "before any full iteration");
+}
+
+}  // namespace
+}  // namespace prophet::core

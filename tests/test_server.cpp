@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dnn/model_zoo.hpp"
+#include "ps/server.hpp"
+
+namespace prophet::ps {
+namespace {
+
+using namespace prophet::literals;
+
+struct Notification {
+  std::size_t worker;
+  std::size_t key;
+  double at_ms;
+};
+
+struct Fixture {
+  sim::Simulator sim;
+  std::vector<Notification> notified;
+  dnn::ModelSpec model = dnn::toy_cnn();
+
+  Server make_server(std::size_t workers, bool asp = false,
+                     Duration fixed = 1_ms, double bytes_per_sec = 1e9) {
+    return Server{sim, model, workers, asp, fixed, bytes_per_sec,
+                  [this](std::size_t w, std::size_t k) {
+                    notified.push_back({w, k, sim.now().to_millis()});
+                  }};
+  }
+};
+
+TEST(Server, BspWaitsForAllWorkers) {
+  Fixture f;
+  Server server = f.make_server(3);
+  const Bytes size = f.model.tensor(0).bytes;
+  server.on_push_bytes(0, 0, size);
+  server.on_push_bytes(1, 0, size);
+  f.sim.run();
+  EXPECT_TRUE(f.notified.empty());
+  EXPECT_EQ(server.version(0), 0u);
+  server.on_push_bytes(2, 0, size);
+  f.sim.run();
+  // All three workers notified once the update completes.
+  ASSERT_EQ(f.notified.size(), 3u);
+  EXPECT_EQ(server.version(0), 1u);
+  for (const auto& n : f.notified) {
+    EXPECT_EQ(n.key, 0u);
+    EXPECT_GE(n.at_ms, 1.0);  // update cost charged
+  }
+}
+
+TEST(Server, PartialPushesAccumulate) {
+  Fixture f;
+  Server server = f.make_server(1);
+  const Bytes size = f.model.tensor(0).bytes;
+  const auto half = Bytes::of(size.count() / 2);
+  server.on_push_bytes(0, 0, half);
+  f.sim.run();
+  EXPECT_TRUE(f.notified.empty());
+  server.on_push_bytes(0, 0, size - half);
+  f.sim.run();
+  EXPECT_EQ(f.notified.size(), 1u);
+}
+
+TEST(Server, KeysAreIndependent) {
+  Fixture f;
+  Server server = f.make_server(2);
+  const Bytes s0 = f.model.tensor(0).bytes;
+  const Bytes s1 = f.model.tensor(1).bytes;
+  server.on_push_bytes(0, 0, s0);
+  server.on_push_bytes(0, 1, s1);
+  server.on_push_bytes(1, 1, s1);
+  f.sim.run();
+  ASSERT_EQ(f.notified.size(), 2u);  // key 1 to both workers; key 0 pending
+  EXPECT_EQ(f.notified[0].key, 1u);
+  EXPECT_EQ(server.version(1), 1u);
+  EXPECT_EQ(server.version(0), 0u);
+}
+
+TEST(Server, SuccessiveRoundsIncrementVersion) {
+  Fixture f;
+  Server server = f.make_server(1);
+  const Bytes size = f.model.tensor(2).bytes;
+  for (int round = 0; round < 3; ++round) {
+    server.on_push_bytes(0, 2, size);
+    f.sim.run();
+  }
+  EXPECT_EQ(server.version(2), 3u);
+  EXPECT_EQ(f.notified.size(), 3u);
+}
+
+TEST(Server, UpdateCostScalesWithBytesAndWorkers) {
+  Fixture f;
+  // 1 KB/s aggregation: a 4-byte key from 2 workers costs 8 ms + 1 ms fixed.
+  Server server = f.make_server(2, false, 1_ms, 1000.0);
+  // tensor sizes vary; use key with known size
+  const std::size_t key = f.model.tensor_count() - 1;  // fc bias: 10 floats
+  const Bytes size = f.model.tensor(key).bytes;        // 40 bytes
+  server.on_push_bytes(0, key, size);
+  server.on_push_bytes(1, key, size);
+  f.sim.run();
+  ASSERT_EQ(f.notified.size(), 2u);
+  EXPECT_NEAR(f.notified[0].at_ms, 1.0 + 80.0, 1e-6);
+}
+
+TEST(Server, AspNotifiesOnlyThePushingWorker) {
+  Fixture f;
+  Server server = f.make_server(3, /*asp=*/true);
+  const Bytes size = f.model.tensor(0).bytes;
+  server.on_push_bytes(1, 0, size);
+  f.sim.run();
+  ASSERT_EQ(f.notified.size(), 1u);
+  EXPECT_EQ(f.notified[0].worker, 1u);
+  EXPECT_EQ(server.version(0), 1u);
+  // Another worker's push triggers another independent update.
+  server.on_push_bytes(2, 0, size);
+  f.sim.run();
+  EXPECT_EQ(f.notified.size(), 2u);
+  EXPECT_EQ(server.version(0), 2u);
+}
+
+TEST(Server, SerializedCpuQueuesConcurrentUpdates) {
+  Fixture f;
+  // 1 ms fixed cost, negligible per-byte; CPU serialized.
+  Server server{f.sim, f.model, 1, false, 1_ms, 1e12,
+                [&f](std::size_t w, std::size_t k) {
+                  f.notified.push_back({w, k, f.sim.now().to_millis()});
+                },
+                /*serialize_cpu=*/true};
+  // Three keys complete simultaneously: updates must finish 1 ms apart.
+  server.on_push_bytes(0, 0, f.model.tensor(0).bytes);
+  server.on_push_bytes(0, 1, f.model.tensor(1).bytes);
+  server.on_push_bytes(0, 2, f.model.tensor(2).bytes);
+  f.sim.run();
+  ASSERT_EQ(f.notified.size(), 3u);
+  EXPECT_NEAR(f.notified[0].at_ms, 1.0, 1e-2);
+  EXPECT_NEAR(f.notified[1].at_ms, 2.0, 1e-2);
+  EXPECT_NEAR(f.notified[2].at_ms, 3.0, 1e-2);
+}
+
+TEST(Server, ParallelCpuUpdatesOverlap) {
+  Fixture f;
+  Server server = f.make_server(1, false, 1_ms, 1e12);
+  server.on_push_bytes(0, 0, f.model.tensor(0).bytes);
+  server.on_push_bytes(0, 1, f.model.tensor(1).bytes);
+  f.sim.run();
+  ASSERT_EQ(f.notified.size(), 2u);
+  EXPECT_NEAR(f.notified[0].at_ms, 1.0, 1e-2);
+  EXPECT_NEAR(f.notified[1].at_ms, 1.0, 1e-2);
+}
+
+TEST(ServerDeath, OverPushAborts) {
+  Fixture f;
+  Server server = f.make_server(2);
+  const Bytes size = f.model.tensor(0).bytes;
+  server.on_push_bytes(0, 0, size);
+  EXPECT_DEATH(server.on_push_bytes(0, 0, Bytes::of(1)), "more bytes");
+}
+
+}  // namespace
+}  // namespace prophet::ps

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace prophet::sim {
+namespace {
+
+using namespace prophet::literals;
+
+TEST(Simulator, FiresInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(30_ms, [&] { order.push_back(3); });
+  sim.schedule_after(10_ms, [&] { order.push_back(1); });
+  sim.schedule_after(20_ms, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now().to_millis(), 30.0);
+}
+
+TEST(Simulator, StableOrderForSimultaneousEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_after(5_ms, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, HandlersCanScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) sim.schedule_after(1_ms, chain);
+  };
+  sim.schedule_after(1_ms, chain);
+  sim.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(sim.now().to_millis(), 5.0);
+}
+
+TEST(Simulator, ZeroDelayFiresAtSameTime) {
+  Simulator sim;
+  bool inner = false;
+  sim.schedule_after(2_ms, [&] {
+    sim.schedule_after(0_ms, [&] {
+      inner = true;
+      EXPECT_DOUBLE_EQ(sim.now().to_millis(), 2.0);
+    });
+  });
+  sim.run();
+  EXPECT_TRUE(inner);
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle handle = sim.schedule_after(5_ms, [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator sim;
+  int count = 0;
+  EventHandle handle = sim.schedule_after(1_ms, [&] { ++count; });
+  sim.run();
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();
+  sim.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Simulator, DefaultHandleIsInert) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // must not crash
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(10_ms, [&] { order.push_back(1); });
+  sim.schedule_after(20_ms, [&] { order.push_back(2); });
+  sim.schedule_after(30_ms, [&] { order.push_back(3); });
+  sim.run_until(TimePoint::origin() + 20_ms);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));  // event at exactly the deadline fires
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(Simulator, StepFiresExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_after(1_ms, [&] { ++count; });
+  sim.schedule_after(2_ms, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, PeriodicFiresUntilCancelled) {
+  Simulator sim;
+  std::vector<double> times;
+  EventHandle handle = sim.schedule_periodic(10_ms, [&](TimePoint now) {
+    times.push_back(now.to_millis());
+    if (times.size() == 3) handle.cancel();
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{10.0, 20.0, 30.0}));
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, PeriodicCancelFromOutside) {
+  Simulator sim;
+  int ticks = 0;
+  EventHandle periodic = sim.schedule_periodic(5_ms, [&](TimePoint) { ++ticks; });
+  sim.schedule_after(17_ms, [&] { periodic.cancel(); });
+  sim.run();
+  EXPECT_EQ(ticks, 3);  // 5, 10, 15
+}
+
+TEST(Simulator, CountsLiveEvents) {
+  Simulator sim;
+  auto h1 = sim.schedule_after(1_ms, [] {});
+  auto h2 = sim.schedule_after(2_ms, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  h1.cancel();
+  EXPECT_EQ(sim.pending_events(), 1u);
+  (void)h2;
+  sim.run();
+  EXPECT_TRUE(sim.empty());
+  EXPECT_EQ(sim.events_fired(), 1u);
+}
+
+TEST(SimulatorDeath, SchedulingIntoThePastAborts) {
+  Simulator sim;
+  sim.schedule_after(10_ms, [&] {
+    EXPECT_DEATH(sim.schedule_at(TimePoint::origin() + 5_ms, [] {}),
+                 "scheduling into the past");
+  });
+  sim.run();
+}
+
+}  // namespace
+}  // namespace prophet::sim

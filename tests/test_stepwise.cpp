@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "dnn/stepwise.hpp"
+
+namespace prophet::dnn {
+namespace {
+
+using namespace prophet::literals;
+
+// Hand-crafted stepwise series: indices 5..4 at 10 ms, 3..2 at 25 ms,
+// 1..0 at 40 ms (index = priority; c non-increasing in index).
+std::vector<Duration> three_step_series() {
+  return {40_ms, 40_ms, 25_ms, 25_ms, 10_ms, 10_ms};
+}
+
+TEST(DetectBlocks, SegmentsThreeSteps) {
+  const auto blocks = detect_blocks(three_step_series());
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0].first, 4u);
+  EXPECT_EQ(blocks[0].last, 5u);
+  EXPECT_EQ(blocks[0].ready, 10_ms);
+  EXPECT_EQ(blocks[1].first, 2u);
+  EXPECT_EQ(blocks[1].last, 3u);
+  EXPECT_EQ(blocks[2].first, 0u);
+  EXPECT_EQ(blocks[2].last, 1u);
+  EXPECT_EQ(blocks[2].ready, 40_ms);
+}
+
+TEST(DetectBlocks, SingleGradient) {
+  const auto blocks = detect_blocks({5_ms});
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].first, 0u);
+  EXPECT_EQ(blocks[0].last, 0u);
+  EXPECT_EQ(blocks[0].size(), 1u);
+}
+
+TEST(DetectBlocks, AllSimultaneousIsOneBlock) {
+  const auto blocks = detect_blocks({7_ms, 7_ms, 7_ms, 7_ms});
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].size(), 4u);
+}
+
+TEST(DetectBlocks, EpsilonMergesNearTies) {
+  // 100 us apart: one block under the default 500 us epsilon, two blocks
+  // under a 10 us epsilon.
+  const std::vector<Duration> ready{Duration::micros(1100), Duration::micros(1000)};
+  EXPECT_EQ(detect_blocks(ready).size(), 1u);
+  EXPECT_EQ(detect_blocks(ready, Duration::micros(10)).size(), 2u);
+}
+
+TEST(TransferIntervals, GapToNextHigherPriorityGeneration) {
+  const auto intervals = transfer_intervals(three_step_series());
+  // Indices 4,5 (first step): next higher-priority generation is at 25 ms,
+  // so A = 15 ms.
+  EXPECT_EQ(intervals[4], 15_ms);
+  EXPECT_EQ(intervals[5], 15_ms);
+  // Indices 2,3: next is the 40 ms step -> A = 15 ms.
+  EXPECT_EQ(intervals[2], 15_ms);
+  EXPECT_EQ(intervals[3], 15_ms);
+  // Final step (gradients 0,1): nothing more urgent is pending.
+  EXPECT_EQ(intervals[0], Duration::max());
+  EXPECT_EQ(intervals[1], Duration::max());
+}
+
+TEST(TransferIntervals, SkipsSameStepTies) {
+  // Within a step the generation gap is zero; A must look through to the
+  // next *distinct* step.
+  const std::vector<Duration> ready{30_ms, 10_ms, 10_ms, 10_ms};
+  const auto intervals = transfer_intervals(ready);
+  EXPECT_EQ(intervals[1], 20_ms);
+  EXPECT_EQ(intervals[2], 20_ms);
+  EXPECT_EQ(intervals[3], 20_ms);
+  EXPECT_EQ(intervals[0], Duration::max());
+}
+
+TEST(TransferIntervals, StrictlyDecreasingSeries) {
+  // Per-gradient generation (no blocks): A^(i) = c^(i-1) - c^(i).
+  const std::vector<Duration> ready{40_ms, 30_ms, 20_ms, 10_ms};
+  const auto intervals = transfer_intervals(ready);
+  EXPECT_EQ(intervals[1], 10_ms);
+  EXPECT_EQ(intervals[2], 10_ms);
+  EXPECT_EQ(intervals[3], 10_ms);
+}
+
+}  // namespace
+}  // namespace prophet::dnn

@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "metrics/sweep.hpp"
+
+namespace prophet::metrics {
+namespace {
+
+TEST(ParallelForIndex, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for_index(100, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForIndex, ZeroCountIsNoop) {
+  parallel_for_index(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelForIndex, SingleThreadFallback) {
+  std::vector<int> order;
+  parallel_for_index(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); },
+                     /*max_threads=*/1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForIndex, MoreThreadsThanWork) {
+  std::atomic<int> total{0};
+  parallel_for_index(3, [&](std::size_t i) { total += static_cast<int>(i); },
+                     /*max_threads=*/16);
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ParallelMap, PreservesOrder) {
+  std::vector<int> configs(50);
+  std::iota(configs.begin(), configs.end(), 0);
+  const std::function<int(const int&)> square = [](const int& x) { return x * x; };
+  const auto results = parallel_map<int, int>(configs, square);
+  ASSERT_EQ(results.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)], i * i);
+  }
+}
+
+}  // namespace
+}  // namespace prophet::metrics

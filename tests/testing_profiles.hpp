@@ -1,0 +1,43 @@
+// Shared helpers for core-module tests: hand-built gradient profiles and a
+// cost model with easily hand-computable numbers.
+#pragma once
+
+#include <vector>
+
+#include "core/profile.hpp"
+#include "dnn/stepwise.hpp"
+#include "net/cost_model.hpp"
+
+namespace prophet::core::testing {
+
+// Cost model with no slow start and a fixed 1 ms per-task overhead: a task
+// of N bytes at bandwidth B takes exactly 1 ms + N/B.
+inline net::TcpCostModel simple_cost(Duration overhead = Duration::millis(1)) {
+  net::TcpCostParams params;
+  params.per_task_overhead = overhead;
+  params.slow_start = false;
+  return net::TcpCostModel{params};
+}
+
+// Builds a profile from (ready-offset, size) pairs ordered by gradient index.
+inline GradientProfile make_profile(std::vector<Duration> ready,
+                                    std::vector<Bytes> sizes) {
+  GradientProfile profile;
+  profile.ready = std::move(ready);
+  profile.sizes = std::move(sizes);
+  profile.intervals = dnn::transfer_intervals(profile.ready);
+  profile.iterations_profiled = 1;
+  return profile;
+}
+
+// The paper's Fig. 5 shape: gradient 2 early, gradient 1 at 10 ms (3 units
+// of payload), gradient 0 at 30 ms — at 1 MiB per 10 ms serialization only
+// two thirds of gradient 1 fit before gradient 0 appears.
+inline GradientProfile fig5_profile() {
+  using prophet::Duration;
+  return make_profile(
+      {Duration::millis(30), Duration::millis(10), Duration::millis(0)},
+      {Bytes::mib(1), Bytes::mib(3), Bytes::mib(1)});
+}
+
+}  // namespace prophet::core::testing
