@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allreduce_comparison.dir/bench/allreduce_comparison.cpp.o"
+  "CMakeFiles/allreduce_comparison.dir/bench/allreduce_comparison.cpp.o.d"
+  "bench/allreduce_comparison"
+  "bench/allreduce_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allreduce_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

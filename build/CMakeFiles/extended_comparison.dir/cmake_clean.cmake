@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_comparison.dir/bench/extended_comparison.cpp.o"
+  "CMakeFiles/extended_comparison.dir/bench/extended_comparison.cpp.o.d"
+  "bench/extended_comparison"
+  "bench/extended_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

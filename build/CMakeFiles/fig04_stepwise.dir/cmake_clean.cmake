@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_stepwise.dir/bench/fig04_stepwise.cpp.o"
+  "CMakeFiles/fig04_stepwise.dir/bench/fig04_stepwise.cpp.o.d"
+  "bench/fig04_stepwise"
+  "bench/fig04_stepwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_stepwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

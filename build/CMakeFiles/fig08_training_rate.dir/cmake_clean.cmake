@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_training_rate.dir/bench/fig08_training_rate.cpp.o"
+  "CMakeFiles/fig08_training_rate.dir/bench/fig08_training_rate.cpp.o.d"
+  "bench/fig08_training_rate"
+  "bench/fig08_training_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_training_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_gpu_util.dir/bench/fig09_gpu_util.cpp.o"
+  "CMakeFiles/fig09_gpu_util.dir/bench/fig09_gpu_util.cpp.o.d"
+  "bench/fig09_gpu_util"
+  "bench/fig09_gpu_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_gpu_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

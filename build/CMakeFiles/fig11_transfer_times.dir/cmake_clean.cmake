@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_transfer_times.dir/bench/fig11_transfer_times.cpp.o"
+  "CMakeFiles/fig11_transfer_times.dir/bench/fig11_transfer_times.cpp.o.d"
+  "bench/fig11_transfer_times"
+  "bench/fig11_transfer_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_transfer_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_runtime_overhead.dir/bench/fig13_runtime_overhead.cpp.o"
+  "CMakeFiles/fig13_runtime_overhead.dir/bench/fig13_runtime_overhead.cpp.o.d"
+  "bench/fig13_runtime_overhead"
+  "bench/fig13_runtime_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_runtime_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_bandwidth.dir/bench/table2_bandwidth.cpp.o"
+  "CMakeFiles/table2_bandwidth.dir/bench/table2_bandwidth.cpp.o.d"
+  "bench/table2_bandwidth"
+  "bench/table2_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_batchsize.dir/bench/table3_batchsize.cpp.o"
+  "CMakeFiles/table3_batchsize.dir/bench/table3_batchsize.cpp.o.d"
+  "bench/table3_batchsize"
+  "bench/table3_batchsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_batchsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

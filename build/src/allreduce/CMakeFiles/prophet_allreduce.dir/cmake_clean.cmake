@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prophet_allreduce.dir/cluster.cpp.o"
+  "CMakeFiles/prophet_allreduce.dir/cluster.cpp.o.d"
+  "CMakeFiles/prophet_allreduce.dir/coordinator.cpp.o"
+  "CMakeFiles/prophet_allreduce.dir/coordinator.cpp.o.d"
+  "CMakeFiles/prophet_allreduce.dir/ring.cpp.o"
+  "CMakeFiles/prophet_allreduce.dir/ring.cpp.o.d"
+  "CMakeFiles/prophet_allreduce.dir/worker.cpp.o"
+  "CMakeFiles/prophet_allreduce.dir/worker.cpp.o.d"
+  "libprophet_allreduce.a"
+  "libprophet_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prophet_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

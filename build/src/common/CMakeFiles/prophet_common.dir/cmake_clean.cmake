@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prophet_common.dir/csv.cpp.o"
+  "CMakeFiles/prophet_common.dir/csv.cpp.o.d"
+  "CMakeFiles/prophet_common.dir/flags.cpp.o"
+  "CMakeFiles/prophet_common.dir/flags.cpp.o.d"
+  "CMakeFiles/prophet_common.dir/log.cpp.o"
+  "CMakeFiles/prophet_common.dir/log.cpp.o.d"
+  "CMakeFiles/prophet_common.dir/rng.cpp.o"
+  "CMakeFiles/prophet_common.dir/rng.cpp.o.d"
+  "CMakeFiles/prophet_common.dir/stats.cpp.o"
+  "CMakeFiles/prophet_common.dir/stats.cpp.o.d"
+  "CMakeFiles/prophet_common.dir/table.cpp.o"
+  "CMakeFiles/prophet_common.dir/table.cpp.o.d"
+  "CMakeFiles/prophet_common.dir/time_series.cpp.o"
+  "CMakeFiles/prophet_common.dir/time_series.cpp.o.d"
+  "libprophet_common.a"
+  "libprophet_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prophet_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

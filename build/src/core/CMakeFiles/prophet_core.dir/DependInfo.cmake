@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/block_planner.cpp" "src/core/CMakeFiles/prophet_core.dir/block_planner.cpp.o" "gcc" "src/core/CMakeFiles/prophet_core.dir/block_planner.cpp.o.d"
+  "/root/repo/src/core/local_search.cpp" "src/core/CMakeFiles/prophet_core.dir/local_search.cpp.o" "gcc" "src/core/CMakeFiles/prophet_core.dir/local_search.cpp.o.d"
+  "/root/repo/src/core/oracle.cpp" "src/core/CMakeFiles/prophet_core.dir/oracle.cpp.o" "gcc" "src/core/CMakeFiles/prophet_core.dir/oracle.cpp.o.d"
+  "/root/repo/src/core/perf_model.cpp" "src/core/CMakeFiles/prophet_core.dir/perf_model.cpp.o" "gcc" "src/core/CMakeFiles/prophet_core.dir/perf_model.cpp.o.d"
+  "/root/repo/src/core/profile.cpp" "src/core/CMakeFiles/prophet_core.dir/profile.cpp.o" "gcc" "src/core/CMakeFiles/prophet_core.dir/profile.cpp.o.d"
+  "/root/repo/src/core/prophet_scheduler.cpp" "src/core/CMakeFiles/prophet_core.dir/prophet_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/prophet_core.dir/prophet_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prophet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/prophet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/prophet_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/prophet_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prophet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

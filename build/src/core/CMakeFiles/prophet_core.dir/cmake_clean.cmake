@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prophet_core.dir/block_planner.cpp.o"
+  "CMakeFiles/prophet_core.dir/block_planner.cpp.o.d"
+  "CMakeFiles/prophet_core.dir/local_search.cpp.o"
+  "CMakeFiles/prophet_core.dir/local_search.cpp.o.d"
+  "CMakeFiles/prophet_core.dir/oracle.cpp.o"
+  "CMakeFiles/prophet_core.dir/oracle.cpp.o.d"
+  "CMakeFiles/prophet_core.dir/perf_model.cpp.o"
+  "CMakeFiles/prophet_core.dir/perf_model.cpp.o.d"
+  "CMakeFiles/prophet_core.dir/profile.cpp.o"
+  "CMakeFiles/prophet_core.dir/profile.cpp.o.d"
+  "CMakeFiles/prophet_core.dir/prophet_scheduler.cpp.o"
+  "CMakeFiles/prophet_core.dir/prophet_scheduler.cpp.o.d"
+  "libprophet_core.a"
+  "libprophet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prophet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprophet_core.a"
+)

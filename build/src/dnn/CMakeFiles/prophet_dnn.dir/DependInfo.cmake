@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/gpu.cpp" "src/dnn/CMakeFiles/prophet_dnn.dir/gpu.cpp.o" "gcc" "src/dnn/CMakeFiles/prophet_dnn.dir/gpu.cpp.o.d"
+  "/root/repo/src/dnn/iteration_model.cpp" "src/dnn/CMakeFiles/prophet_dnn.dir/iteration_model.cpp.o" "gcc" "src/dnn/CMakeFiles/prophet_dnn.dir/iteration_model.cpp.o.d"
+  "/root/repo/src/dnn/model_builder.cpp" "src/dnn/CMakeFiles/prophet_dnn.dir/model_builder.cpp.o" "gcc" "src/dnn/CMakeFiles/prophet_dnn.dir/model_builder.cpp.o.d"
+  "/root/repo/src/dnn/model_zoo.cpp" "src/dnn/CMakeFiles/prophet_dnn.dir/model_zoo.cpp.o" "gcc" "src/dnn/CMakeFiles/prophet_dnn.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/dnn/stepwise.cpp" "src/dnn/CMakeFiles/prophet_dnn.dir/stepwise.cpp.o" "gcc" "src/dnn/CMakeFiles/prophet_dnn.dir/stepwise.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prophet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

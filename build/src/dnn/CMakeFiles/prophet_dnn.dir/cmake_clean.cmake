@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prophet_dnn.dir/gpu.cpp.o"
+  "CMakeFiles/prophet_dnn.dir/gpu.cpp.o.d"
+  "CMakeFiles/prophet_dnn.dir/iteration_model.cpp.o"
+  "CMakeFiles/prophet_dnn.dir/iteration_model.cpp.o.d"
+  "CMakeFiles/prophet_dnn.dir/model_builder.cpp.o"
+  "CMakeFiles/prophet_dnn.dir/model_builder.cpp.o.d"
+  "CMakeFiles/prophet_dnn.dir/model_zoo.cpp.o"
+  "CMakeFiles/prophet_dnn.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/prophet_dnn.dir/stepwise.cpp.o"
+  "CMakeFiles/prophet_dnn.dir/stepwise.cpp.o.d"
+  "libprophet_dnn.a"
+  "libprophet_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prophet_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/chrome_trace.cpp" "src/metrics/CMakeFiles/prophet_metrics.dir/chrome_trace.cpp.o" "gcc" "src/metrics/CMakeFiles/prophet_metrics.dir/chrome_trace.cpp.o.d"
+  "/root/repo/src/metrics/gpu_tracker.cpp" "src/metrics/CMakeFiles/prophet_metrics.dir/gpu_tracker.cpp.o" "gcc" "src/metrics/CMakeFiles/prophet_metrics.dir/gpu_tracker.cpp.o.d"
+  "/root/repo/src/metrics/sweep.cpp" "src/metrics/CMakeFiles/prophet_metrics.dir/sweep.cpp.o" "gcc" "src/metrics/CMakeFiles/prophet_metrics.dir/sweep.cpp.o.d"
+  "/root/repo/src/metrics/training_metrics.cpp" "src/metrics/CMakeFiles/prophet_metrics.dir/training_metrics.cpp.o" "gcc" "src/metrics/CMakeFiles/prophet_metrics.dir/training_metrics.cpp.o.d"
+  "/root/repo/src/metrics/transfer_log.cpp" "src/metrics/CMakeFiles/prophet_metrics.dir/transfer_log.cpp.o" "gcc" "src/metrics/CMakeFiles/prophet_metrics.dir/transfer_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prophet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/prophet_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

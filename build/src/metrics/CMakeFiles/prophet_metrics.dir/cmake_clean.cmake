@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prophet_metrics.dir/chrome_trace.cpp.o"
+  "CMakeFiles/prophet_metrics.dir/chrome_trace.cpp.o.d"
+  "CMakeFiles/prophet_metrics.dir/gpu_tracker.cpp.o"
+  "CMakeFiles/prophet_metrics.dir/gpu_tracker.cpp.o.d"
+  "CMakeFiles/prophet_metrics.dir/sweep.cpp.o"
+  "CMakeFiles/prophet_metrics.dir/sweep.cpp.o.d"
+  "CMakeFiles/prophet_metrics.dir/training_metrics.cpp.o"
+  "CMakeFiles/prophet_metrics.dir/training_metrics.cpp.o.d"
+  "CMakeFiles/prophet_metrics.dir/transfer_log.cpp.o"
+  "CMakeFiles/prophet_metrics.dir/transfer_log.cpp.o.d"
+  "libprophet_metrics.a"
+  "libprophet_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prophet_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

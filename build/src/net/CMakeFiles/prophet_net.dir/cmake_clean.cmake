@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prophet_net.dir/cost_model.cpp.o"
+  "CMakeFiles/prophet_net.dir/cost_model.cpp.o.d"
+  "CMakeFiles/prophet_net.dir/flow_network.cpp.o"
+  "CMakeFiles/prophet_net.dir/flow_network.cpp.o.d"
+  "CMakeFiles/prophet_net.dir/monitor.cpp.o"
+  "CMakeFiles/prophet_net.dir/monitor.cpp.o.d"
+  "libprophet_net.a"
+  "libprophet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prophet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prophet_ps.dir/cluster.cpp.o"
+  "CMakeFiles/prophet_ps.dir/cluster.cpp.o.d"
+  "CMakeFiles/prophet_ps.dir/server.cpp.o"
+  "CMakeFiles/prophet_ps.dir/server.cpp.o.d"
+  "CMakeFiles/prophet_ps.dir/strategy.cpp.o"
+  "CMakeFiles/prophet_ps.dir/strategy.cpp.o.d"
+  "CMakeFiles/prophet_ps.dir/trace_export.cpp.o"
+  "CMakeFiles/prophet_ps.dir/trace_export.cpp.o.d"
+  "CMakeFiles/prophet_ps.dir/worker.cpp.o"
+  "CMakeFiles/prophet_ps.dir/worker.cpp.o.d"
+  "libprophet_ps.a"
+  "libprophet_ps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prophet_ps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/bayesopt.cpp" "src/sched/CMakeFiles/prophet_sched.dir/bayesopt.cpp.o" "gcc" "src/sched/CMakeFiles/prophet_sched.dir/bayesopt.cpp.o.d"
+  "/root/repo/src/sched/bytescheduler.cpp" "src/sched/CMakeFiles/prophet_sched.dir/bytescheduler.cpp.o" "gcc" "src/sched/CMakeFiles/prophet_sched.dir/bytescheduler.cpp.o.d"
+  "/root/repo/src/sched/fifo.cpp" "src/sched/CMakeFiles/prophet_sched.dir/fifo.cpp.o" "gcc" "src/sched/CMakeFiles/prophet_sched.dir/fifo.cpp.o.d"
+  "/root/repo/src/sched/mg_wfbp.cpp" "src/sched/CMakeFiles/prophet_sched.dir/mg_wfbp.cpp.o" "gcc" "src/sched/CMakeFiles/prophet_sched.dir/mg_wfbp.cpp.o.d"
+  "/root/repo/src/sched/p3.cpp" "src/sched/CMakeFiles/prophet_sched.dir/p3.cpp.o" "gcc" "src/sched/CMakeFiles/prophet_sched.dir/p3.cpp.o.d"
+  "/root/repo/src/sched/partition_queue.cpp" "src/sched/CMakeFiles/prophet_sched.dir/partition_queue.cpp.o" "gcc" "src/sched/CMakeFiles/prophet_sched.dir/partition_queue.cpp.o.d"
+  "/root/repo/src/sched/task.cpp" "src/sched/CMakeFiles/prophet_sched.dir/task.cpp.o" "gcc" "src/sched/CMakeFiles/prophet_sched.dir/task.cpp.o.d"
+  "/root/repo/src/sched/tictac.cpp" "src/sched/CMakeFiles/prophet_sched.dir/tictac.cpp.o" "gcc" "src/sched/CMakeFiles/prophet_sched.dir/tictac.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prophet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prophet_sched.dir/bayesopt.cpp.o"
+  "CMakeFiles/prophet_sched.dir/bayesopt.cpp.o.d"
+  "CMakeFiles/prophet_sched.dir/bytescheduler.cpp.o"
+  "CMakeFiles/prophet_sched.dir/bytescheduler.cpp.o.d"
+  "CMakeFiles/prophet_sched.dir/fifo.cpp.o"
+  "CMakeFiles/prophet_sched.dir/fifo.cpp.o.d"
+  "CMakeFiles/prophet_sched.dir/mg_wfbp.cpp.o"
+  "CMakeFiles/prophet_sched.dir/mg_wfbp.cpp.o.d"
+  "CMakeFiles/prophet_sched.dir/p3.cpp.o"
+  "CMakeFiles/prophet_sched.dir/p3.cpp.o.d"
+  "CMakeFiles/prophet_sched.dir/partition_queue.cpp.o"
+  "CMakeFiles/prophet_sched.dir/partition_queue.cpp.o.d"
+  "CMakeFiles/prophet_sched.dir/task.cpp.o"
+  "CMakeFiles/prophet_sched.dir/task.cpp.o.d"
+  "CMakeFiles/prophet_sched.dir/tictac.cpp.o"
+  "CMakeFiles/prophet_sched.dir/tictac.cpp.o.d"
+  "libprophet_sched.a"
+  "libprophet_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prophet_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

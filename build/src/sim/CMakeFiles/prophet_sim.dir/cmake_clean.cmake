@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prophet_sim.dir/simulator.cpp.o"
+  "CMakeFiles/prophet_sim.dir/simulator.cpp.o.d"
+  "libprophet_sim.a"
+  "libprophet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prophet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_schedulers.dir/test_baseline_schedulers.cpp.o"
+  "CMakeFiles/test_baseline_schedulers.dir/test_baseline_schedulers.cpp.o.d"
+  "test_baseline_schedulers"
+  "test_baseline_schedulers.pdb"
+  "test_baseline_schedulers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_planner.dir/test_block_planner.cpp.o"
+  "CMakeFiles/test_block_planner.dir/test_block_planner.cpp.o.d"
+  "test_block_planner"
+  "test_block_planner.pdb"
+  "test_block_planner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

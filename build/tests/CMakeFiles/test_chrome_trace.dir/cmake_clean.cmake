@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chrome_trace.dir/test_chrome_trace.cpp.o"
+  "CMakeFiles/test_chrome_trace.dir/test_chrome_trace.cpp.o.d"
+  "test_chrome_trace"
+  "test_chrome_trace.pdb"
+  "test_chrome_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chrome_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_validation.dir/test_engine_validation.cpp.o"
+  "CMakeFiles/test_engine_validation.dir/test_engine_validation.cpp.o.d"
+  "test_engine_validation"
+  "test_engine_validation.pdb"
+  "test_engine_validation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

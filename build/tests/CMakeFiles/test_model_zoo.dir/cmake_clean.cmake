@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_zoo.dir/test_model_zoo.cpp.o"
+  "CMakeFiles/test_model_zoo.dir/test_model_zoo.cpp.o.d"
+  "test_model_zoo"
+  "test_model_zoo.pdb"
+  "test_model_zoo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

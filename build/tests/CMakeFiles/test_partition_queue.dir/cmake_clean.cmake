@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_queue.dir/test_partition_queue.cpp.o"
+  "CMakeFiles/test_partition_queue.dir/test_partition_queue.cpp.o.d"
+  "test_partition_queue"
+  "test_partition_queue.pdb"
+  "test_partition_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sweep.cpp" "tests/CMakeFiles/test_sweep.dir/test_sweep.cpp.o" "gcc" "tests/CMakeFiles/test_sweep.dir/test_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/allreduce/CMakeFiles/prophet_allreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/ps/CMakeFiles/prophet_ps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/prophet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/prophet_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/prophet_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/prophet_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/prophet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prophet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prophet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_time_units.dir/test_time_units.cpp.o"
+  "CMakeFiles/test_time_units.dir/test_time_units.cpp.o.d"
+  "test_time_units"
+  "test_time_units.pdb"
+  "test_time_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_time_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
