@@ -19,10 +19,10 @@ namespace prophet::bench {
 namespace {
 
 ps::ClusterConfig prophet_at(Bandwidth bw, core::ProphetConfig prophet_cfg) {
-  auto strategy = ps::StrategyConfig::make_prophet(prophet_cfg);
+  auto strategy = ps::StrategyConfig::prophet(prophet_cfg);
   auto cfg = paper_cluster(dnn::resnet50(), 64, 3, bw, strategy, 36);
-  cfg.strategy.prophet = prophet_cfg;
-  cfg.strategy.prophet.profile_iterations = 8;
+  cfg.strategy.prophet_config = prophet_cfg;
+  cfg.strategy.prophet_config.profile_iterations = 8;
   return cfg;
 }
 
@@ -149,7 +149,7 @@ void ps_cpu_ablation() {
   for (bool serialize : {false, true}) {
     for (double gb : agg_gbps) {
       auto cfg = paper_cluster(dnn::resnet50(), 64, 3, Bandwidth::gbps(3),
-                               ps::StrategyConfig::make_prophet(), 36);
+                               ps::StrategyConfig::prophet(), 36);
       cfg.serialize_ps_cpu = serialize;
       cfg.update_bytes_per_sec = gb * 1e9;
       configs.push_back(std::move(cfg));
@@ -235,9 +235,9 @@ void group_cap_ablation() {
       p.forward_group_max = Bytes::mib(cap);
       auto cfg = paper_cluster(dnn::model_by_name(c.model), c.batch, 3,
                                Bandwidth::gbps(c.gbps),
-                               ps::StrategyConfig::make_prophet(p), 36);
-      cfg.strategy.prophet = p;
-      cfg.strategy.prophet.profile_iterations = 8;
+                               ps::StrategyConfig::prophet(p), 36);
+      cfg.strategy.prophet_config = p;
+      cfg.strategy.prophet_config.profile_iterations = 8;
       configs.push_back(std::move(cfg));
     }
   }

@@ -22,7 +22,7 @@ int run() {
   auto contenders = all_contenders();
   contenders.insert(contenders.begin() + 2,
                     {Contender{"TicTac", ps::StrategyConfig::tictac()},
-                     Contender{"MG-WFBP", ps::StrategyConfig::make_mg_wfbp()}});
+                     Contender{"MG-WFBP", ps::StrategyConfig::mg_wfbp()}});
 
   auto csv = make_csv("allreduce_comparison", {"gbps", "strategy", "rate", "util"});
   for (double gbps : {1.0, 3.0, 10.0}) {
@@ -36,7 +36,7 @@ int run() {
       cfg.iterations = 30;
       cfg.worker_bandwidth = Bandwidth::gbps(gbps);
       cfg.strategy = contender.strategy;
-      cfg.strategy.prophet.profile_iterations = 8;
+      cfg.strategy.prophet_config.profile_iterations = 8;
       const auto result = ar::run_allreduce(cfg);
       table.add_row({contender.label, TextTable::num(result.mean_rate(), 4),
                      TextTable::pct(result.mean_utilization())});

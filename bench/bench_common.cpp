@@ -37,17 +37,22 @@ ps::ClusterConfig paper_cluster(const dnn::ModelSpec& model, int batch,
   cfg.iterations = iterations;
   // Keep the profiling phase short relative to bench length; its cost is
   // measured explicitly by fig13_runtime_overhead.
-  cfg.strategy.prophet.profile_iterations = 8;
+  cfg.strategy.prophet_config.profile_iterations = 8;
   return cfg;
 }
 
 std::vector<Contender> all_contenders(bool bs_autotune) {
-  return {
-      {"MXNet (FIFO)", ps::StrategyConfig::fifo()},
-      {"P3", ps::StrategyConfig::p3()},
-      {"ByteScheduler", ps::StrategyConfig::make_bytescheduler(Bytes::mib(4), bs_autotune)},
-      {"Prophet", ps::StrategyConfig::make_prophet()},
-  };
+  // The paper's four contenders, resolved through the strategy registry so
+  // names and display labels stay in one place.
+  const std::vector<std::string> names = {
+      "fifo", "p3", bs_autotune ? "bytescheduler-autotune" : "bytescheduler",
+      "prophet"};
+  std::vector<Contender> out;
+  for (const auto& name : names) {
+    const auto strategy = ps::StrategyConfig::from_name(name);
+    out.push_back({ps::StrategyConfig::display_label(name), *strategy});
+  }
+  return out;
 }
 
 double measure_rate(const ps::ClusterConfig& config) {

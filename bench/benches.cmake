@@ -34,6 +34,7 @@ prophet_bench(fig13_runtime_overhead)
 prophet_bench(table2_bandwidth)
 prophet_bench(table3_batchsize)
 prophet_bench(hetero_cluster)
+prophet_bench(dynamics_sensitivity)
 prophet_bench(ablation)
 prophet_bench(extended_comparison)
 prophet_bench(allreduce_comparison)

@@ -15,7 +15,7 @@ std::vector<Contender> extended_contenders() {
   auto contenders = all_contenders();
   contenders.insert(contenders.begin() + 2,
                     {Contender{"TicTac", ps::StrategyConfig::tictac()},
-                     Contender{"MG-WFBP", ps::StrategyConfig::make_mg_wfbp()}});
+                     Contender{"MG-WFBP", ps::StrategyConfig::mg_wfbp()}});
   return contenders;
 }
 

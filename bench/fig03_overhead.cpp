@@ -45,9 +45,9 @@ void part_b() {
   banner("Fig. 3(b) — ByteScheduler rate fluctuation under credit auto-tuning",
          "ResNet50, batch 64, 3 workers, 1 Gbps; GP-UCB credit tuner active");
   auto cfg = paper_cluster(dnn::resnet50(), 64, 3, Bandwidth::gbps(1),
-                           ps::StrategyConfig::make_bytescheduler(Bytes::mib(4), true),
+                           ps::StrategyConfig::bytescheduler(Bytes::mib(4), true),
                            90);
-  cfg.strategy.bytescheduler.tune_interval_iters = 4;
+  cfg.strategy.bytescheduler_config.tune_interval_iters = 4;
   const auto result = ps::run_cluster(cfg, 4);
   const auto& training = result.workers[0].training;
   const auto rates = training.per_iteration_rates(4, cfg.iterations);

@@ -30,9 +30,9 @@ int run() {
     const auto model = dnn::model_by_name(w.model);
     configs.push_back(paper_cluster(
         model, w.batch, 3, Bandwidth::gbps(2),
-        ps::StrategyConfig::make_bytescheduler(Bytes::mib(4), true), 36));
+        ps::StrategyConfig::bytescheduler(Bytes::mib(4), true), 36));
     configs.push_back(paper_cluster(model, w.batch, 3, Bandwidth::gbps(2),
-                                    ps::StrategyConfig::make_prophet(), 36));
+                                    ps::StrategyConfig::prophet(), 36));
   }
   const auto results = run_all(configs);
 

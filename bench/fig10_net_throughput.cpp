@@ -14,10 +14,10 @@ int run() {
          "batch 64, 3 workers, 1 Gbps worker NICs; uplink + downlink");
 
   auto bs_cfg = paper_cluster(dnn::resnet50(), 64, 3, Bandwidth::gbps(1),
-                              ps::StrategyConfig::make_bytescheduler(Bytes::mib(4), true),
+                              ps::StrategyConfig::bytescheduler(Bytes::mib(4), true),
                               40);
   auto prophet_cfg = paper_cluster(dnn::resnet50(), 64, 3, Bandwidth::gbps(1),
-                                   ps::StrategyConfig::make_prophet(), 40);
+                                   ps::StrategyConfig::prophet(), 40);
   const auto results = run_all({bs_cfg, prophet_cfg});
 
   auto total_series = [](const ps::WorkerResult& w, std::size_t bin) {

@@ -19,9 +19,9 @@ int run() {
       paper_cluster(dnn::resnet50(), 64, 3, Bandwidth::gbps(2),
                     ps::StrategyConfig::fifo(), 36),
       paper_cluster(dnn::resnet50(), 64, 3, Bandwidth::gbps(2),
-                    ps::StrategyConfig::make_bytescheduler(Bytes::mib(4), true), 36),
+                    ps::StrategyConfig::bytescheduler(Bytes::mib(4), true), 36),
       paper_cluster(dnn::resnet50(), 64, 3, Bandwidth::gbps(2),
-                    ps::StrategyConfig::make_prophet(), 36),
+                    ps::StrategyConfig::prophet(), 36),
   };
   const std::vector<std::string> labels{"MXNet", "ByteScheduler", "Prophet"};
   const auto results = run_all(configs);

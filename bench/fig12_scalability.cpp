@@ -18,7 +18,7 @@ int run() {
   const std::vector<std::size_t> worker_counts{2, 3, 4, 5, 6, 7, 8};
   for (std::size_t workers : worker_counts) {
     auto cfg = paper_cluster(dnn::resnet50(), 64, workers, Bandwidth::gbps(10),
-                             ps::StrategyConfig::make_prophet(), 32);
+                             ps::StrategyConfig::prophet(), 32);
     cfg.ps_bandwidth = Bandwidth::gbps(5.0 * static_cast<double>(workers));
     configs.push_back(std::move(cfg));
   }

@@ -26,8 +26,8 @@ void profiling_cost() {
   for (const auto& c : cases) {
     auto cfg = paper_cluster(dnn::model_by_name(c.model), c.batch, 3,
                              Bandwidth::gbps(10),
-                             ps::StrategyConfig::make_prophet(), 60);
-    cfg.strategy.prophet.profile_iterations = 50;
+                             ps::StrategyConfig::prophet(), 60);
+    cfg.strategy.prophet_config.profile_iterations = 50;
     configs.push_back(std::move(cfg));
   }
   const auto results = run_all(configs);
@@ -65,10 +65,10 @@ void early_utilization() {
   banner("Fig. 13 — GPU utilization in the early training stage",
          "ResNet50 b64, 2 Gbps; Prophet profiles (FIFO-like) then overtakes");
   auto prophet_cfg = paper_cluster(dnn::resnet50(), 64, 3, Bandwidth::gbps(2),
-                                   ps::StrategyConfig::make_prophet(), 36);
-  prophet_cfg.strategy.prophet.profile_iterations = 8;
+                                   ps::StrategyConfig::prophet(), 36);
+  prophet_cfg.strategy.prophet_config.profile_iterations = 8;
   auto bs_cfg = paper_cluster(dnn::resnet50(), 64, 3, Bandwidth::gbps(2),
-                              ps::StrategyConfig::make_bytescheduler(Bytes::mib(4), true),
+                              ps::StrategyConfig::bytescheduler(Bytes::mib(4), true),
                               36);
   const auto results = run_all({prophet_cfg, bs_cfg});
   const auto& prophet = results[0].workers[0];

@@ -40,7 +40,7 @@ int run() {
 
   // ASP extension (paper future work): the fast workers decouple.
   auto asp_cfg = paper_cluster(dnn::resnet50(), 64, 3, Bandwidth::gbps(10),
-                               ps::StrategyConfig::make_prophet(), 36);
+                               ps::StrategyConfig::prophet(), 36);
   asp_cfg.worker_bandwidth_override = {Bandwidth::mbps(500)};
   asp_cfg.sync = ps::SyncMode::kAsp;
   const auto asp = ps::run_cluster(asp_cfg);

@@ -100,8 +100,8 @@ void BM_FullIterationSimulation(benchmark::State& state) {
   cfg.iterations = 12;
   cfg.worker_bandwidth = Bandwidth::gbps(3);
   cfg.strategy = state.range(0) == 0 ? ps::StrategyConfig::fifo()
-                                     : ps::StrategyConfig::make_prophet();
-  cfg.strategy.prophet.profile_iterations = 4;
+                                     : ps::StrategyConfig::prophet();
+  cfg.strategy.prophet_config.profile_iterations = 4;
   for (auto _ : state) {
     benchmark::DoNotOptimize(ps::run_cluster(cfg, 6));
   }

@@ -20,10 +20,10 @@ void table2() {
   for (double m : mbps) {
     const Bandwidth bw = Bandwidth::mbps(m);
     configs.push_back(paper_cluster(dnn::resnet50(), 64, 3, bw,
-                                    ps::StrategyConfig::make_prophet(), 36));
+                                    ps::StrategyConfig::prophet(), 36));
     configs.push_back(paper_cluster(
         dnn::resnet50(), 64, 3, bw,
-        ps::StrategyConfig::make_bytescheduler(Bytes::mib(4), true), 36));
+        ps::StrategyConfig::bytescheduler(Bytes::mib(4), true), 36));
     configs.push_back(
         paper_cluster(dnn::resnet50(), 64, 3, bw, ps::StrategyConfig::p3(), 36));
   }
@@ -52,7 +52,7 @@ void resnet18_vs_mxnet() {
   for (double gbps : {3.0, 10.0}) {
     for (const auto& strategy :
          {ps::StrategyConfig::fifo(), ps::StrategyConfig::p3(),
-          ps::StrategyConfig::make_prophet()}) {
+          ps::StrategyConfig::prophet()}) {
       configs.push_back(paper_cluster(dnn::resnet18(), 64, 3,
                                       Bandwidth::gbps(gbps), strategy, 48));
     }

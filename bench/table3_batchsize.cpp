@@ -26,10 +26,10 @@ int run() {
   for (const auto& row : rows) {
     const auto model = dnn::model_by_name(row.model);
     configs.push_back(paper_cluster(model, row.batch, 3, Bandwidth::gbps(2),
-                                    ps::StrategyConfig::make_prophet(), 40));
+                                    ps::StrategyConfig::prophet(), 40));
     configs.push_back(paper_cluster(
         model, row.batch, 3, Bandwidth::gbps(2),
-        ps::StrategyConfig::make_bytescheduler(Bytes::mib(4), true), 40));
+        ps::StrategyConfig::bytescheduler(Bytes::mib(4), true), 40));
   }
   const auto results = run_all(configs);
 

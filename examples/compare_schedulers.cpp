@@ -28,8 +28,8 @@ int main(int argc, char** argv) {
       {"mxnet-fifo", ps::StrategyConfig::fifo()},
       {"p3 (4 MB partitions)", ps::StrategyConfig::p3()},
       {"bytescheduler (autotuned credit)",
-       ps::StrategyConfig::make_bytescheduler(Bytes::mib(4), true)},
-      {"prophet", ps::StrategyConfig::make_prophet()},
+       ps::StrategyConfig::bytescheduler(Bytes::mib(4), true)},
+      {"prophet", ps::StrategyConfig::prophet()},
   };
 
   std::vector<ps::ClusterConfig> configs;
@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     cfg.ps_bandwidth = Bandwidth::gbps(10);
     cfg.iterations = 40;
     cfg.strategy = contender.strategy;
-    cfg.strategy.prophet.profile_iterations = 8;
+    cfg.strategy.prophet_config.profile_iterations = 8;
     configs.push_back(std::move(cfg));
   }
 

@@ -67,8 +67,8 @@ int main() {
   cfg.num_workers = 2;
   cfg.worker_bandwidth = Bandwidth::gbps(1);
   cfg.iterations = 30;
-  cfg.strategy = ps::StrategyConfig::make_prophet();
-  cfg.strategy.prophet.profile_iterations = 6;
+  cfg.strategy = ps::StrategyConfig::prophet();
+  cfg.strategy.prophet_config.profile_iterations = 6;
   const auto result = ps::run_cluster(cfg);
   std::printf("\nSimulated training: %.1f samples/s per worker at %.1f%% GPU "
               "utilization\n",

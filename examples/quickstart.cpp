@@ -22,8 +22,8 @@ int main() {
   // 2. Pick the communication scheduling strategy. Prophet profiles the
   //    first iterations, then assembles gradient blocks sized to the
   //    stepwise generation pattern and the monitored bandwidth.
-  config.strategy = ps::StrategyConfig::make_prophet();
-  config.strategy.prophet.profile_iterations = 10;
+  config.strategy = ps::StrategyConfig::prophet();
+  config.strategy.prophet_config.profile_iterations = 10;
 
   // 3. Run the simulation and read the results.
   const ps::ClusterResult result = ps::run_cluster(config);

@@ -1,19 +1,32 @@
 // Unified experiment runner: any model x strategy x architecture x network
-// configuration from the command line, with optional trace export.
+// configuration from the command line, with optional trace export and
+// network-dynamics / fault injection.
 //
 //   ./build/examples/run_experiment --model resnet50 --batch 64
 //       --workers 3 --gbps 2 --strategy prophet --arch ps --iterations 40
 //   ./build/examples/run_experiment --arch allreduce --strategy mg-wfbp
 //   ./build/examples/run_experiment --strategy prophet --trace run.trace.json
+//   ./build/examples/run_experiment --dynamics fluctuate:0.4:2 --iterations 60
+//   ./build/examples/run_experiment --outage 20:5:1 --straggler 0:1.5:30
 #include <cstdio>
 #include <string>
 
 #include "allreduce/cluster.hpp"
 #include "common/flags.hpp"
+#include "net/dynamics.hpp"
 #include "ps/cluster.hpp"
 #include "ps/trace_export.hpp"
 
 namespace {
+
+std::string strategy_list() {
+  std::string out;
+  for (const auto& name : prophet::ps::StrategyConfig::known_names()) {
+    if (!out.empty()) out += "|";
+    out += name;
+  }
+  return out;
+}
 
 void usage() {
   std::printf(
@@ -24,29 +37,22 @@ void usage() {
       "  --workers N        worker count (default 3)\n"
       "  --gbps X           worker NIC rate in Gbit/s (default 3)\n"
       "  --ps-gbps X        PS NIC rate (default 10; PS architecture only)\n"
-      "  --strategy NAME    fifo|p3|tictac|mg-wfbp|bytescheduler|\n"
-      "                     bytescheduler-autotune|prophet (default prophet)\n"
+      "  --strategy NAME    %s\n"
+      "                     (default prophet)\n"
       "  --arch NAME        ps|allreduce (default ps)\n"
       "  --iterations N     training iterations (default 40)\n"
       "  --profile-iters N  Prophet profiling length (default 10)\n"
       "  --seed N           simulation seed (default 42)\n"
       "  --asp              asynchronous parallel updates (PS only)\n"
-      "  --trace PATH       write a Chrome trace of the run (PS only)\n");
-}
-
-std::optional<prophet::ps::StrategyConfig> strategy_by_name(const std::string& name) {
-  using prophet::ps::StrategyConfig;
-  using prophet::Bytes;
-  if (name == "fifo") return StrategyConfig::fifo();
-  if (name == "p3") return StrategyConfig::p3();
-  if (name == "tictac") return StrategyConfig::tictac();
-  if (name == "mg-wfbp") return StrategyConfig::make_mg_wfbp();
-  if (name == "bytescheduler") return StrategyConfig::make_bytescheduler();
-  if (name == "bytescheduler-autotune") {
-    return StrategyConfig::make_bytescheduler(Bytes::mib(4), true);
-  }
-  if (name == "prophet") return StrategyConfig::make_prophet();
-  return std::nullopt;
+      "  --trace PATH       write a Chrome trace of the run (PS only)\n"
+      "\nnetwork dynamics & fault injection (PS only):\n"
+      "  --dynamics SPEC    none | fluctuate:AMP[:PERIOD_S] | step:T_S:FACTOR[:WORKER]\n"
+      "                     | trace:PATH  — scripted/random bandwidth timeline\n"
+      "  --outage SPEC      T_S:DUR_S[:WORKER]  — transient link outage\n"
+      "                     (all workers when WORKER is omitted)\n"
+      "  --straggler SPEC   WORKER:FACTOR[:T_S]  — slow one worker's compute\n"
+      "  --ps-degrade SPEC  FACTOR[:T_S]  — scale the PS update CPU cost\n",
+      strategy_list().c_str());
 }
 
 }  // namespace
@@ -61,9 +67,10 @@ int main(int argc, char** argv) {
   }
 
   const std::string strategy_name = flags->get("strategy", std::string{"prophet"});
-  const auto strategy = strategy_by_name(strategy_name);
+  const auto strategy = ps::StrategyConfig::from_name(strategy_name);
   if (!strategy.has_value()) {
-    std::fprintf(stderr, "unknown --strategy '%s'\n\n", strategy_name.c_str());
+    std::fprintf(stderr, "unknown --strategy '%s' (want %s)\n\n",
+                 strategy_name.c_str(), strategy_list().c_str());
     usage();
     return 1;
   }
@@ -77,17 +84,55 @@ int main(int argc, char** argv) {
   cfg.iterations = static_cast<std::size_t>(flags->get("iterations", std::int64_t{40}));
   cfg.seed = static_cast<std::uint64_t>(flags->get("seed", std::int64_t{42}));
   cfg.strategy = *strategy;
-  cfg.strategy.prophet.profile_iterations =
+  cfg.strategy.prophet_config.profile_iterations =
       static_cast<std::size_t>(flags->get("profile-iters", std::int64_t{10}));
   if (flags->get("asp", false)) cfg.sync = ps::SyncMode::kAsp;
 
+  // Dynamics timeline: --dynamics builds the base plan, the targeted fault
+  // flags append to it, and the merged plan is re-sorted before the run.
+  std::string dyn_error;
+  auto plan = net::DynamicsPlan::from_spec(
+      flags->get("dynamics", std::string{"none"}), cfg.seed, cfg.metrics_horizon,
+      cfg.num_workers, &dyn_error);
+  if (!plan.has_value()) {
+    std::fprintf(stderr, "%s\n", dyn_error.c_str());
+    return 1;
+  }
+  if (flags->has("outage") &&
+      !plan->add_outage_spec(flags->get("outage", std::string{}), &dyn_error)) {
+    std::fprintf(stderr, "%s\n", dyn_error.c_str());
+    return 1;
+  }
+  if (flags->has("straggler") &&
+      !plan->add_straggler_spec(flags->get("straggler", std::string{}), &dyn_error)) {
+    std::fprintf(stderr, "%s\n", dyn_error.c_str());
+    return 1;
+  }
+  if (flags->has("ps-degrade") &&
+      !plan->add_ps_degrade_spec(flags->get("ps-degrade", std::string{}),
+                                 &dyn_error)) {
+    std::fprintf(stderr, "%s\n", dyn_error.c_str());
+    return 1;
+  }
+  plan->sort();
+  cfg.dynamics = std::move(*plan);
+
   const std::string arch = flags->get("arch", std::string{"ps"});
-  std::printf("%s | %s | %zu workers | %s | batch %d | %zu iterations\n",
+  std::printf("%s | %s | %zu workers | %s | batch %d | %zu iterations",
               arch.c_str(), cfg.model.name().c_str(), cfg.num_workers,
               format_bandwidth(cfg.worker_bandwidth).c_str(), cfg.batch,
               cfg.iterations);
+  if (!cfg.dynamics.empty()) {
+    std::printf(" | %zu dynamics events", cfg.dynamics.events.size());
+  }
+  std::printf("\n");
 
   if (arch == "allreduce") {
+    if (!cfg.dynamics.empty()) {
+      std::fprintf(stderr,
+                   "warning: dynamics/fault flags only apply to --arch ps; "
+                   "the allreduce ring ignores them\n");
+    }
     const auto result = ar::run_allreduce(cfg);
     std::printf("[%s/ring] rate %.2f samples/s/worker, GPU utilization %.1f%%\n",
                 strategy_name.c_str(), result.mean_rate(),
@@ -107,6 +152,10 @@ int main(int argc, char** argv) {
       result.measure_first, result.measure_last, sched::TaskKind::kPush);
   std::printf("mean gradient wait %.2f ms, mean transfer %.2f ms (%zu pushes)\n",
               waits.mean_wait_ms, waits.mean_transfer_ms, waits.count);
+  if (result.workers[0].prophet_replans > 0) {
+    std::printf("Prophet re-planned %zu times on monitored bandwidth drift\n",
+                result.workers[0].prophet_replans);
+  }
   if (flags->has("trace")) {
     const std::string path = flags->get("trace", std::string{"run.trace.json"});
     ps::export_chrome_trace(result, path);

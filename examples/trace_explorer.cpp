@@ -18,19 +18,15 @@ int main(int argc, char** argv) {
   const std::string strategy_name = argc > 1 ? argv[1] : "prophet";
   const std::string out_path = argc > 2 ? argv[2] : "trace.csv";
 
-  ps::StrategyConfig strategy;
-  if (strategy_name == "fifo") {
-    strategy = ps::StrategyConfig::fifo();
-  } else if (strategy_name == "p3") {
-    strategy = ps::StrategyConfig::p3();
-  } else if (strategy_name == "bytescheduler") {
-    strategy = ps::StrategyConfig::make_bytescheduler();
-  } else if (strategy_name == "prophet") {
-    strategy = ps::StrategyConfig::make_prophet();
-  } else {
-    std::fprintf(stderr,
-                 "unknown strategy '%s' (want fifo|p3|bytescheduler|prophet)\n",
-                 strategy_name.c_str());
+  const auto strategy = ps::StrategyConfig::from_name(strategy_name);
+  if (!strategy.has_value()) {
+    std::string names;
+    for (const auto& n : ps::StrategyConfig::known_names()) {
+      if (!names.empty()) names += "|";
+      names += n;
+    }
+    std::fprintf(stderr, "unknown strategy '%s' (want %s)\n",
+                 strategy_name.c_str(), names.c_str());
     return 1;
   }
 
@@ -40,8 +36,8 @@ int main(int argc, char** argv) {
   cfg.num_workers = 3;
   cfg.worker_bandwidth = Bandwidth::gbps(2);
   cfg.iterations = 24;
-  cfg.strategy = strategy;
-  cfg.strategy.prophet.profile_iterations = 6;
+  cfg.strategy = *strategy;
+  cfg.strategy.prophet_config.profile_iterations = 6;
 
   const auto result = ps::run_cluster(cfg);
   const auto& records = result.workers[0].transfers.records();

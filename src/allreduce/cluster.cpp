@@ -87,7 +87,7 @@ AllReduceResult run_allreduce(const ps::ClusterConfig& cfg,
   if (!measure_first.has_value()) {
     std::size_t warmup = 3;
     if (cfg.strategy.kind == ps::StrategyConfig::Kind::kProphet) {
-      warmup = cfg.strategy.prophet.profile_iterations + 3;
+      warmup = cfg.strategy.prophet_config.profile_iterations + 3;
     }
     PROPHET_CHECK(warmup + 1 < cfg.iterations);
     first = warmup;

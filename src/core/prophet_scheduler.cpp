@@ -1,6 +1,7 @@
 #include "core/prophet_scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/check.hpp"
@@ -58,6 +59,53 @@ void ProphetScheduler::on_iteration_start(std::size_t, TimePoint now) {
       iteration_open_ = false;
     }
   }
+  // Once the block assembler is live, (re-)plan against the monitored B at
+  // each iteration boundary. The push side plans its interval budgets against
+  // the snapshot; both sides size their drain groups from it.
+  if (profile_.has_value()) maybe_replan();
+}
+
+void ProphetScheduler::maybe_replan() {
+  if (!config_.bandwidth_override.is_zero()) return;
+  const Bandwidth live = bandwidth_fn_();
+  if (live.is_zero()) return;
+  if (planning_bandwidth_.is_zero()) {
+    planning_bandwidth_ = live;  // initial plan, not a re-plan
+    return;
+  }
+  const double drift =
+      std::abs(live.bytes_per_second() - planning_bandwidth_.bytes_per_second()) /
+      planning_bandwidth_.bytes_per_second();
+  // Drift beyond the dead-band feeds the peak-hold instability signal that
+  // sizes the drain groups; measured *before* the snapshot refresh, so a
+  // re-plan clears the drift but the instability decays gradually.
+  instability_ = std::max(std::max(0.0, drift - config_.instability_deadband),
+                          instability_ * config_.instability_decay);
+  if (drift > config_.replan_drift) {
+    planning_bandwidth_ = live;
+    ++replans_;
+  }
+}
+
+Bandwidth ProphetScheduler::plan_bandwidth_now() const {
+  if (!config_.bandwidth_override.is_zero()) return config_.bandwidth_override;
+  if (!planning_bandwidth_.is_zero()) return planning_bandwidth_;
+  return bandwidth_fn_();
+}
+
+Bytes ProphetScheduler::drain_group_bytes() const {
+  if (!config_.adaptive_drain_groups || instability_ <= 0.0) {
+    return config_.forward_group_max;
+  }
+  const double scale = 1.0 / (1.0 + config_.instability_gain * instability_);
+  // Floor at a quarter of the full cap (and never below a partition): the
+  // point is preemption granularity, not giving up amortization entirely.
+  const Bytes floor = std::max(config_.partition_bytes,
+                               Bytes::of(config_.forward_group_max.count() / 4));
+  return std::clamp(
+      Bytes::of(static_cast<std::int64_t>(
+          static_cast<double>(config_.forward_group_max.count()) * scale)),
+      floor, config_.forward_group_max);
 }
 
 void ProphetScheduler::enqueue(std::size_t grad, Bytes bytes, TimePoint now) {
@@ -109,11 +157,9 @@ std::optional<sched::TransferTask> ProphetScheduler::next_push_task(TimePoint no
   // Scheduled Queue wraps gradients into network data — capped so a more
   // urgent tensor never waits long behind an in-flight block.
   const bool backward_running = arrived_[0] == 0;
-  const Bandwidth bandwidth = config_.bandwidth_override.is_zero()
-                                  ? bandwidth_fn_()
-                                  : config_.bandwidth_override;
+  const Bandwidth bandwidth = plan_bandwidth_now();
   if (!backward_running) {
-    task.items = partitions_.pop(config_.forward_group_max);
+    task.items = partitions_.pop(drain_group_bytes());
     return task;
   }
 
@@ -144,7 +190,7 @@ std::optional<sched::TransferTask> ProphetScheduler::next_push_task(TimePoint no
   const Duration until_c0 =
       positive_part(backward_start_ + profile_->ready[0] - now);
   if (partitions_.queued_bytes() > bandwidth.bytes_in(until_c0)) {
-    floor = std::max(floor, config_.forward_group_max);
+    floor = std::max(floor, drain_group_bytes());
   }
   byte_budget = std::max({byte_budget, *head, floor});
   task.items = partitions_.pop(byte_budget);
@@ -155,7 +201,7 @@ std::optional<sched::TransferTask> ProphetScheduler::next_push_task(TimePoint no
 std::optional<sched::TransferTask> ProphetScheduler::next_pull_task(TimePoint) {
   sched::TransferTask task;
   task.kind = kind();
-  task.items = partitions_.pop(config_.forward_group_max);
+  task.items = partitions_.pop(drain_group_bytes());
   PROPHET_CHECK(!task.items.empty());
   return task;
 }

@@ -57,10 +57,30 @@ struct ProphetConfig {
   // blocks of at most this many bytes (bounds the preemption delay a
   // late-arriving urgent tensor can suffer).
   Bytes forward_group_max = Bytes::mib(8);
+  // Under a dynamic network the drain-phase cap tightens with monitored
+  // *instability*: each iteration the drift between the live bandwidth
+  // estimate and the planning snapshot feeds a peak-hold signal (drift
+  // beyond instability_deadband, decaying by instability_decay per
+  // iteration), and groups shrink by 1 / (1 + instability_gain *
+  // instability). An in-flight group on an unstable link then delays a newly
+  // urgent tensor briefly even mid-dip, while a stable network (drift inside
+  // the dead-band — monitor jitter) keeps full forward_group_max
+  // amortization, leaving static behaviour unchanged. False pins the cap at
+  // forward_group_max regardless (ablation knob).
+  bool adaptive_drain_groups = true;
+  double instability_deadband = 0.02;
+  double instability_gain = 60.0;
+  double instability_decay = 0.95;
   // Ablation knob: when non-zero, Algorithm 1 uses this fixed bandwidth
   // instead of the live Network Bandwidth Monitor estimate (what Prophet
   // degenerates to without its monitor component).
   Bandwidth bandwidth_override = Bandwidth::zero();
+  // Re-plan trigger (the monitor feedback loop of Fig. 7 under a *dynamic*
+  // network): Algorithm 1 plans each iteration against a bandwidth snapshot;
+  // when the monitored estimate drifts from that snapshot by more than this
+  // fraction, the snapshot is refreshed — a re-plan — at the next iteration
+  // boundary. Zero refreshes every iteration.
+  double replan_drift = 0.1;
 };
 
 class ProphetScheduler final : public sched::CommScheduler {
@@ -89,7 +109,20 @@ class ProphetScheduler final : public sched::CommScheduler {
   // and by pull-side instances that share the push side's profile.
   void set_profile(GradientProfile profile);
 
+  // Bandwidth Algorithm 1 currently plans against (zero until the first
+  // post-profile iteration); drift-triggered refreshes are counted.
+  [[nodiscard]] Bandwidth planning_bandwidth() const { return planning_bandwidth_; }
+  [[nodiscard]] std::size_t replan_count() const { return replans_; }
+
  private:
+  // Refreshes planning_bandwidth_ when the monitored estimate drifted past
+  // config_.replan_drift; called at iteration boundaries once planning.
+  void maybe_replan();
+  [[nodiscard]] Bandwidth plan_bandwidth_now() const;
+  // Cap on drain-phase (forward/pull) groups: forward_group_max shrunk by
+  // the monitored-instability signal, clamped to
+  // [partition_bytes, forward_group_max].
+  [[nodiscard]] Bytes drain_group_bytes() const;
   std::optional<sched::TransferTask> next_push_task(TimePoint now);
   std::optional<sched::TransferTask> next_pull_task(TimePoint now);
   // Predicted generation time of the next gradient more urgent than `grad`
@@ -111,6 +144,9 @@ class ProphetScheduler final : public sched::CommScheduler {
   std::vector<std::int8_t> arrived_;  // per-iteration arrival flags
   TimePoint backward_start_{};
   bool iteration_open_{false};
+  Bandwidth planning_bandwidth_ = Bandwidth::zero();
+  double instability_{0.0};  // peak-hold monitored drift beyond the dead-band
+  std::size_t replans_{0};
 };
 
 }  // namespace prophet::core

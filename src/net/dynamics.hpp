@@ -1,0 +1,108 @@
+// Network-dynamics and fault-injection plans: a time-sorted script of events
+// the cluster driver applies to a *running* simulation — per-link bandwidth
+// shifts, transient link outages (in-flight transfers stall and resume),
+// straggler compute slowdowns and PS CPU degradation.
+//
+// This is the regime the paper's Sec. 2.2 / Fig. 3(b) argues about: Prophet
+// re-plans from *monitored* bandwidth while fixed-credit schedulers keep a
+// tuning that no longer matches the network. A plan can be scripted (fluent
+// builders), generated from a seeded RNG (`fluctuation`) or loaded from a
+// CSV trace (`from_trace_csv`); all three are plain data, so a fixed seed
+// always replays the identical timeline.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace prophet::net {
+
+struct DynamicsEvent {
+  enum class Type {
+    kBandwidthScale,  // re-rate a NIC to factor x its *configured* capacity
+    kBandwidthSet,    // re-rate a NIC to an absolute capacity
+    kOutageStart,     // link fully down: draining flows park at rate zero
+    kOutageEnd,       // link back up: parked flows resume, re-rated
+    kComputeScale,    // stretch a worker's compute times by factor (straggler)
+    kPsComputeScale,  // stretch the PS's per-update CPU cost by factor
+  };
+
+  Duration at{};  // offset from simulation start
+  Type type = Type::kBandwidthScale;
+  // Bandwidth/outage target: one worker, every worker (nullopt), or the PS.
+  // Compute events ignore `target_ps`; kPsComputeScale ignores both.
+  std::optional<std::size_t> worker;
+  bool target_ps = false;
+  double factor = 1.0;    // scale events
+  Bandwidth bandwidth;    // kBandwidthSet payload
+
+  [[nodiscard]] static const char* type_name(Type t);
+};
+
+struct DynamicsPlan {
+  std::vector<DynamicsEvent> events;
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+
+  // --- fluent builders (scripted plans) -----------------------------------
+  // Each appends and returns *this; call sort() if events were not added in
+  // chronological order (validate() rejects unsorted plans).
+  DynamicsPlan& bandwidth_scale(Duration at, std::optional<std::size_t> worker,
+                                double factor);
+  DynamicsPlan& bandwidth_set(Duration at, std::optional<std::size_t> worker,
+                              Bandwidth bw);
+  DynamicsPlan& ps_bandwidth_scale(Duration at, double factor);
+  // Appends the outage start *and* its end at `at + duration`.
+  DynamicsPlan& outage(Duration at, Duration duration,
+                       std::optional<std::size_t> worker);
+  DynamicsPlan& ps_outage(Duration at, Duration duration);
+  DynamicsPlan& straggler(Duration at, std::size_t worker, double factor);
+  DynamicsPlan& ps_degrade(Duration at, double factor);
+
+  // --- generators ---------------------------------------------------------
+  // Seeded-random congestion dips: every `period`, each worker NIC is
+  // re-scaled to a factor drawn uniformly from [1 - amplitude, 1] (floored
+  // at 0.05x), until `horizon` — the configured rate is the line rate, so
+  // cross-traffic only subtracts. amplitude 0 yields an empty plan.
+  static DynamicsPlan fluctuation(std::uint64_t seed, double amplitude,
+                                  Duration period, Duration horizon,
+                                  std::size_t num_workers);
+
+  // Trace-driven: CSV rows `time_s,event,target,value` where event is one of
+  // bandwidth_scale|bandwidth_gbps|outage_start|outage_end|compute_scale|
+  // ps_compute_scale, target is a worker index, `*` (all workers) or `ps`,
+  // and value carries the factor / Gbit-per-second rate (ignored for
+  // outages). Lines starting with `#` or `time_s` are skipped.
+  static std::optional<DynamicsPlan> from_trace_csv(const std::string& path,
+                                                    std::string* error = nullptr);
+
+  // --- CLI spec parsing (run_experiment's flags) --------------------------
+  // "none" | "fluctuate:AMP[:PERIOD_S]" | "step:T_S:FACTOR[:WORKER]" |
+  // "trace:PATH". Fluctuation runs to `horizon` over `num_workers` NICs,
+  // seeded by `seed`; steps re-rate one worker NIC (or all) permanently.
+  static std::optional<DynamicsPlan> from_spec(const std::string& spec,
+                                               std::uint64_t seed, Duration horizon,
+                                               std::size_t num_workers,
+                                               std::string* error = nullptr);
+  // "T_S:DUR_S[:WORKER]" — transient link outage (worker omitted: all).
+  bool add_outage_spec(const std::string& spec, std::string* error = nullptr);
+  // "WORKER:FACTOR[:T_S]" — compute slowdown from T_S (default 0) onward.
+  bool add_straggler_spec(const std::string& spec, std::string* error = nullptr);
+  // "FACTOR[:T_S]" — PS CPU degradation from T_S (default 0) onward.
+  bool add_ps_degrade_spec(const std::string& spec, std::string* error = nullptr);
+
+  // Stable-sorts events by time (same-instant events keep insertion order,
+  // so a sorted plan replays bit-identically).
+  void sort();
+
+  // Aborts with a clear message on a malformed plan: unsorted or negative
+  // event times, out-of-range worker indices, non-positive scale factors or
+  // bandwidths, or unbalanced outage start/end pairs.
+  void validate(std::size_t num_workers) const;
+};
+
+}  // namespace prophet::net

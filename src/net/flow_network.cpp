@@ -46,6 +46,19 @@ void FlowNetwork::set_capacity(NodeId id, Direction dir, Bandwidth cap) {
 
 Bandwidth FlowNetwork::capacity(NodeId id, Direction dir) const { return port(id, dir).cap; }
 
+void FlowNetwork::set_link_up(NodeId id, bool up) {
+  PROPHET_CHECK(id < nodes_.size());
+  if (nodes_[id].up == up) return;
+  advance_to_now();
+  nodes_[id].up = up;
+  reassign_rates();
+}
+
+bool FlowNetwork::link_up(NodeId id) const {
+  PROPHET_CHECK(id < nodes_.size());
+  return nodes_[id].up;
+}
+
 FlowId FlowNetwork::start_flow(NodeId src, NodeId dst, Bytes size,
                                std::function<void(FlowId)> on_complete) {
   PROPHET_CHECK(src < nodes_.size() && dst < nodes_.size());
@@ -125,8 +138,9 @@ void FlowNetwork::reassign_rates() {
   std::vector<PortState> tx(nodes_.size());
   std::vector<PortState> rx(nodes_.size());
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
-    tx[n].cap = nodes_[n].tx.cap.bytes_per_second();
-    rx[n].cap = nodes_[n].rx.cap.bytes_per_second();
+    // A down link offers no capacity: its flows freeze at rate zero below.
+    tx[n].cap = nodes_[n].up ? nodes_[n].tx.cap.bytes_per_second() : 0.0;
+    rx[n].cap = nodes_[n].up ? nodes_[n].rx.cap.bytes_per_second() : 0.0;
   }
   std::vector<std::pair<FlowId, Flow*>> unfrozen;
   for (auto& [id, flow] : flows_) {

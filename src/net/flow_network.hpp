@@ -49,6 +49,14 @@ class FlowNetwork {
   void set_capacity(NodeId id, Direction dir, Bandwidth cap);
   [[nodiscard]] Bandwidth capacity(NodeId id, Direction dir) const;
 
+  // Fault injection: a down link contributes zero capacity in both
+  // directions, so its draining flows park at rate zero (they stall without
+  // losing progress and resume, re-rated, when the link comes back up).
+  // capacity() keeps reporting the configured rate; setup-phase delays of
+  // already-started flows still elapse while the link is down.
+  void set_link_up(NodeId id, bool up);
+  [[nodiscard]] bool link_up(NodeId id) const;
+
   // Starts a flow of `size` bytes from `src` to `dst`. `on_complete` fires
   // (once) when the last byte drains. Zero-size flows complete after setup.
   FlowId start_flow(NodeId src, NodeId dst, Bytes size,
@@ -79,6 +87,7 @@ class FlowNetwork {
     std::string name;
     Port tx;
     Port rx;
+    bool up = true;
   };
   struct Flow {
     NodeId src;

@@ -26,8 +26,7 @@ double ClusterResult::mean_utilization() const {
 }
 
 Cluster::Cluster(ClusterConfig config) : config_{std::move(config)} {
-  PROPHET_CHECK(config_.num_workers > 0);
-  PROPHET_CHECK(config_.iterations >= 2);
+  config_.validate();
 }
 
 ClusterResult Cluster::run(std::optional<std::size_t> measure_first) {
@@ -90,6 +89,57 @@ ClusterResult Cluster::run(std::optional<std::size_t> measure_first) {
   }
   for (auto& worker : workers) worker->start();
 
+  // Arm the dynamics plan: every event fires at its offset and mutates the
+  // live network / workers / server. Bandwidth scales apply to the
+  // *configured* rates, so repeated events never compound.
+  auto node_of = [&](const net::DynamicsEvent& ev, std::size_t w) {
+    return ev.target_ps ? ps_node : worker_nodes[w];
+  };
+  auto for_each_target = [&](const net::DynamicsEvent& ev, auto&& fn) {
+    if (ev.target_ps) {
+      fn(std::size_t{0});
+    } else if (ev.worker.has_value()) {
+      fn(*ev.worker);
+    } else {
+      for (std::size_t w = 0; w < cfg.num_workers; ++w) fn(w);
+    }
+  };
+  auto apply_event = [&, node_of, for_each_target](const net::DynamicsEvent& ev) {
+    using Type = net::DynamicsEvent::Type;
+    switch (ev.type) {
+      case Type::kBandwidthScale:
+      case Type::kBandwidthSet:
+        for_each_target(ev, [&](std::size_t w) {
+          const Bandwidth base =
+              ev.target_ps ? cfg.ps_bandwidth : cfg.bandwidth_of_worker(w);
+          const Bandwidth cap = ev.type == Type::kBandwidthSet
+                                    ? ev.bandwidth
+                                    : base * ev.factor;
+          network.set_capacity(node_of(ev, w), net::Direction::kTx, cap);
+          network.set_capacity(node_of(ev, w), net::Direction::kRx, cap);
+        });
+        break;
+      case Type::kOutageStart:
+      case Type::kOutageEnd:
+        for_each_target(ev, [&](std::size_t w) {
+          network.set_link_up(node_of(ev, w), ev.type == Type::kOutageEnd);
+        });
+        break;
+      case Type::kComputeScale:
+        for_each_target(ev, [&](std::size_t w) {
+          workers[w]->set_compute_factor(ev.factor);
+        });
+        break;
+      case Type::kPsComputeScale:
+        server.set_cpu_factor(ev.factor);
+        break;
+    }
+  };
+  for (const auto& ev : cfg.dynamics.events) {
+    sim.schedule_at(TimePoint::origin() + ev.at,
+                    [apply_event, ev] { apply_event(ev); });
+  }
+
   // Run until every worker crossed its final iteration boundary (residual
   // pulls may still be in flight), bounded by the metrics horizon.
   const TimePoint horizon = TimePoint::origin() + cfg.metrics_horizon;
@@ -112,7 +162,7 @@ ClusterResult Cluster::run(std::optional<std::size_t> measure_first) {
   if (!measure_first.has_value()) {
     std::size_t warmup = 3;
     if (cfg.strategy.kind == StrategyConfig::Kind::kProphet) {
-      warmup = cfg.strategy.prophet.profile_iterations + 3;
+      warmup = cfg.strategy.prophet_config.profile_iterations + 3;
     }
     PROPHET_CHECK_MSG(warmup + 1 < cfg.iterations,
                       "not enough iterations to measure past warmup");
@@ -132,6 +182,7 @@ ClusterResult Cluster::run(std::optional<std::size_t> measure_first) {
                     .gpu_utilization = 0.0,
                     .iterations_completed = worker.current_iteration(),
                     .prophet_activated_at = worker.prophet_activated_at(),
+                    .prophet_replans = worker.prophet_replans(),
                     .training = worker.training_metrics(),
                     .transfers = worker.transfers(),
                     .gpu_series = worker.gpu().series(),

@@ -23,6 +23,8 @@ struct WorkerResult {
   double gpu_utilization = 0.0;
   std::size_t iterations_completed = 0;
   std::optional<std::size_t> prophet_activated_at;
+  // Drift-triggered bandwidth re-plans (Prophet only; zero otherwise).
+  std::size_t prophet_replans = 0;
   // Full series/logs for timeline benches.
   metrics::TrainingMetrics training;
   metrics::TransferLog transfers;

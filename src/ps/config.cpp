@@ -1,0 +1,31 @@
+#include "ps/config.hpp"
+
+#include "common/check.hpp"
+
+namespace prophet::ps {
+
+void ClusterConfig::validate() const {
+  PROPHET_CHECK_MSG(num_workers > 0, "ClusterConfig: num_workers must be > 0");
+  PROPHET_CHECK_MSG(iterations >= 2, "ClusterConfig: need at least 2 iterations");
+  PROPHET_CHECK_MSG(batch > 0, "ClusterConfig: batch must be > 0");
+  PROPHET_CHECK_MSG(model.tensor_count() > 0, "ClusterConfig: model has no tensors");
+  PROPHET_CHECK_MSG(jitter_sigma >= 0.0, "ClusterConfig: jitter_sigma must be >= 0");
+  PROPHET_CHECK_MSG(!worker_bandwidth.is_zero(),
+                    "ClusterConfig: worker_bandwidth must be > 0");
+  PROPHET_CHECK_MSG(!ps_bandwidth.is_zero(), "ClusterConfig: ps_bandwidth must be > 0");
+  PROPHET_CHECK_MSG(worker_bandwidth_override.size() <= num_workers,
+                    "ClusterConfig: worker_bandwidth_override longer than num_workers");
+  PROPHET_CHECK_MSG(update_bytes_per_sec > 0.0,
+                    "ClusterConfig: update_bytes_per_sec must be > 0");
+  PROPHET_CHECK_MSG(update_fixed >= Duration::zero(),
+                    "ClusterConfig: update_fixed must be >= 0");
+  PROPHET_CHECK_MSG(monitor.sample_period > Duration::zero(),
+                    "ClusterConfig: monitor sample_period must be > 0");
+  PROPHET_CHECK_MSG(metrics_bin > Duration::zero(),
+                    "ClusterConfig: metrics_bin must be > 0");
+  PROPHET_CHECK_MSG(metrics_horizon > metrics_bin,
+                    "ClusterConfig: metrics_horizon must exceed metrics_bin");
+  dynamics.validate(num_workers);
+}
+
+}  // namespace prophet::ps

@@ -11,6 +11,7 @@
 #include "dnn/iteration_model.hpp"
 #include "dnn/model_zoo.hpp"
 #include "net/cost_model.hpp"
+#include "net/dynamics.hpp"
 #include "net/monitor.hpp"
 #include "ps/strategy.hpp"
 
@@ -35,7 +36,12 @@ struct ClusterConfig {
   net::TcpCostParams tcp;
   net::BandwidthMonitorConfig monitor;
   SyncMode sync = SyncMode::kBsp;
-  StrategyConfig strategy = StrategyConfig::make_prophet();
+  StrategyConfig strategy = StrategyConfig::prophet();
+
+  // Network-dynamics / fault-injection timeline applied at event time while
+  // the cluster runs (bandwidth shifts, outages, stragglers, PS slowdown).
+  // Empty by default: a static network.
+  net::DynamicsPlan dynamics;
 
   // Uniform worker NIC rate; entries in `worker_bandwidth_override`
   // (indexed by worker) replace it for heterogeneous clusters (Sec. 5.3).
@@ -63,6 +69,13 @@ struct ClusterConfig {
     }
     return worker_bandwidth;
   }
+
+  // Single validation entry point, called by Cluster's constructor: aborts
+  // with a clear message on a misconfiguration (zero workers, too few
+  // iterations, non-positive bandwidths or update rate, an override vector
+  // longer than the cluster, a malformed dynamics plan, ...) instead of
+  // silently simulating nonsense.
+  void validate() const;
 };
 
 }  // namespace prophet::ps

@@ -72,7 +72,13 @@ void Server::complete_round(std::size_t key) {
   });
 }
 
+void Server::set_cpu_factor(double factor) {
+  PROPHET_CHECK_MSG(factor > 0.0, "PS cpu factor must be positive");
+  cpu_factor_ = factor;
+}
+
 void Server::schedule_update(Duration cost, std::function<void()> done) {
+  if (cpu_factor_ != 1.0) cost = cost * cpu_factor_;
   if (!serialize_cpu_) {
     sim_.schedule_after(cost, std::move(done));
     return;

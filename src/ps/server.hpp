@@ -37,6 +37,11 @@ class Server {
   // Number of completed update rounds for `key`.
   [[nodiscard]] std::size_t version(std::size_t key) const;
 
+  // Dynamics hook: stretches every subsequent update's CPU cost by `factor`
+  // (PS CPU degradation injection; factor > 1 slows the PS down).
+  void set_cpu_factor(double factor);
+  [[nodiscard]] double cpu_factor() const { return cpu_factor_; }
+
  private:
   void complete_round(std::size_t key);
   // Schedules an update of `cost`, honoring CPU serialization; `done` runs
@@ -50,6 +55,7 @@ class Server {
   double update_bytes_per_sec_;
   UpdateCallback on_updated_;
   bool serialize_cpu_;
+  double cpu_factor_{1.0};
   TimePoint cpu_free_{};
 
   struct KeyState {

@@ -1,11 +1,53 @@
 #include "ps/strategy.hpp"
 
+#include <utility>
+
 #include "common/check.hpp"
 #include "sched/fifo.hpp"
 #include "sched/p3.hpp"
 #include "sched/tictac.hpp"
 
 namespace prophet::ps {
+
+namespace {
+
+// The single source of truth for string <-> strategy: canonical CLI name,
+// paper-style display label, and the factory. Presentation order.
+struct RegistryEntry {
+  const char* name;
+  const char* label;
+  StrategyConfig (*make)();
+};
+
+constexpr RegistryEntry kRegistry[] = {
+    {"fifo", "MXNet (FIFO)", [] { return StrategyConfig::fifo(); }},
+    {"p3", "P3", [] { return StrategyConfig::p3(); }},
+    {"tictac", "TicTac", [] { return StrategyConfig::tictac(); }},
+    {"mg-wfbp", "MG-WFBP", [] { return StrategyConfig::mg_wfbp(); }},
+    {"bytescheduler", "ByteScheduler",
+     [] { return StrategyConfig::bytescheduler(); }},
+    {"bytescheduler-autotune", "ByteScheduler (autotune)",
+     [] { return StrategyConfig::bytescheduler(Bytes::mib(4), true); }},
+    {"prophet", "Prophet", [] { return StrategyConfig::prophet(); }},
+};
+
+// Historical spellings from_name() still accepts (name() reports
+// "mxnet-fifo" for Kind::kFifo, so the registry round-trips).
+constexpr std::pair<const char*, const char*> kAliases[] = {
+    {"mxnet-fifo", "fifo"},
+};
+
+const RegistryEntry* find_entry(std::string_view name) {
+  for (const auto& [alias, canonical] : kAliases) {
+    if (name == alias) name = canonical;
+  }
+  for (const auto& entry : kRegistry) {
+    if (name == entry.name) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace
 
 std::string StrategyConfig::name() const {
   switch (kind) {
@@ -14,7 +56,8 @@ std::string StrategyConfig::name() const {
     case Kind::kTicTac: return "tictac";
     case Kind::kMgWfbp: return "mg-wfbp";
     case Kind::kByteScheduler:
-      return bytescheduler.autotune ? "bytescheduler-autotune" : "bytescheduler";
+      return bytescheduler_config.autotune ? "bytescheduler-autotune"
+                                           : "bytescheduler";
     case Kind::kProphet: return "prophet";
   }
   return "?";
@@ -39,26 +82,47 @@ StrategyConfig StrategyConfig::tictac() {
   return s;
 }
 
-StrategyConfig StrategyConfig::make_mg_wfbp(Bytes merge_bytes) {
+StrategyConfig StrategyConfig::mg_wfbp(Bytes merge_bytes) {
   StrategyConfig s;
   s.kind = Kind::kMgWfbp;
-  s.mg_wfbp.merge_bytes = merge_bytes;
+  s.mg_wfbp_config.merge_bytes = merge_bytes;
   return s;
 }
 
-StrategyConfig StrategyConfig::make_bytescheduler(Bytes credit, bool autotune) {
+StrategyConfig StrategyConfig::bytescheduler(Bytes credit, bool autotune) {
   StrategyConfig s;
   s.kind = Kind::kByteScheduler;
-  s.bytescheduler.credit_bytes = credit;
-  s.bytescheduler.autotune = autotune;
+  s.bytescheduler_config.credit_bytes = credit;
+  s.bytescheduler_config.autotune = autotune;
   return s;
 }
 
-StrategyConfig StrategyConfig::make_prophet(core::ProphetConfig config) {
+StrategyConfig StrategyConfig::prophet(core::ProphetConfig config) {
   StrategyConfig s;
   s.kind = Kind::kProphet;
-  s.prophet = config;
+  s.prophet_config = config;
   return s;
+}
+
+const std::vector<std::string>& StrategyConfig::known_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const auto& entry : kRegistry) out.emplace_back(entry.name);
+    return out;
+  }();
+  return names;
+}
+
+std::optional<StrategyConfig> StrategyConfig::from_name(std::string_view name) {
+  const RegistryEntry* entry = find_entry(name);
+  if (entry == nullptr) return std::nullopt;
+  return entry->make();
+}
+
+std::string StrategyConfig::display_label(std::string_view name) {
+  const RegistryEntry* entry = find_entry(name);
+  PROPHET_CHECK_MSG(entry != nullptr, "display_label on unknown strategy name");
+  return entry->label;
 }
 
 std::unique_ptr<sched::CommScheduler> make_scheduler(
@@ -73,13 +137,14 @@ std::unique_ptr<sched::CommScheduler> make_scheduler(
     case StrategyConfig::Kind::kTicTac:
       return std::make_unique<sched::TicTacScheduler>(kind, strategy.blocking_ack);
     case StrategyConfig::Kind::kMgWfbp:
-      return std::make_unique<sched::MgWfbpScheduler>(kind, strategy.mg_wfbp);
+      return std::make_unique<sched::MgWfbpScheduler>(kind, strategy.mg_wfbp_config);
     case StrategyConfig::Kind::kByteScheduler:
-      return std::make_unique<sched::ByteSchedulerScheduler>(kind,
-                                                             strategy.bytescheduler);
+      return std::make_unique<sched::ByteSchedulerScheduler>(
+          kind, strategy.bytescheduler_config);
     case StrategyConfig::Kind::kProphet:
       return std::make_unique<core::ProphetScheduler>(
-          kind, gradient_count, std::move(bandwidth_fn), cost, strategy.prophet);
+          kind, gradient_count, std::move(bandwidth_fn), cost,
+          strategy.prophet_config);
   }
   PROPHET_CHECK_MSG(false, "unknown strategy kind");
   __builtin_unreachable();

@@ -44,10 +44,30 @@ sched::CommScheduler& Worker::scheduler(sched::TaskKind kind) {
 
 void Worker::start() { begin_iteration(); }
 
+void Worker::set_compute_factor(double factor) {
+  PROPHET_CHECK_MSG(factor > 0.0, "compute factor must be positive");
+  compute_factor_ = factor;
+}
+
+std::size_t Worker::prophet_replans() const {
+  if (const auto* prophet = dynamic_cast<const core::ProphetScheduler*>(
+          push_sched_.get())) {
+    return prophet->replan_count();
+  }
+  return 0;
+}
+
 void Worker::begin_iteration() {
   training_.mark_iteration_start(iter_, sim_.now());
   if (done()) return;  // final boundary recorded; no more compute
   timing_ = params_.iteration_model->sample(rng_);
+  if (compute_factor_ != 1.0) {
+    // Straggler injection: the whole compute timeline stretches, including
+    // the gradient-ready offsets the KVStore flushes are pinned to.
+    for (auto& d : timing_.fwd) d = d * compute_factor_;
+    for (auto& d : timing_.bwd) d = d * compute_factor_;
+    for (auto& d : timing_.ready_offset) d = d * compute_factor_;
+  }
   fwd_layer_ = 0;
   waiting_for_param_ = false;
   advance_forward();

@@ -60,6 +60,11 @@ class Worker {
   // Closes open metric intervals; call once after the simulation drains.
   void finish();
 
+  // Dynamics hook: stretches this worker's compute times (forward, backward
+  // and gradient-ready offsets) by `factor` from the next sampled iteration
+  // on (straggler injection; factor > 1 slows this worker down).
+  void set_compute_factor(double factor);
+
   [[nodiscard]] std::size_t id() const { return params_.id; }
   [[nodiscard]] bool done() const { return iter_ >= params_.iterations; }
   [[nodiscard]] std::size_t current_iteration() const { return iter_; }
@@ -76,6 +81,9 @@ class Worker {
   [[nodiscard]] std::optional<std::size_t> prophet_activated_at() const {
     return prophet_activated_at_;
   }
+  // Drift-triggered bandwidth re-plans of the push-side Prophet scheduler
+  // (zero for other strategies).
+  [[nodiscard]] std::size_t prophet_replans() const;
 
  private:
   void begin_iteration();
@@ -104,6 +112,7 @@ class Worker {
 
   std::size_t iter_{0};
   std::size_t fwd_layer_{0};
+  double compute_factor_{1.0};
   bool waiting_for_param_{false};
   dnn::IterationTiming timing_;
   // Completed pulls per key; forward layer i of iteration k needs

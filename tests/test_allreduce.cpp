@@ -138,18 +138,18 @@ ps::ClusterConfig ar_config(ps::StrategyConfig strategy, double gbps = 2.0) {
   cfg.iterations = 14;
   cfg.worker_bandwidth = Bandwidth::gbps(gbps);
   cfg.strategy = std::move(strategy);
-  cfg.strategy.prophet.profile_iterations = 4;
+  cfg.strategy.prophet_config.profile_iterations = 4;
   return cfg;
 }
 
 TEST(AllReduceCluster, CompletesForEveryStrategy) {
   for (auto strategy :
        {ps::StrategyConfig::fifo(), ps::StrategyConfig::p3(Bytes::kib(64)),
-        ps::StrategyConfig::tictac(), ps::StrategyConfig::make_mg_wfbp(Bytes::kib(256)),
-        ps::StrategyConfig::make_bytescheduler(Bytes::kib(256)),
-        ps::StrategyConfig::make_prophet()}) {
+        ps::StrategyConfig::tictac(), ps::StrategyConfig::mg_wfbp(Bytes::kib(256)),
+        ps::StrategyConfig::bytescheduler(Bytes::kib(256)),
+        ps::StrategyConfig::prophet()}) {
     if (strategy.kind == ps::StrategyConfig::Kind::kByteScheduler) {
-      strategy.bytescheduler.partition_bytes = Bytes::kib(64);
+      strategy.bytescheduler_config.partition_bytes = Bytes::kib(64);
     }
     const auto result = run_allreduce(ar_config(strategy), 6);
     for (const auto& w : result.workers) {
@@ -160,8 +160,8 @@ TEST(AllReduceCluster, CompletesForEveryStrategy) {
 }
 
 TEST(AllReduceCluster, Deterministic) {
-  const auto a = run_allreduce(ar_config(ps::StrategyConfig::make_prophet()), 6);
-  const auto b = run_allreduce(ar_config(ps::StrategyConfig::make_prophet()), 6);
+  const auto a = run_allreduce(ar_config(ps::StrategyConfig::prophet()), 6);
+  const auto b = run_allreduce(ar_config(ps::StrategyConfig::prophet()), 6);
   EXPECT_EQ(a.simulated_time.count_nanos(), b.simulated_time.count_nanos());
   EXPECT_DOUBLE_EQ(a.mean_rate(), b.mean_rate());
 }
@@ -171,12 +171,12 @@ TEST(AllReduceCluster, FusionBeatsPerTensorCollectives) {
   // (FIFO/TicTac) pay 2(W-1) setups per tensor; fused strategies win big.
   const double fifo = run_allreduce(ar_config(ps::StrategyConfig::fifo()), 6).mean_rate();
   const double prophet =
-      run_allreduce(ar_config(ps::StrategyConfig::make_prophet()), 6).mean_rate();
+      run_allreduce(ar_config(ps::StrategyConfig::prophet()), 6).mean_rate();
   EXPECT_GT(prophet, 1.2 * fifo);
 }
 
 TEST(AllReduceCluster, BspLockstepAcrossWorkers) {
-  const auto result = run_allreduce(ar_config(ps::StrategyConfig::make_prophet()), 6);
+  const auto result = run_allreduce(ar_config(ps::StrategyConfig::prophet()), 6);
   for (const auto& w : result.workers) {
     EXPECT_NEAR(w.rate_samples_per_sec, result.workers[0].rate_samples_per_sec,
                 0.02 * result.workers[0].rate_samples_per_sec);

@@ -63,8 +63,8 @@ TEST_F(ChromeTraceTest, ExportsFullClusterRun) {
   cfg.num_workers = 2;
   cfg.batch = 16;
   cfg.iterations = 6;
-  cfg.strategy = ps::StrategyConfig::make_prophet();
-  cfg.strategy.prophet.profile_iterations = 2;
+  cfg.strategy = ps::StrategyConfig::prophet();
+  cfg.strategy.prophet_config.profile_iterations = 2;
   const auto result = ps::run_cluster(cfg, 2);
   ps::export_chrome_trace(result, path_);
 

@@ -19,7 +19,7 @@ ClusterConfig small_config(StrategyConfig strategy) {
   cfg.worker_bandwidth = Bandwidth::gbps(1);
   cfg.ps_bandwidth = Bandwidth::gbps(1);
   cfg.strategy = strategy;
-  cfg.strategy.prophet.profile_iterations = 4;
+  cfg.strategy.prophet_config.profile_iterations = 4;
   return cfg;
 }
 
@@ -30,14 +30,14 @@ class EveryStrategy : public ::testing::TestWithParam<StrategyConfig::Kind> {
       case StrategyConfig::Kind::kFifo: return StrategyConfig::fifo();
       case StrategyConfig::Kind::kP3: return StrategyConfig::p3(Bytes::kib(64));
       case StrategyConfig::Kind::kByteScheduler: {
-        StrategyConfig s = StrategyConfig::make_bytescheduler(Bytes::kib(256));
-        s.bytescheduler.partition_bytes = Bytes::kib(64);
+        StrategyConfig s = StrategyConfig::bytescheduler(Bytes::kib(256));
+        s.bytescheduler_config.partition_bytes = Bytes::kib(64);
         return s;
       }
       case StrategyConfig::Kind::kTicTac: return StrategyConfig::tictac();
       case StrategyConfig::Kind::kMgWfbp:
-        return StrategyConfig::make_mg_wfbp(Bytes::kib(256));
-      case StrategyConfig::Kind::kProphet: return StrategyConfig::make_prophet();
+        return StrategyConfig::mg_wfbp(Bytes::kib(256));
+      case StrategyConfig::Kind::kProphet: return StrategyConfig::prophet();
     }
     return StrategyConfig::fifo();
   }
@@ -112,8 +112,8 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(ClusterIntegration, ProphetActivatesAfterProfiling) {
-  auto cfg = small_config(StrategyConfig::make_prophet());
-  cfg.strategy.prophet.profile_iterations = 4;
+  auto cfg = small_config(StrategyConfig::prophet());
+  cfg.strategy.prophet_config.profile_iterations = 4;
   const auto result = run_cluster(cfg, 6);
   for (const auto& w : result.workers) {
     ASSERT_TRUE(w.prophet_activated_at.has_value());
@@ -133,7 +133,7 @@ TEST(ClusterIntegration, HigherBandwidthNeverHurts) {
        {StrategyConfig::Kind::kFifo, StrategyConfig::Kind::kProphet}) {
     auto strategy = kind == StrategyConfig::Kind::kFifo
                         ? StrategyConfig::fifo()
-                        : StrategyConfig::make_prophet();
+                        : StrategyConfig::prophet();
     auto slow = small_config(strategy);
     slow.worker_bandwidth = Bandwidth::mbps(200);
     slow.ps_bandwidth = Bandwidth::mbps(200);
@@ -147,7 +147,7 @@ TEST(ClusterIntegration, HigherBandwidthNeverHurts) {
 
 TEST(ClusterIntegration, HeterogeneousWorkerSlowsEveryone) {
   // BSP: the 100 Mbps straggler gates the whole cluster (Sec. 5.3).
-  auto uniform = small_config(StrategyConfig::make_prophet());
+  auto uniform = small_config(StrategyConfig::prophet());
   auto hetero = uniform;
   hetero.worker_bandwidth_override = {Bandwidth::mbps(100)};
   const auto fast = run_cluster(uniform, 6);
@@ -160,7 +160,7 @@ TEST(ClusterIntegration, HeterogeneousWorkerSlowsEveryone) {
 }
 
 TEST(ClusterIntegration, AspModeRunsAndDecouplesWorkers) {
-  auto cfg = small_config(StrategyConfig::make_prophet());
+  auto cfg = small_config(StrategyConfig::prophet());
   cfg.sync = SyncMode::kAsp;
   cfg.worker_bandwidth_override = {Bandwidth::mbps(100)};
   const auto result = run_cluster(cfg, 6);
@@ -173,7 +173,7 @@ TEST(ClusterIntegration, AspModeRunsAndDecouplesWorkers) {
 }
 
 TEST(ClusterIntegration, TransferWaitTimesNonNegative) {
-  const auto result = run_cluster(small_config(StrategyConfig::make_prophet()), 6);
+  const auto result = run_cluster(small_config(StrategyConfig::prophet()), 6);
   for (const auto& w : result.workers) {
     for (const auto& rec : w.transfers.records()) {
       EXPECT_GE(rec.wait().count_nanos(), 0) << rec.grad;

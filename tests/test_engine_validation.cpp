@@ -164,8 +164,8 @@ TEST_P(ZooConservation, PsEngineMovesExactlyTheModelBytes) {
   cfg.iterations = 6;
   cfg.worker_bandwidth = Bandwidth::gbps(10);
   cfg.ps_bandwidth = Bandwidth::gbps(10);
-  cfg.strategy = ps::StrategyConfig::make_prophet();
-  cfg.strategy.prophet.profile_iterations = 2;
+  cfg.strategy = ps::StrategyConfig::prophet();
+  cfg.strategy.prophet_config.profile_iterations = 2;
   const auto result = ps::run_cluster(cfg, 3);
   const auto expected = cfg.model.total_bytes().count();
   for (const auto& w : result.workers) {

@@ -18,7 +18,7 @@ ClusterConfig base_config(StrategyConfig strategy, double gbps,
   cfg.worker_bandwidth = Bandwidth::gbps(gbps);
   cfg.ps_bandwidth = Bandwidth::gbps(10);
   cfg.strategy = strategy;
-  cfg.strategy.prophet.profile_iterations = 6;
+  cfg.strategy.prophet_config.profile_iterations = 6;
   return cfg;
 }
 
@@ -31,7 +31,7 @@ class AcrossSeeds : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(AcrossSeeds, ProphetBeatsFifoUnderConstrainedBandwidth) {
   // Sec. 5.3: at 3 Gbps Prophet outperforms default MXNet by ~39%.
   const std::uint64_t seed = GetParam();
-  const double prophet = rate(StrategyConfig::make_prophet(), 2.0, seed);
+  const double prophet = rate(StrategyConfig::prophet(), 2.0, seed);
   const double fifo = rate(StrategyConfig::fifo(), 2.0, seed);
   EXPECT_GT(prophet, 1.15 * fifo);
 }
@@ -39,7 +39,7 @@ TEST_P(AcrossSeeds, ProphetBeatsFifoUnderConstrainedBandwidth) {
 TEST_P(AcrossSeeds, ProphetAtLeastMatchesP3Everywhere) {
   const std::uint64_t seed = GetParam();
   for (double gbps : {1.0, 3.0, 10.0}) {
-    EXPECT_GE(rate(StrategyConfig::make_prophet(), gbps, seed),
+    EXPECT_GE(rate(StrategyConfig::prophet(), gbps, seed),
               0.98 * rate(StrategyConfig::p3(), gbps, seed))
         << "bandwidth " << gbps;
   }
@@ -49,8 +49,8 @@ TEST_P(AcrossSeeds, ProphetAtLeastMatchesByteSchedulerEverywhere) {
   // Sec. 5.3: 6.9-36.4% better in poor networks, comparable in good ones.
   const std::uint64_t seed = GetParam();
   for (double gbps : {1.0, 2.0, 10.0}) {
-    EXPECT_GE(rate(StrategyConfig::make_prophet(), gbps, seed),
-              0.98 * rate(StrategyConfig::make_bytescheduler(), gbps, seed))
+    EXPECT_GE(rate(StrategyConfig::prophet(), gbps, seed),
+              0.98 * rate(StrategyConfig::bytescheduler(), gbps, seed))
         << "bandwidth " << gbps;
   }
 }
@@ -60,9 +60,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, AcrossSeeds, ::testing::Values(42u, 7u, 1234u));
 TEST(PaperClaims, HighBandwidthEqualizesPriorityStrategies) {
   // Sec. 5.3: at 10 Gbps the optimization space is marginal — P3,
   // ByteScheduler and Prophet converge.
-  const double prophet = rate(StrategyConfig::make_prophet(), 10.0);
+  const double prophet = rate(StrategyConfig::prophet(), 10.0);
   const double p3 = rate(StrategyConfig::p3(), 10.0);
-  const double bs = rate(StrategyConfig::make_bytescheduler(), 10.0);
+  const double bs = rate(StrategyConfig::bytescheduler(), 10.0);
   // P3 keeps a slightly larger residual (its per-partition blocking acks
   // never fully amortize); the paper likewise reports "comparable" rather
   // than identical rates at 10 Gbps.
@@ -74,7 +74,7 @@ TEST(PaperClaims, RateDegradesGracefullyWithBandwidth) {
   // Table 2 shape: monotone-ish growth, saturation at high bandwidth.
   double prev = 0.0;
   for (double gbps : {1.0, 2.0, 4.0, 10.0}) {
-    const double r = rate(StrategyConfig::make_prophet(), gbps);
+    const double r = rate(StrategyConfig::prophet(), gbps);
     EXPECT_GT(r, prev * 0.99) << "bandwidth " << gbps;
     prev = r;
   }
@@ -88,8 +88,8 @@ TEST(PaperClaims, LargerBatchWidensProphetAdvantageOverByteScheduler) {
   // batch size. (The paper's monotone-in-batch improvement trend does not
   // reproduce in this substrate — see EXPERIMENTS.md, Table 3 notes.)
   auto improvement = [&](int batch) {
-    auto prophet_cfg = base_config(StrategyConfig::make_prophet(), 2.0);
-    auto bs_cfg = base_config(StrategyConfig::make_bytescheduler(), 2.0);
+    auto prophet_cfg = base_config(StrategyConfig::prophet(), 2.0);
+    auto bs_cfg = base_config(StrategyConfig::bytescheduler(), 2.0);
     prophet_cfg.batch = batch;
     bs_cfg.batch = batch;
     return run_cluster(prophet_cfg, 8).mean_rate() /
@@ -102,7 +102,7 @@ TEST(PaperClaims, LargerBatchWidensProphetAdvantageOverByteScheduler) {
 
 TEST(PaperClaims, GpuUtilizationOrderingMatchesRates) {
   // Fig. 9: Prophet's higher rate comes from higher GPU utilization.
-  const auto prophet = run_cluster(base_config(StrategyConfig::make_prophet(), 2.0), 8);
+  const auto prophet = run_cluster(base_config(StrategyConfig::prophet(), 2.0), 8);
   const auto fifo = run_cluster(base_config(StrategyConfig::fifo(), 2.0), 8);
   EXPECT_GT(prophet.mean_utilization(), fifo.mean_utilization());
   EXPECT_GT(prophet.mean_utilization(), 0.85);
@@ -110,7 +110,7 @@ TEST(PaperClaims, GpuUtilizationOrderingMatchesRates) {
 
 TEST(PaperClaims, ProphetReducesMeanGradientWait) {
   // Fig. 11: Prophet's mean per-gradient wait is well below FIFO's.
-  const auto prophet = run_cluster(base_config(StrategyConfig::make_prophet(), 2.0), 8);
+  const auto prophet = run_cluster(base_config(StrategyConfig::prophet(), 2.0), 8);
   const auto fifo = run_cluster(base_config(StrategyConfig::fifo(), 2.0), 8);
   const auto pw = prophet.workers[0].transfers.overall(8, 26, sched::TaskKind::kPush);
   const auto fw = fifo.workers[0].transfers.overall(8, 26, sched::TaskKind::kPush);
@@ -124,7 +124,7 @@ TEST(PaperClaims, ScalingWorkersKeepsPerWorkerRateRoughlyFlat) {
   // (PS capacity scaled with the cluster as in BytePS deployments).
   std::vector<double> rates;
   for (std::size_t workers : {2u, 4u, 8u}) {
-    auto cfg = base_config(StrategyConfig::make_prophet(), 10.0);
+    auto cfg = base_config(StrategyConfig::prophet(), 10.0);
     cfg.num_workers = workers;
     cfg.ps_bandwidth = Bandwidth::gbps(10.0 * static_cast<double>(workers) / 2.0);
     rates.push_back(run_cluster(cfg, 8).mean_rate());
@@ -136,8 +136,8 @@ TEST(PaperClaims, ProfilingPhaseThenImproves) {
   // Fig. 13: during profiling Prophet runs the engine default (priority +
   // fixed credit groups); once the block assembler activates, iterations
   // never get slower and typically get faster.
-  auto cfg = base_config(StrategyConfig::make_prophet(), 2.0);
-  cfg.strategy.prophet.profile_iterations = 10;
+  auto cfg = base_config(StrategyConfig::prophet(), 2.0);
+  cfg.strategy.prophet_config.profile_iterations = 10;
   cfg.iterations = 30;
   const auto result = run_cluster(cfg, 12);
   const auto& training = result.workers[0].training;
