@@ -2,6 +2,7 @@
 // strategy line-up, result formatting, and CSV artifact output.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,28 @@
 #include "ps/cluster.hpp"
 
 namespace prophet::bench {
+
+// Machine-tracked perf ledger shared by perf_engine and micro_benchmarks:
+// a two-level {section -> {metric -> value}} JSON document. Writers update
+// their own sections and preserve everyone else's, so BENCH_engine.json
+// accumulates the full perf picture of the engine across tools.
+class BenchJson {
+ public:
+  // Loads `path` if it exists (tolerant of missing/empty files).
+  explicit BenchJson(std::string path);
+
+  void set(const std::string& section, const std::string& key, double value);
+  // Returns NaN when the metric is absent.
+  [[nodiscard]] double get(const std::string& section, const std::string& key) const;
+  // Drops a whole section (used before rewriting it wholesale).
+  void clear_section(const std::string& section);
+
+  void save() const;
+
+ private:
+  std::string path_;
+  std::map<std::string, std::map<std::string, double>> sections_;
+};
 
 // Directory (created on demand) where every bench drops its CSV artifacts.
 std::string artifact_dir();

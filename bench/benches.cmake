@@ -36,15 +36,24 @@ prophet_bench(table3_batchsize)
 prophet_bench(hetero_cluster)
 prophet_bench(dynamics_sensitivity)
 prophet_bench(ablation)
+prophet_bench(perf_engine)
 prophet_bench(extended_comparison)
 prophet_bench(allreduce_comparison)
 
-# Microbenchmarks (google-benchmark): engine and Algorithm 1 costs.
-add_executable(micro_benchmarks bench/micro_benchmarks.cpp)
-target_include_directories(micro_benchmarks PRIVATE ${CMAKE_SOURCE_DIR}/src)
+# Microbenchmarks (google-benchmark): engine and Algorithm 1 costs. Uses a
+# custom main (not benchmark_main) so timings also land in BENCH_engine.json.
+add_executable(micro_benchmarks bench/micro_benchmarks.cpp $<TARGET_OBJECTS:prophet_bench_common>)
+target_include_directories(micro_benchmarks PRIVATE ${CMAKE_SOURCE_DIR}/src ${CMAKE_SOURCE_DIR}/bench)
 target_link_libraries(micro_benchmarks PRIVATE
   prophet_ps prophet_core prophet_sched prophet_metrics prophet_dnn
   prophet_net prophet_sim prophet_common prophet_warnings
-  benchmark::benchmark benchmark::benchmark_main Threads::Threads)
+  benchmark::benchmark Threads::Threads)
 set_target_properties(micro_benchmarks PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
+# Quick engine perf smoke: shrunk workloads, writes BENCH_engine_smoke.json
+# into the build tree (the tracked bench_results/BENCH_engine.json is only
+# rewritten by a full `perf_engine` run). Keeps the perf harness itself under
+# test without letting CI timing noise churn the committed artifact.
+add_test(NAME bench_perf_engine_smoke
+         COMMAND perf_engine --smoke --out ${CMAKE_BINARY_DIR}/BENCH_engine_smoke.json)

@@ -1,8 +1,7 @@
 #include "core/block_planner.hpp"
 
 #include <algorithm>
-#include <map>
-#include <set>
+#include <utility>
 
 #include "common/check.hpp"
 
@@ -18,27 +17,35 @@ Schedule BlockPlanner::plan(const GradientProfile& profile, Bandwidth bandwidth)
   const std::size_t n = profile.gradient_count();
   PROPHET_CHECK(n > 0);
 
-  // Distinct generation events in time order (the steps of the stepwise
-  // pattern); each event releases the gradients generated at that instant.
-  std::map<Duration, std::vector<std::size_t>> events;
-  for (std::size_t g = 0; g < n; ++g) events[profile.ready[g]].push_back(g);
+  // Generation events in time order, as one flat (ready, gradient) array —
+  // runs of equal `ready` are the steps of the stepwise pattern. Profiles
+  // arrive priority-ordered (gradient n-1 is generated first), so this is a
+  // nearly-reversed sequence; sorting it is the only O(n log n) step and the
+  // planning loop below allocates no per-gradient nodes.
+  std::vector<std::pair<Duration, std::size_t>> order(n);
+  for (std::size_t g = 0; g < n; ++g) order[g] = {profile.ready[g], g};
+  std::sort(order.begin(), order.end());
 
   Schedule schedule;
-  std::set<std::size_t> ready;  // ascending == priority order
-  Duration nic_free{};          // Constraint (8): single transfer at a time
+  // Released-but-untransferred gradients, kept sorted ascending (== priority
+  // order). Insertions go near the front (later-generated gradients have
+  // higher priority); the greedy pass consumes a prefix.
+  std::vector<std::size_t> ready;
+  ready.reserve(n);
+  Duration nic_free{};  // Constraint (8): single transfer at a time
 
-  auto event_it = events.begin();
-  while (event_it != events.end()) {
-    const Duration now = event_it->first;
-    for (std::size_t g : event_it->second) ready.insert(g);
-    ++event_it;
-    const bool is_final_event = event_it == events.end();
-
-    if (is_final_event) break;  // gradient 0's event: switch to forward phase
+  std::size_t ev = 0;
+  while (ev < n) {
+    const Duration now = order[ev].first;
+    for (; ev < n && order[ev].first == now; ++ev) {
+      const std::size_t g = order[ev].second;
+      ready.insert(std::lower_bound(ready.begin(), ready.end(), g), g);
+    }
+    if (ev == n) break;  // gradient 0's event: switch to forward phase
 
     // Budget: everything assembled now must finish before the next
     // generation event, so high-priority gradients are never blocked.
-    const Duration next_gen = event_it->first;
+    const Duration next_gen = order[ev].first;
     const Duration start = std::max(now, nic_free);
     const Duration budget = (next_gen - start) * (1.0 - config_.budget_margin);
     if (budget <= Duration::zero()) continue;
@@ -50,17 +57,19 @@ Schedule BlockPlanner::plan(const GradientProfile& profile, Bandwidth bandwidth)
     ScheduledTask task;
     task.start = start;
     Bytes block_bytes{};
-    for (auto it = ready.begin(); it != ready.end();) {
-      const Bytes candidate = block_bytes + profile.sizes[*it];
+    std::size_t consumed = 0;
+    while (consumed < ready.size()) {
+      const Bytes candidate = block_bytes + profile.sizes[ready[consumed]];
       if (cost_.duration(candidate, bandwidth) <= budget) {
         block_bytes = candidate;
-        task.grads.push_back(*it);
-        it = ready.erase(it);
+        task.grads.push_back(ready[consumed]);
+        ++consumed;
       } else {
         // Strict priority: never skip ahead of a gradient that does not fit.
         break;
       }
     }
+    ready.erase(ready.begin(), ready.begin() + static_cast<std::ptrdiff_t>(consumed));
     if (!task.grads.empty()) {
       nic_free = task.start + cost_.duration(block_bytes, bandwidth);
       schedule.tasks.push_back(std::move(task));

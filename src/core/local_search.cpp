@@ -1,6 +1,7 @@
 #include "core/local_search.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/check.hpp"
 
@@ -29,52 +30,49 @@ Schedule LocalSearchPlanner::retime(const Schedule& schedule, const PerfModel& m
 LocalSearchResult LocalSearchPlanner::refine(const Schedule& initial,
                                              const PerfModel& model) const {
   LocalSearchResult result;
-  result.schedule = retime(initial, model);
-  result.breakdown = model.evaluate(result.schedule);
+  // All candidate moves are priced by the incremental evaluator: each one is
+  // a replacement of one or two adjacent tasks, so only the edited region,
+  // the re-timed tail, and the affected forward-chain range are recomputed —
+  // never a schedule copy or a full evaluate().
+  IncrementalEvaluator eval{model, initial};
+
+  // Reusable member-list buffers for the candidate tasks (the evaluator
+  // reads them until commit()).
+  std::vector<std::size_t> buf_a, buf_b;
+  const std::vector<std::size_t>* reps[2] = {&buf_a, &buf_b};
+  const auto try_move = [&](std::size_t first, std::size_t removed,
+                            std::size_t replacement_count) {
+    const Duration candidate =
+        eval.trial(first, removed, std::span{reps, replacement_count});
+    ++result.moves_evaluated;
+    if (candidate < eval.t_wait()) {
+      eval.commit();
+      ++result.moves_applied;
+      return true;
+    }
+    return false;
+  };
 
   for (std::size_t round = 0; round < max_rounds_; ++round) {
     bool improved = false;
+    const auto& tasks = eval.schedule().tasks;
 
     // Move 1: merge adjacent tasks (saves one setup; may delay the earlier
     // task's gradients until the later members exist).
-    for (std::size_t i = 0; i + 1 < result.schedule.tasks.size(); ++i) {
-      Schedule candidate = result.schedule;
-      auto& a = candidate.tasks[i];
-      const auto& b = candidate.tasks[i + 1];
-      a.grads.insert(a.grads.end(), b.grads.begin(), b.grads.end());
-      candidate.tasks.erase(candidate.tasks.begin() +
-                            static_cast<std::ptrdiff_t>(i) + 1);
-      candidate = retime(candidate, model);
-      const auto breakdown = model.evaluate(candidate);
-      ++result.moves_evaluated;
-      if (breakdown.t_wait < result.breakdown.t_wait) {
-        result.schedule = std::move(candidate);
-        result.breakdown = breakdown;
-        ++result.moves_applied;
-        improved = true;
-      }
+    for (std::size_t i = 0; i + 1 < tasks.size(); ++i) {
+      buf_a = tasks[i].grads;
+      buf_a.insert(buf_a.end(), tasks[i + 1].grads.begin(), tasks[i + 1].grads.end());
+      improved |= try_move(i, 2, 1);
     }
 
     // Move 2: split a multi-gradient task at every interior position.
-    for (std::size_t i = 0; i < result.schedule.tasks.size(); ++i) {
-      const std::size_t members = result.schedule.tasks[i].grads.size();
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const std::size_t members = tasks[i].grads.size();
       for (std::size_t cut = 1; cut < members; ++cut) {
-        Schedule candidate = result.schedule;
-        auto& task = candidate.tasks[i];
-        ScheduledTask tail;
-        tail.grads.assign(task.grads.begin() + static_cast<std::ptrdiff_t>(cut),
-                          task.grads.end());
-        task.grads.resize(cut);
-        candidate.tasks.insert(candidate.tasks.begin() +
-                                   static_cast<std::ptrdiff_t>(i) + 1,
-                               std::move(tail));
-        candidate = retime(candidate, model);
-        const auto breakdown = model.evaluate(candidate);
-        ++result.moves_evaluated;
-        if (breakdown.t_wait < result.breakdown.t_wait) {
-          result.schedule = std::move(candidate);
-          result.breakdown = breakdown;
-          ++result.moves_applied;
+        const auto& grads = tasks[i].grads;
+        buf_a.assign(grads.begin(), grads.begin() + static_cast<std::ptrdiff_t>(cut));
+        buf_b.assign(grads.begin() + static_cast<std::ptrdiff_t>(cut), grads.end());
+        if (try_move(i, 1, 2)) {
           improved = true;
           break;  // task indices shifted; restart this task's scan
         }
@@ -84,29 +82,23 @@ LocalSearchResult LocalSearchPlanner::refine(const Schedule& initial,
     // Move 3: shift one gradient across an adjacent task boundary (both
     // directions). This is the rebalancing step merge+split cannot express
     // without passing through a worse intermediate schedule.
-    for (std::size_t i = 0; i + 1 < result.schedule.tasks.size(); ++i) {
+    for (std::size_t i = 0; i + 1 < tasks.size(); ++i) {
       for (int direction = 0; direction < 2; ++direction) {
-        Schedule candidate = result.schedule;
-        auto& a = candidate.tasks[i];
-        auto& b = candidate.tasks[i + 1];
+        const auto& a = tasks[i].grads;
+        const auto& b = tasks[i + 1].grads;
         if (direction == 0) {
-          if (a.grads.size() < 2) continue;  // do not empty a task
-          b.grads.insert(b.grads.begin(), a.grads.back());
-          a.grads.pop_back();
+          if (a.size() < 2) continue;  // do not empty a task
+          buf_a.assign(a.begin(), a.end() - 1);
+          buf_b.clear();
+          buf_b.push_back(a.back());
+          buf_b.insert(buf_b.end(), b.begin(), b.end());
         } else {
-          if (b.grads.size() < 2) continue;
-          a.grads.push_back(b.grads.front());
-          b.grads.erase(b.grads.begin());
+          if (b.size() < 2) continue;
+          buf_a = a;
+          buf_a.push_back(b.front());
+          buf_b.assign(b.begin() + 1, b.end());
         }
-        candidate = retime(candidate, model);
-        const auto breakdown = model.evaluate(candidate);
-        ++result.moves_evaluated;
-        if (breakdown.t_wait < result.breakdown.t_wait) {
-          result.schedule = std::move(candidate);
-          result.breakdown = breakdown;
-          ++result.moves_applied;
-          improved = true;
-        }
+        improved |= try_move(i, 2, 2);
       }
     }
 
@@ -114,22 +106,17 @@ LocalSearchResult LocalSearchPlanner::refine(const Schedule& initial,
     // Constraint (9) confines runtime schedules to — the offline optimum can
     // prefer generation order over priority order in backlogged regimes, and
     // quantifying that gap is exactly what this planner is for.
-    for (std::size_t i = 0; i + 1 < result.schedule.tasks.size(); ++i) {
-      Schedule candidate = result.schedule;
-      std::swap(candidate.tasks[i], candidate.tasks[i + 1]);
-      candidate = retime(candidate, model);
-      const auto breakdown = model.evaluate(candidate);
-      ++result.moves_evaluated;
-      if (breakdown.t_wait < result.breakdown.t_wait) {
-        result.schedule = std::move(candidate);
-        result.breakdown = breakdown;
-        ++result.moves_applied;
-        improved = true;
-      }
+    for (std::size_t i = 0; i + 1 < tasks.size(); ++i) {
+      buf_a = tasks[i + 1].grads;
+      buf_b = tasks[i].grads;
+      improved |= try_move(i, 2, 2);
     }
 
     if (!improved) break;
   }
+
+  result.schedule = eval.schedule();
+  result.breakdown = eval.breakdown();
   return result;
 }
 

@@ -31,6 +31,10 @@ Duration PerfModel::task_duration(const ScheduledTask& task) const {
   return cost_.duration(total, bandwidth_);
 }
 
+Duration PerfModel::task_duration(Bytes total) const {
+  return cost_.duration(total, bandwidth_);
+}
+
 WaitTimeBreakdown PerfModel::evaluate(const Schedule& schedule) const {
   const std::size_t n = profile_.gradient_count();
   WaitTimeBreakdown out;
@@ -67,6 +71,194 @@ WaitTimeBreakdown PerfModel::evaluate(const Schedule& schedule) const {
   out.t_wait = wait;
   out.span = out.forward_done[n - 1];
   return out;
+}
+
+IncrementalEvaluator::IncrementalEvaluator(const PerfModel& model, const Schedule& initial)
+    : model_{&model}, sched_{initial} {
+  const auto& profile = model.profile();
+  // Re-time exactly as LocalSearchPlanner::retime, caching the byte totals,
+  // member-readiness maxima, and durations the trials will reuse.
+  Duration nic_free{};
+  for (auto& task : sched_.tasks) {
+    Duration ready{};
+    Bytes total{};
+    for (std::size_t g : task.grads) {
+      ready = std::max(ready, profile.ready[g]);
+      total += profile.sizes[g];
+    }
+    task.start = std::max(ready, nic_free);
+    const Duration dur = model.task_duration(task);  // per-member bounds checks
+    nic_free = task.start + dur;
+    ready_.push_back(ready);
+    bytes_.push_back(total);
+    dur_.push_back(dur);
+    end_.push_back(nic_free);
+  }
+
+  // One full evaluation (with its schedule-validity checks) seeds the
+  // per-gradient state; everything after is delta-maintained.
+  const WaitTimeBreakdown bd = model.evaluate(sched_);
+  update_done_ = bd.update_done;
+  forward_done_ = bd.forward_done;
+  t_wait_ = bd.t_wait;
+  span_ = bd.span;
+  const std::size_t n = profile.gradient_count();
+  wait_.resize(n);
+  wait_[0] = update_done_[0] - profile.ready[0];
+  for (std::size_t g = 1; g < n; ++g) {
+    wait_[g] = positive_part(update_done_[g] - forward_done_[g - 1]);
+  }
+  u_stamp_.assign(n, 0);
+  u_val_.resize(n);
+  f_val_.resize(n);
+  w_val_.resize(n);
+}
+
+WaitTimeBreakdown IncrementalEvaluator::breakdown() const {
+  WaitTimeBreakdown bd;
+  bd.update_done = update_done_;
+  bd.forward_done = forward_done_;
+  bd.t_wait = t_wait_;
+  bd.span = span_;
+  return bd;
+}
+
+Duration IncrementalEvaluator::trial(
+    std::size_t first, std::size_t removed,
+    std::span<const std::vector<std::size_t>* const> replacement) {
+  const auto& profile = model_->profile();
+  const std::size_t task_count = sched_.tasks.size();
+  PROPHET_CHECK(first + removed <= task_count);
+  ++epoch_;
+  trial_first_ = first;
+  trial_removed_ = removed;
+  trial_new_.clear();
+  trial_moved_.clear();
+  touched_u_.clear();
+  touched_f_.clear();
+
+  // Stage 1: re-time the replacement tasks and the tail after them, stopping
+  // as soon as a start time matches the resident one — from there on the NIC
+  // timeline (and hence every later start) is unchanged.
+  Duration nic = first == 0 ? Duration::zero() : end_[first - 1];
+  for (const auto* grads : replacement) {
+    TrialTask t;
+    t.ready = Duration::zero();
+    t.bytes = Bytes::zero();
+    for (std::size_t g : *grads) {
+      t.ready = std::max(t.ready, profile.ready[g]);
+      t.bytes += profile.sizes[g];
+    }
+    t.start = std::max(t.ready, nic);
+    t.dur = model_->task_duration(t.bytes);
+    t.grads = grads;
+    nic = t.start + t.dur;
+    trial_new_.push_back(t);
+  }
+  for (std::size_t j = first + removed; j < task_count; ++j) {
+    const Duration start = std::max(ready_[j], nic);
+    if (start == sched_.tasks[j].start) break;
+    trial_moved_.emplace_back(j, start);
+    nic = start + dur_[j];
+  }
+
+  // Stage 2: per-gradient update-completion deltas (Eq. (4)).
+  const std::size_t n = profile.gradient_count();
+  std::size_t g_min = n, g_max = 0;
+  const auto set_update = [&](std::size_t g, Duration done) {
+    if (done == update_done_[g]) return;
+    u_stamp_[g] = epoch_;
+    u_val_[g] = done;
+    touched_u_.push_back(g);
+    g_min = std::min(g_min, g);
+    g_max = std::max(g_max, g);
+  };
+  for (const auto& t : trial_new_) {
+    const Duration done = t.start + t.dur * std::int64_t{2};
+    for (std::size_t g : *t.grads) set_update(g, done);
+  }
+  for (const auto& [j, start] : trial_moved_) {
+    const Duration done = start + dur_[j] * std::int64_t{2};
+    for (std::size_t g : sched_.tasks[j].grads) set_update(g, done);
+  }
+  if (touched_u_.empty()) {
+    trial_t_wait_ = t_wait_;
+    trial_span_ = span_;
+    trial_valid_ = true;
+    return trial_t_wait_;
+  }
+
+  // Stage 3: replay the forward-dependency chain (Eq. (3)) and the wait
+  // terms (Eq. (2)) from the first affected gradient, stopping once — past
+  // the last changed u^(i) — the chain re-converges with the resident state.
+  Duration delta{};
+  Duration fd_prev = g_min == 0 ? Duration::zero() : forward_done_[g_min - 1];
+  Duration span = span_;
+  for (std::size_t g = g_min; g < n; ++g) {
+    const Duration u = u_stamp_[g] == epoch_ ? u_val_[g] : update_done_[g];
+    Duration w, fd;
+    if (g == 0) {
+      w = u - profile.ready[0];
+      fd = u + model_->forward_times()[0];
+    } else {
+      w = positive_part(u - fd_prev);
+      fd = std::max(fd_prev, u) + model_->forward_times()[g];
+    }
+    delta += w - wait_[g];
+    f_val_[g] = fd;
+    w_val_[g] = w;
+    touched_f_.push_back(g);
+    if (g > g_max && fd == forward_done_[g]) break;  // suffix unchanged
+    if (g == n - 1) span = fd;
+    fd_prev = fd;
+  }
+
+  trial_t_wait_ = t_wait_ + delta;
+  trial_span_ = span;
+  trial_valid_ = true;
+  return trial_t_wait_;
+}
+
+void IncrementalEvaluator::commit() {
+  PROPHET_CHECK_MSG(trial_valid_, "commit without a preceding trial");
+  trial_valid_ = false;
+
+  // Splice the replacement into the task-aligned arrays.
+  const auto tfirst = static_cast<std::ptrdiff_t>(trial_first_);
+  const auto tlast = static_cast<std::ptrdiff_t>(trial_first_ + trial_removed_);
+  sched_.tasks.erase(sched_.tasks.begin() + tfirst, sched_.tasks.begin() + tlast);
+  bytes_.erase(bytes_.begin() + tfirst, bytes_.begin() + tlast);
+  dur_.erase(dur_.begin() + tfirst, dur_.begin() + tlast);
+  ready_.erase(ready_.begin() + tfirst, ready_.begin() + tlast);
+  end_.erase(end_.begin() + tfirst, end_.begin() + tlast);
+  for (std::size_t k = 0; k < trial_new_.size(); ++k) {
+    const TrialTask& t = trial_new_[k];
+    const auto at = tfirst + static_cast<std::ptrdiff_t>(k);
+    ScheduledTask task;
+    task.grads = *t.grads;
+    task.start = t.start;
+    sched_.tasks.insert(sched_.tasks.begin() + at, std::move(task));
+    bytes_.insert(bytes_.begin() + at, t.bytes);
+    dur_.insert(dur_.begin() + at, t.dur);
+    ready_.insert(ready_.begin() + at, t.ready);
+    end_.insert(end_.begin() + at, t.start + t.dur);
+  }
+  // Re-timed tail (indices recorded against the pre-splice layout).
+  const std::ptrdiff_t shift = static_cast<std::ptrdiff_t>(trial_new_.size()) -
+                               static_cast<std::ptrdiff_t>(trial_removed_);
+  for (const auto& [j, start] : trial_moved_) {
+    const auto idx = static_cast<std::size_t>(static_cast<std::ptrdiff_t>(j) + shift);
+    sched_.tasks[idx].start = start;
+    end_[idx] = start + dur_[idx];
+  }
+
+  for (std::size_t g : touched_u_) update_done_[g] = u_val_[g];
+  for (std::size_t g : touched_f_) {
+    forward_done_[g] = f_val_[g];
+    wait_[g] = w_val_[g];
+  }
+  t_wait_ = trial_t_wait_;
+  span_ = trial_span_;
 }
 
 std::vector<std::string> PerfModel::check_constraints(const Schedule& schedule) const {

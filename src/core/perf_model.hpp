@@ -5,8 +5,17 @@
 // gradients); evaluate() derives per-gradient update-completion times u^(i)
 // (Eq. (4): push + pull), forward completion times p^(i) (Eq. (3)) and the
 // total GPU wait time T_wait (Eq. (2)) — the objective Prophet minimizes.
+//
+// IncrementalEvaluator keeps a schedule plus its full evaluation state
+// resident, so a candidate edit (replace a small run of tasks) is priced by
+// re-timing only the modified suffix until start times re-converge and by
+// re-running the forward-dependency chain only over the affected gradient
+// range. All arithmetic is integer nanoseconds, so the incremental T_wait is
+// bit-identical to a from-scratch evaluate() of the edited schedule.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -54,6 +63,11 @@ class PerfModel {
   [[nodiscard]] Duration transfer_estimate(std::size_t grad) const;
   // One-way duration of a whole task (single setup charge, summed bytes).
   [[nodiscard]] Duration task_duration(const ScheduledTask& task) const;
+  // Same cost for a pre-summed byte total — lets callers that cache per-task
+  // totals skip the per-gradient re-summation.
+  [[nodiscard]] Duration task_duration(Bytes total) const;
+  // T_fp^(i) per gradient, as passed to the constructor.
+  [[nodiscard]] const std::vector<Duration>& forward_times() const { return fwd_times_; }
 
   [[nodiscard]] WaitTimeBreakdown evaluate(const Schedule& schedule) const;
 
@@ -66,6 +80,74 @@ class PerfModel {
   std::vector<Duration> fwd_times_;
   Bandwidth bandwidth_;
   net::TcpCostModel cost_;
+};
+
+// Resident evaluation state for local search: holds a re-timed schedule and
+// every intermediate of evaluate() (per-task byte totals/durations,
+// per-gradient u^(i), p^(i), and wait terms), and prices candidate edits
+// incrementally.
+//
+// Protocol: trial() describes an edit — replace tasks [first, first+removed)
+// with `replacement` member lists — and returns the candidate T_wait without
+// changing the resident state. commit() applies the most recent trial. The
+// replacement vectors must stay alive and unmodified until commit() or the
+// next trial().
+class IncrementalEvaluator {
+ public:
+  // Re-times `initial` (as LocalSearchPlanner::retime) and fully evaluates
+  // it once; all later edits are priced incrementally from this state.
+  IncrementalEvaluator(const PerfModel& model, const Schedule& initial);
+
+  [[nodiscard]] const Schedule& schedule() const { return sched_; }
+  [[nodiscard]] Duration t_wait() const { return t_wait_; }
+  // Materializes the full breakdown from the resident per-gradient state.
+  [[nodiscard]] WaitTimeBreakdown breakdown() const;
+
+  // Candidate T_wait for the edit; O(edit size + re-timed tail + affected
+  // forward range) instead of O(tasks * gradients).
+  Duration trial(std::size_t first, std::size_t removed,
+                 std::span<const std::vector<std::size_t>* const> replacement);
+  // Applies the edit priced by the last trial().
+  void commit();
+
+ private:
+  struct TrialTask {
+    Duration start;
+    Duration dur;
+    Duration ready;
+    Bytes bytes;
+    const std::vector<std::size_t>* grads;
+  };
+
+  const PerfModel* model_;
+  Schedule sched_;
+  // Per task, aligned with sched_.tasks.
+  std::vector<Bytes> bytes_;
+  std::vector<Duration> dur_;
+  std::vector<Duration> ready_;  // max member generation time (floored at 0)
+  std::vector<Duration> end_;    // start + dur (NIC-free time after the task)
+  // Per gradient.
+  std::vector<Duration> update_done_;
+  std::vector<Duration> forward_done_;
+  std::vector<Duration> wait_;  // the per-gradient T_wait terms of Eq. (2)
+  Duration t_wait_{};
+  Duration span_{};
+
+  // Trial scratch: epoch-stamped overlays avoid O(n) clears per candidate.
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> u_stamp_;
+  std::vector<Duration> u_val_;
+  std::vector<Duration> f_val_;
+  std::vector<Duration> w_val_;
+  std::vector<std::size_t> touched_u_;
+  std::vector<std::size_t> touched_f_;
+  std::vector<TrialTask> trial_new_;
+  std::vector<std::pair<std::size_t, Duration>> trial_moved_;  // old index -> new start
+  std::size_t trial_first_ = 0;
+  std::size_t trial_removed_ = 0;
+  Duration trial_t_wait_{};
+  Duration trial_span_{};
+  bool trial_valid_ = false;
 };
 
 }  // namespace prophet::core

@@ -19,6 +19,10 @@ FlowNetwork::FlowNetwork(sim::Simulator& sim, TcpCostModel cost_model)
 NodeId FlowNetwork::add_node(std::string name, Bandwidth egress, Bandwidth ingress) {
   PROPHET_CHECK(!egress.is_zero() && !ingress.is_zero());
   nodes_.push_back(Node{std::move(name), Port{egress}, Port{ingress}});
+  fill_tx_.emplace_back();
+  fill_rx_.emplace_back();
+  busy_tx_.push_back(0);
+  busy_rx_.push_back(0);
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
@@ -35,6 +39,15 @@ FlowNetwork::Port& FlowNetwork::port(NodeId id, Direction dir) {
 const FlowNetwork::Port& FlowNetwork::port(NodeId id, Direction dir) const {
   PROPHET_CHECK(id < nodes_.size());
   return dir == Direction::kTx ? nodes_[id].tx : nodes_[id].rx;
+}
+
+std::ptrdiff_t FlowNetwork::find_slot(FlowId id) const {
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return -1;
+  const FlowSlot& s = slots_[slot];
+  if (!s.occupied || s.generation != generation) return -1;
+  return static_cast<std::ptrdiff_t>(slot);
 }
 
 void FlowNetwork::set_capacity(NodeId id, Direction dir, Bandwidth cap) {
@@ -64,27 +77,38 @@ FlowId FlowNetwork::start_flow(NodeId src, NodeId dst, Bytes size,
   PROPHET_CHECK(src < nodes_.size() && dst < nodes_.size());
   PROPHET_CHECK_MSG(src != dst, "loopback flows are not modeled");
   PROPHET_CHECK(size.count() >= 0);
-  const FlowId id = next_flow_id_++;
-  Flow flow;
-  flow.src = src;
-  flow.dst = dst;
-  flow.remaining = static_cast<double>(size.count());
-  flow.on_complete = std::move(on_complete);
-  flows_.emplace(id, std::move(flow));
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  FlowSlot& s = slots_[slot];
+  s.occupied = true;
+  s.flow.src = src;
+  s.flow.dst = dst;
+  s.flow.remaining = static_cast<double>(size.count());
+  s.flow.draining = false;
+  s.flow.rate = 0.0;
+  s.flow.on_complete = std::move(on_complete);
+  s.flow.completion = sim::EventHandle{};
+  active_.push_back(slot);
+  const FlowId id = make_id(s.generation, slot);
 
   // The setup ramp is computed against the path's solo line rate: the best
   // the congestion window could hope for, matching how slow start probes.
-  const Bandwidth line_rate =
-      std::min(nodes_[src].tx.cap, nodes_[dst].rx.cap);
+  const Bandwidth line_rate = std::min(nodes_[src].tx.cap, nodes_[dst].rx.cap);
   const Duration setup = cost_model_.setup_delay(size, line_rate);
   sim_.schedule_after(setup, [this, id] { enter_drain(id); });
   return id;
 }
 
 Bandwidth FlowNetwork::flow_rate(FlowId id) const {
-  const auto it = flows_.find(id);
-  PROPHET_CHECK_MSG(it != flows_.end(), "flow_rate on unknown flow");
-  return Bandwidth::bytes_per_sec(it->second.rate);
+  const std::ptrdiff_t slot = find_slot(id);
+  PROPHET_CHECK_MSG(slot >= 0, "flow_rate on unknown flow");
+  return Bandwidth::bytes_per_sec(slots_[static_cast<std::size_t>(slot)].flow.rate);
 }
 
 void FlowNetwork::attach_tracker(NodeId id, Direction dir, BinnedSeries* series) {
@@ -105,9 +129,10 @@ void FlowNetwork::advance_to_now() {
   const TimePoint now = sim_.now();
   if (now == last_update_) return;
   const double elapsed_s = (now - last_update_).to_seconds();
-  std::vector<bool> tx_busy(nodes_.size(), false);
-  std::vector<bool> rx_busy(nodes_.size(), false);
-  for (auto& [id, flow] : flows_) {
+  std::fill(busy_tx_.begin(), busy_tx_.end(), 0);
+  std::fill(busy_rx_.begin(), busy_rx_.end(), 0);
+  for (const std::uint32_t slot : active_) {
+    Flow& flow = slots_[slot].flow;
     if (!flow.draining || flow.rate <= 0.0) continue;
     const double drained = std::min(flow.remaining, flow.rate * elapsed_s);
     flow.remaining -= drained;
@@ -117,46 +142,61 @@ void FlowNetwork::advance_to_now() {
     rx.total_bytes += drained;
     if (tx.tracker != nullptr) tx.tracker->add_amount_spread(last_update_, now, drained);
     if (rx.tracker != nullptr) rx.tracker->add_amount_spread(last_update_, now, drained);
-    tx_busy[flow.src] = true;
-    rx_busy[flow.dst] = true;
+    busy_tx_[flow.src] = 1;
+    busy_rx_[flow.dst] = 1;
   }
   const Duration elapsed = now - last_update_;
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
-    if (tx_busy[n]) nodes_[n].tx.busy += elapsed;
-    if (rx_busy[n]) nodes_[n].rx.busy += elapsed;
+    if (busy_tx_[n] != 0) nodes_[n].tx.busy += elapsed;
+    if (busy_rx_[n] != 0) nodes_[n].rx.busy += elapsed;
   }
   last_update_ = now;
 }
 
 void FlowNetwork::reassign_rates() {
   // Progressive filling: repeatedly saturate the port with the smallest fair
-  // share, freeze its flows at that rate, remove the consumed capacity.
-  struct PortState {
-    double cap;
-    int unfrozen = 0;
-  };
-  std::vector<PortState> tx(nodes_.size());
-  std::vector<PortState> rx(nodes_.size());
-  for (std::size_t n = 0; n < nodes_.size(); ++n) {
-    // A down link offers no capacity: its flows freeze at rate zero below.
-    tx[n].cap = nodes_[n].up ? nodes_[n].tx.cap.bytes_per_second() : 0.0;
-    rx[n].cap = nodes_[n].up ? nodes_[n].rx.cap.bytes_per_second() : 0.0;
-  }
-  std::vector<std::pair<FlowId, Flow*>> unfrozen;
-  for (auto& [id, flow] : flows_) {
+  // share, freeze its flows at that rate, remove the consumed capacity. Only
+  // ports that carry a draining flow participate; everything runs out of
+  // persistent scratch, so steady-state reassignment allocates nothing.
+  unfrozen_.clear();
+  active_tx_ports_.clear();
+  active_rx_ports_.clear();
+  for (const std::uint32_t slot : active_) {
+    Flow& flow = slots_[slot].flow;
     if (!flow.draining) continue;
     flow.rate = 0.0;
-    unfrozen.emplace_back(id, &flow);
-    ++tx[flow.src].unfrozen;
-    ++rx[flow.dst].unfrozen;
+    unfrozen_.push_back(slot);
+    if (fill_tx_[flow.src].unfrozen == 0) {
+      // First draining flow on this port: (re)load its capacity. A down link
+      // offers no capacity: its flows freeze at rate zero below.
+      fill_tx_[flow.src].cap = nodes_[flow.src].up
+                                   ? nodes_[flow.src].tx.cap.bytes_per_second()
+                                   : 0.0;
+      active_tx_ports_.push_back(flow.src);
+    }
+    ++fill_tx_[flow.src].unfrozen;
+    if (fill_rx_[flow.dst].unfrozen == 0) {
+      fill_rx_[flow.dst].cap = nodes_[flow.dst].up
+                                   ? nodes_[flow.dst].rx.cap.bytes_per_second()
+                                   : 0.0;
+      active_rx_ports_.push_back(flow.dst);
+    }
+    ++fill_rx_[flow.dst].unfrozen;
   }
 
-  while (!unfrozen.empty()) {
+  std::size_t remaining = unfrozen_.size();
+  while (remaining > 0) {
     // Find the tightest port among those with unfrozen flows.
     double min_share = std::numeric_limits<double>::infinity();
-    for (std::size_t n = 0; n < nodes_.size(); ++n) {
-      if (tx[n].unfrozen > 0) min_share = std::min(min_share, tx[n].cap / tx[n].unfrozen);
-      if (rx[n].unfrozen > 0) min_share = std::min(min_share, rx[n].cap / rx[n].unfrozen);
+    for (const NodeId n : active_tx_ports_) {
+      if (fill_tx_[n].unfrozen > 0) {
+        min_share = std::min(min_share, fill_tx_[n].cap / fill_tx_[n].unfrozen);
+      }
+    }
+    for (const NodeId n : active_rx_ports_) {
+      if (fill_rx_[n].unfrozen > 0) {
+        min_share = std::min(min_share, fill_rx_[n].cap / fill_rx_[n].unfrozen);
+      }
     }
     PROPHET_CHECK(min_share < std::numeric_limits<double>::infinity());
     // Floating-point residue in the capacity subtractions can push a nearly
@@ -164,40 +204,42 @@ void FlowNetwork::reassign_rates() {
     // negative rate.
     min_share = std::max(min_share, 0.0);
     // Freeze every flow touching a port whose fair share equals the minimum.
-    auto is_tight = [&](const Flow& f) {
-      const double tx_share = tx[f.src].cap / tx[f.src].unfrozen;
-      const double rx_share = rx[f.dst].cap / rx[f.dst].unfrozen;
-      return tx_share <= min_share * (1.0 + 1e-12) || rx_share <= min_share * (1.0 + 1e-12);
+    const auto is_tight = [&](const Flow& f) {
+      const double tx_share = fill_tx_[f.src].cap / fill_tx_[f.src].unfrozen;
+      const double rx_share = fill_rx_[f.dst].cap / fill_rx_[f.dst].unfrozen;
+      return tx_share <= min_share * (1.0 + 1e-12) ||
+             rx_share <= min_share * (1.0 + 1e-12);
     };
     bool froze_any = false;
-    for (auto it = unfrozen.begin(); it != unfrozen.end();) {
-      Flow& f = *it->second;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < remaining; ++i) {
+      Flow& f = slots_[unfrozen_[i]].flow;
       if (is_tight(f)) {
         f.rate = min_share;
-        tx[f.src].cap -= min_share;
-        rx[f.dst].cap -= min_share;
-        --tx[f.src].unfrozen;
-        --rx[f.dst].unfrozen;
-        it = unfrozen.erase(it);
+        fill_tx_[f.src].cap -= min_share;
+        fill_rx_[f.dst].cap -= min_share;
+        --fill_tx_[f.src].unfrozen;
+        --fill_rx_[f.dst].unfrozen;
         froze_any = true;
       } else {
-        ++it;
+        unfrozen_[kept++] = unfrozen_[i];
       }
     }
+    remaining = kept;
     PROPHET_CHECK_MSG(froze_any, "progressive filling made no progress");
   }
 
   // Reschedule completions at the new rates.
-  for (auto& [id, flow] : flows_) {
+  for (const std::uint32_t slot : active_) {
+    Flow& flow = slots_[slot].flow;
     if (!flow.draining) continue;
     flow.completion.cancel();
+    const FlowId fid = make_id(slots_[slot].generation, slot);
     if (flow.remaining <= kDrainEpsilon) {
-      const FlowId fid = id;
-      flow.completion = sim_.schedule_after(Duration::zero(),
-                                            [this, fid] { complete_flow(fid); });
+      flow.completion =
+          sim_.schedule_after(Duration::zero(), [this, fid] { complete_flow(fid); });
     } else if (flow.rate > 0.0) {
       const Duration eta = Duration::from_seconds(flow.remaining / flow.rate);
-      const FlowId fid = id;
       flow.completion = sim_.schedule_after(eta, [this, fid] { complete_flow(fid); });
     }
     // rate == 0 (fully starved port) leaves the flow parked until the next
@@ -206,21 +248,28 @@ void FlowNetwork::reassign_rates() {
 }
 
 void FlowNetwork::enter_drain(FlowId id) {
-  const auto it = flows_.find(id);
-  PROPHET_CHECK(it != flows_.end());
+  const std::ptrdiff_t slot = find_slot(id);
+  PROPHET_CHECK(slot >= 0);
   advance_to_now();
-  it->second.draining = true;
+  slots_[static_cast<std::size_t>(slot)].flow.draining = true;
   reassign_rates();
 }
 
 void FlowNetwork::complete_flow(FlowId id) {
-  const auto it = flows_.find(id);
-  if (it == flows_.end()) return;
+  const std::ptrdiff_t found = find_slot(id);
+  if (found < 0) return;
+  const auto slot = static_cast<std::uint32_t>(found);
   advance_to_now();
-  PROPHET_CHECK_MSG(it->second.remaining <= 1.0,
+  FlowSlot& s = slots_[slot];
+  PROPHET_CHECK_MSG(s.flow.remaining <= 1.0,
                     "flow completion fired with bytes still pending");
-  auto on_complete = std::move(it->second.on_complete);
-  flows_.erase(it);
+  auto on_complete = std::move(s.flow.on_complete);
+  s.flow.on_complete = nullptr;
+  s.flow.completion = sim::EventHandle{};
+  s.occupied = false;
+  ++s.generation;
+  free_slots_.push_back(slot);
+  active_.erase(std::find(active_.begin(), active_.end(), slot));
   reassign_rates();
   if (on_complete) on_complete(id);
 }

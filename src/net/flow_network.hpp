@@ -13,12 +13,17 @@
 //   2. drain  — its bytes drain at the max-min fair rate; rates are
 //               recomputed whenever a flow enters/leaves drain or a port
 //               capacity changes.
+//
+// Flows live in a slab: each admitted flow occupies a reusable slot and its
+// FlowId encodes {generation, slot}, so admission allocates nothing in
+// steady state and stale ids are recognized cheaply. Rate reassignment works
+// from persistent scratch buffers and only walks the ports that currently
+// carry draining flows.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/time.hpp"
@@ -62,8 +67,8 @@ class FlowNetwork {
   FlowId start_flow(NodeId src, NodeId dst, Bytes size,
                     std::function<void(FlowId)> on_complete);
 
-  [[nodiscard]] bool flow_active(FlowId id) const { return flows_.contains(id); }
-  [[nodiscard]] std::size_t active_flow_count() const { return flows_.size(); }
+  [[nodiscard]] bool flow_active(FlowId id) const { return find_slot(id) >= 0; }
+  [[nodiscard]] std::size_t active_flow_count() const { return active_.size(); }
   // Current drain rate; zero while in setup.
   [[nodiscard]] Bandwidth flow_rate(FlowId id) const;
 
@@ -98,6 +103,24 @@ class FlowNetwork {
     std::function<void(FlowId)> on_complete;
     sim::EventHandle completion;
   };
+  // One slab entry; `generation` advances when the slot is recycled so stale
+  // FlowIds stop resolving.
+  struct FlowSlot {
+    Flow flow;
+    std::uint32_t generation = 1;
+    bool occupied = false;
+  };
+  // Per-port scratch for progressive filling (persistent across calls).
+  struct PortFill {
+    double cap = 0.0;
+    int unfrozen = 0;
+  };
+
+  static constexpr FlowId make_id(std::uint32_t generation, std::uint32_t slot) {
+    return (static_cast<FlowId>(generation) << 32) | slot;
+  }
+  // Slot index for a live id, or -1 if the id is stale/unknown.
+  [[nodiscard]] std::ptrdiff_t find_slot(FlowId id) const;
 
   Port& port(NodeId id, Direction dir);
   [[nodiscard]] const Port& port(NodeId id, Direction dir) const;
@@ -113,9 +136,22 @@ class FlowNetwork {
   sim::Simulator& sim_;
   TcpCostModel cost_model_;
   std::vector<Node> nodes_;
-  std::unordered_map<FlowId, Flow> flows_;
-  FlowId next_flow_id_{1};
+  std::vector<FlowSlot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  // Slots of admitted flows, in admission order (completion removes in
+  // place, preserving order — rate reassignment and byte crediting walk
+  // flows in this deterministic order).
+  std::vector<std::uint32_t> active_;
   TimePoint last_update_{};
+
+  // Persistent scratch (sized to the node/flow counts, reused every call).
+  std::vector<PortFill> fill_tx_;
+  std::vector<PortFill> fill_rx_;
+  std::vector<std::uint32_t> unfrozen_;
+  std::vector<NodeId> active_tx_ports_;
+  std::vector<NodeId> active_rx_ports_;
+  std::vector<char> busy_tx_;
+  std::vector<char> busy_rx_;
 };
 
 }  // namespace prophet::net

@@ -1,23 +1,28 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <limits>
+
 namespace prophet::sim {
 
-void EventHandle::cancel() {
-  if (done_ && !*done_) {
-    *done_ = true;
-    if (live_ && *live_ > 0) --*live_;
+Simulator::~Simulator() {
+  for (auto& slot : pool_->slots) {
+    slot.done = true;
+    slot.cb = nullptr;
   }
+  pool_->live = 0;
 }
-
-bool EventHandle::pending() const { return done_ && !*done_; }
 
 EventHandle Simulator::schedule_at(TimePoint at, Callback cb) {
   PROPHET_CHECK_MSG(at >= now_, "scheduling into the past");
   PROPHET_CHECK(cb != nullptr);
-  auto done = std::make_shared<bool>(false);
-  queue_.push(Record{at, next_seq_++, std::move(cb), done});
-  ++*live_events_;
-  return EventHandle{std::move(done), live_events_};
+  const std::uint32_t slot = pool_->acquire(/*counts_live=*/true);
+  const std::uint32_t generation = pool_->slots[slot].generation;
+  pool_->slots[slot].cb = std::move(cb);
+  PROPHET_CHECK_MSG(next_seq_ != std::numeric_limits<std::uint32_t>::max(),
+                    "event sequence counter exhausted");
+  heap_push(Record{at, next_seq_++, slot});
+  return EventHandle{pool_, slot, generation};
 }
 
 EventHandle Simulator::schedule_after(Duration delay, Callback cb) {
@@ -28,45 +33,100 @@ EventHandle Simulator::schedule_after(Duration delay, Callback cb) {
 EventHandle Simulator::schedule_periodic(Duration period,
                                          std::function<void(TimePoint)> cb) {
   PROPHET_CHECK(period > Duration::zero());
-  // The chain flag is distinct from the per-record done flags: cancelling
-  // the chain stops future work, while each queued tick keeps its own
-  // lifecycle (it may already be in the queue and fires as a no-op).
-  auto chain_cancelled = std::make_shared<bool>(false);
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, period, cb = std::move(cb), chain_cancelled, tick]() {
-    if (*chain_cancelled) return;
-    cb(now_);
-    if (*chain_cancelled) return;
-    schedule_at(now_ + period, *tick);
-  };
-  schedule_at(now_ + period, *tick);
-  // The chain handle does not hold a queue slot itself; pass no live counter.
-  return EventHandle{std::move(chain_cancelled), nullptr};
+  // The chain occupies a pool slot of its own (distinct from the per-tick
+  // queue slots): cancelling it stops future work, while a tick already in
+  // the queue keeps its own lifecycle and fires as a no-op. The tick
+  // callback captures only {this, slot, generation} — the chain's closure is
+  // owned by `chains_`, so no self-referencing cycle is formed and a
+  // cancelled chain's state is reclaimed by the next tick.
+  const std::uint32_t slot = pool_->acquire(/*counts_live=*/false);
+  const std::uint32_t generation = pool_->slots[slot].generation;
+  chains_.emplace(slot, PeriodicChain{period, std::move(cb)});
+  schedule_at(now_ + period, [this, slot, generation] { periodic_tick(slot, generation); });
+  return EventHandle{pool_, slot, generation};
 }
 
-void Simulator::drop_cancelled() {
-  while (!queue_.empty() && *queue_.top().done) {
-    queue_.pop();
+void Simulator::periodic_tick(std::uint32_t slot, std::uint32_t generation) {
+  auto reclaim = [this, slot] {
+    chains_.erase(slot);
+    pool_->release(slot);
+  };
+  if (!pool_->pending(slot, generation)) {
+    reclaim();
+    return;
+  }
+  const auto it = chains_.find(slot);
+  PROPHET_CHECK(it != chains_.end());
+  it->second.cb(now_);
+  if (!pool_->pending(slot, generation)) {
+    reclaim();
+    return;
+  }
+  schedule_at(now_ + it->second.period,
+              [this, slot, generation] { periodic_tick(slot, generation); });
+}
+
+void Simulator::heap_push(const Record& rec) {
+  heap_.push_back(rec);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
   }
 }
 
-void Simulator::fire_front() {
-  Record rec = queue_.top();
-  queue_.pop();
+Simulator::Record Simulator::pop_front() {
+  const Record top = heap_.front();
+  const Record last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n > 0) {
+    // Sift the hole down, then drop `last` into it.
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end = std::min(first + 4, n);
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (earlier(heap_[c], heap_[best])) best = c;
+      }
+      if (!earlier(heap_[best], last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+    // Warm the next event's pool slot while the popped event's callback
+    // runs — the slot access pattern is random, and this hides most of the
+    // resulting cache miss.
+    __builtin_prefetch(&pool_->slots[heap_[0].slot]);
+  }
+  return top;
+}
+
+void Simulator::fire(Record rec) {
   PROPHET_CHECK(rec.at >= now_);
   now_ = rec.at;
-  *rec.done = true;
-  if (*live_events_ > 0) --*live_events_;
+  // Move the callback out before the slot is recycled: the callback itself
+  // may schedule new events that reuse this very slot.
+  Callback cb = std::move(pool_->slots[rec.slot].cb);
+  pool_->finish(rec.slot);
+  pool_->release(rec.slot);
   ++fired_;
-  rec.cb();
+  cb();
 }
 
 std::uint64_t Simulator::run() {
   std::uint64_t fired = 0;
-  for (;;) {
-    drop_cancelled();
-    if (queue_.empty()) break;
-    fire_front();
+  while (!heap_.empty()) {
+    const Record rec = pop_front();
+    if (pool_->slots[rec.slot].done) {  // cancelled while queued
+      pool_->release(rec.slot);
+      continue;
+    }
+    fire(rec);
     ++fired;
   }
   return fired;
@@ -74,20 +134,29 @@ std::uint64_t Simulator::run() {
 
 std::uint64_t Simulator::run_until(TimePoint deadline) {
   std::uint64_t fired = 0;
-  for (;;) {
-    drop_cancelled();
-    if (queue_.empty() || queue_.top().at > deadline) break;
-    fire_front();
+  while (!heap_.empty() && heap_.front().at <= deadline) {
+    const Record rec = pop_front();
+    if (pool_->slots[rec.slot].done) {
+      pool_->release(rec.slot);
+      continue;
+    }
+    fire(rec);
     ++fired;
   }
   return fired;
 }
 
 bool Simulator::step() {
-  drop_cancelled();
-  if (queue_.empty()) return false;
-  fire_front();
-  return true;
+  while (!heap_.empty()) {
+    const Record rec = pop_front();
+    if (pool_->slots[rec.slot].done) {
+      pool_->release(rec.slot);
+      continue;
+    }
+    fire(rec);
+    return true;
+  }
+  return false;
 }
 
 }  // namespace prophet::sim

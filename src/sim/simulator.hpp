@@ -8,12 +8,21 @@
 // scheduler-vs-scheduler experiment in the benches relies on replaying the
 // identical compute/network random draws under a different communication
 // schedule.
+//
+// Event lifecycle state lives in a slab-allocated pool: each scheduled event
+// occupies one reusable slot addressed by a {slot, generation} handle, so
+// scheduling performs no per-event heap allocation (the old design paid two
+// shared_ptr control blocks per event). The generation counter makes stale
+// handles inert after a slot is recycled (no ABA): a handle only matches
+// while its own event still owns the slot. The pool itself is shared between
+// the simulator and outstanding handles, so a handle may safely outlive the
+// simulator.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "common/check.hpp"
@@ -23,30 +32,98 @@ namespace prophet::sim {
 
 class Simulator;
 
+namespace detail {
+
+// Slab of per-event lifecycle slots. `done` flips when the event fires or is
+// cancelled; `generation` advances each time the slot is recycled. The slot
+// also owns the event's callback, which keeps the priority-heap records
+// trivially copyable — heap sifts move 24-byte PODs, never a std::function.
+struct EventPool {
+  struct Slot {
+    std::function<void()> cb;
+    std::uint32_t generation = 0;
+    bool done = true;
+    // Whether cancelling this event must decrement `live` (periodic-chain
+    // slots never hold a queue entry, so they do not count as live events).
+    bool counts_live = false;
+  };
+  std::vector<Slot> slots;
+  std::vector<std::uint32_t> free_list;
+  // Scheduled, not-yet-fired, not-cancelled events.
+  std::size_t live = 0;
+
+  [[nodiscard]] bool matches(std::uint32_t slot, std::uint32_t generation) const {
+    return slot < slots.size() && slots[slot].generation == generation;
+  }
+  [[nodiscard]] bool pending(std::uint32_t slot, std::uint32_t generation) const {
+    return matches(slot, generation) && !slots[slot].done;
+  }
+
+  std::uint32_t acquire(bool counts_live) {
+    std::uint32_t slot;
+    if (!free_list.empty()) {
+      slot = free_list.back();
+      free_list.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(slots.size());
+      slots.emplace_back();
+    }
+    slots[slot].done = false;
+    slots[slot].counts_live = counts_live;
+    if (counts_live) ++live;
+    return slot;
+  }
+
+  // Marks the event done (idempotent); used by both cancel and fire.
+  void finish(std::uint32_t slot) {
+    Slot& s = slots[slot];
+    if (s.done) return;
+    s.done = true;
+    if (s.counts_live && live > 0) --live;
+  }
+
+  // Returns the slot to the free list; stale handles stop matching and the
+  // callback (with whatever it captured) is dropped.
+  void release(std::uint32_t slot) {
+    slots[slot].cb = nullptr;
+    ++slots[slot].generation;
+    free_list.push_back(slot);
+  }
+};
+
+}  // namespace detail
+
 // Cancellation handle for a scheduled event. Default-constructed handles are
 // inert. Cancelling an already-fired or already-cancelled event is a no-op.
 class EventHandle {
  public:
   EventHandle() = default;
 
-  void cancel();
-  [[nodiscard]] bool pending() const;
+  void cancel() {
+    if (pool_ && pool_->pending(slot_, generation_)) pool_->finish(slot_);
+  }
+  [[nodiscard]] bool pending() const {
+    return pool_ && pool_->pending(slot_, generation_);
+  }
 
  private:
   friend class Simulator;
-  EventHandle(std::shared_ptr<bool> done, std::shared_ptr<std::size_t> live)
-      : done_{std::move(done)}, live_{std::move(live)} {}
-  // `done` flips to true when the event fires or is cancelled; `live` is the
-  // simulator's live-event counter (shared so a handle may outlive it).
-  std::shared_ptr<bool> done_;
-  std::shared_ptr<std::size_t> live_;
+  EventHandle(std::shared_ptr<detail::EventPool> pool, std::uint32_t slot,
+              std::uint32_t generation)
+      : pool_{std::move(pool)}, slot_{slot}, generation_{generation} {}
+  std::shared_ptr<detail::EventPool> pool_;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 class Simulator {
  public:
   using Callback = std::function<void()>;
 
-  Simulator() : live_events_{std::make_shared<std::size_t>(0)} {}
+  Simulator() : pool_{std::make_shared<detail::EventPool>()} {}
+  // Undelivered events die with the simulator: outstanding handles see them
+  // as no longer pending, and their callbacks (with captures) are dropped.
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -58,7 +135,8 @@ class Simulator {
   EventHandle schedule_after(Duration delay, Callback cb);
   // Schedules `cb` every `period`, starting at now + period. The returned
   // handle cancels the whole chain (a tick already in the queue when the
-  // chain is cancelled fires as a no-op).
+  // chain is cancelled fires as a no-op). The chain state is owned by the
+  // simulator — no reference cycle keeps it alive once cancelled.
   EventHandle schedule_periodic(Duration period, std::function<void(TimePoint)> cb);
 
   // Runs until the queue drains. Returns the number of events fired.
@@ -69,34 +147,52 @@ class Simulator {
   // Fires exactly one event if any is pending. Returns false on empty queue.
   bool step();
 
-  [[nodiscard]] bool empty() const { return *live_events_ == 0; }
+  [[nodiscard]] bool empty() const { return pool_->live == 0; }
   // Scheduled, not-yet-fired, not-cancelled events.
-  [[nodiscard]] std::size_t pending_events() const { return *live_events_; }
+  [[nodiscard]] std::size_t pending_events() const { return pool_->live; }
   [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+  // Pool capacity (high-water mark of concurrently tracked events); exposed
+  // for the slab-reuse tests.
+  [[nodiscard]] std::size_t event_slot_count() const { return pool_->slots.size(); }
 
  private:
+  // Trivially copyable, 16 bytes — the callback lives in the pool slot, so
+  // heap sifts shuffle small PODs instead of dragging a std::function
+  // through every swap, and four records share a cache line. A queued record
+  // owns its pool slot until popped, so no generation tag is needed here
+  // (only external handles can go stale). seq is 32-bit: schedule_at fails
+  // loudly if a single simulator ever issues 2^32 events.
   struct Record {
     TimePoint at;
-    std::uint64_t seq;
-    Callback cb;
-    std::shared_ptr<bool> done;
+    std::uint32_t seq;
+    std::uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Record& a, const Record& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+  static bool earlier(const Record& a, const Record& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+  struct PeriodicChain {
+    Duration period;
+    std::function<void(TimePoint)> cb;
   };
 
-  // Pops and fires the front event; assumes the queue holds a live event.
-  void fire_front();
-  void drop_cancelled();
+  // Inserts into / pops the earliest record off heap_.
+  void heap_push(const Record& rec);
+  Record pop_front();
+  // Fires `rec`; assumes it is live.
+  void fire(Record rec);
+  void periodic_tick(std::uint32_t slot, std::uint32_t generation);
 
-  std::priority_queue<Record, std::vector<Record>, Later> queue_;
+  std::shared_ptr<detail::EventPool> pool_;
+  // 4-ary implicit min-heap on (at, seq). Versus a binary heap this halves
+  // the sift depth and keeps a node's children in adjacent cache lines, which
+  // is what dominates dispatch cost once the queue outgrows L2.
+  std::vector<Record> heap_;
+  // Periodic-chain state, keyed by the chain's pool slot.
+  std::unordered_map<std::uint32_t, PeriodicChain> chains_;
   TimePoint now_{};
-  std::uint64_t next_seq_{0};
+  std::uint32_t next_seq_{0};
   std::uint64_t fired_{0};
-  std::shared_ptr<std::size_t> live_events_;
 };
 
 }  // namespace prophet::sim

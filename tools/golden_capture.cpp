@@ -1,0 +1,240 @@
+// One-shot capture of pre-optimization engine outputs. Compiled ad hoc
+// against the current build to produce the reference constants baked into
+// tests/test_engine_perf_invariants.cpp. Not part of the build.
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/block_planner.hpp"
+#include "core/local_search.hpp"
+#include "core/perf_model.hpp"
+#include "dnn/iteration_model.hpp"
+#include "dnn/model_zoo.hpp"
+#include "dnn/stepwise.hpp"
+#include "net/flow_network.hpp"
+#include "ps/cluster.hpp"
+#include "sim/simulator.hpp"
+
+namespace prophet {
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+constexpr std::uint64_t kFnvSeed = 14695981039346656037ull;
+
+std::uint64_t hash_schedule(const core::Schedule& s) {
+  std::uint64_t h = kFnvSeed;
+  for (const auto& t : s.tasks) {
+    h = fnv1a(h, static_cast<std::uint64_t>(t.start.count_nanos()));
+    h = fnv1a(h, t.grads.size());
+    for (std::size_t g : t.grads) h = fnv1a(h, g);
+  }
+  return h;
+}
+
+std::uint64_t hash_breakdown(const core::WaitTimeBreakdown& b) {
+  std::uint64_t h = kFnvSeed;
+  h = fnv1a(h, static_cast<std::uint64_t>(b.t_wait.count_nanos()));
+  h = fnv1a(h, static_cast<std::uint64_t>(b.span.count_nanos()));
+  for (auto d : b.update_done) h = fnv1a(h, static_cast<std::uint64_t>(d.count_nanos()));
+  for (auto d : b.forward_done) h = fnv1a(h, static_cast<std::uint64_t>(d.count_nanos()));
+  return h;
+}
+
+core::GradientProfile model_profile(const dnn::ModelSpec& model) {
+  const dnn::IterationModel iteration{model, dnn::tesla_m60_pair(), 64};
+  const auto timing = iteration.nominal();
+  core::GradientProfile profile;
+  profile.ready = timing.ready_offset;
+  for (const auto& tensor : iteration.model().tensors()) {
+    profile.sizes.push_back(tensor.bytes);
+  }
+  profile.intervals = dnn::transfer_intervals(profile.ready);
+  profile.iterations_profiled = 1;
+  return profile;
+}
+
+void capture_planner(const char* name, const dnn::ModelSpec& model) {
+  const auto profile = model_profile(model);
+  const dnn::IterationModel iteration{model, dnn::tesla_m60_pair(), 64};
+  const auto timing = iteration.nominal();
+  const core::PerfModel pm{profile, timing.fwd, Bandwidth::gbps(3), net::TcpCostModel{}};
+  const auto greedy = core::BlockPlanner{net::TcpCostModel{}}.plan(profile, Bandwidth::gbps(3));
+  std::printf("%s plan_tasks=%zu plan_hash=%lluull\n", name, greedy.tasks.size(),
+              (unsigned long long)hash_schedule(greedy));
+  const auto eval = pm.evaluate(core::LocalSearchPlanner::retime(greedy, pm));
+  std::printf("%s greedy_twait=%lld greedy_span=%lld eval_hash=%lluull\n", name,
+              (long long)eval.t_wait.count_nanos(), (long long)eval.span.count_nanos(),
+              (unsigned long long)hash_breakdown(eval));
+  const core::LocalSearchPlanner planner{8};
+  const auto refined = planner.refine(greedy, pm);
+  std::printf(
+      "%s refined_twait=%lld refined_span=%lld applied=%zu evaluated=%zu "
+      "sched_hash=%lluull bd_hash=%lluull tasks=%zu\n",
+      name, (long long)refined.breakdown.t_wait.count_nanos(),
+      (long long)refined.breakdown.span.count_nanos(), refined.moves_applied,
+      refined.moves_evaluated, (unsigned long long)hash_schedule(refined.schedule),
+      (unsigned long long)hash_breakdown(refined.breakdown), refined.schedule.tasks.size());
+}
+
+// Refinement from deliberately poor initial schedules, so the accept/commit
+// path of refine() is exercised (BlockPlanner output is already optimal).
+void capture_refine_hard(const char* name, const dnn::ModelSpec& model,
+                         std::size_t chunk) {
+  const auto profile = model_profile(model);
+  const dnn::IterationModel iteration{model, dnn::tesla_m60_pair(), 64};
+  const auto timing = iteration.nominal();
+  const core::PerfModel pm{profile, timing.fwd, Bandwidth::gbps(3), net::TcpCostModel{}};
+  core::Schedule initial;
+  const std::size_t n = profile.gradient_count();
+  for (std::size_t g = 0; g < n; g += chunk) {
+    core::ScheduledTask task;
+    for (std::size_t k = g; k < std::min(n, g + chunk); ++k) task.grads.push_back(k);
+    initial.tasks.push_back(std::move(task));
+  }
+  const core::LocalSearchPlanner planner{16};
+  const auto refined = planner.refine(initial, pm);
+  std::printf(
+      "hard %s chunk=%zu twait=%lld span=%lld applied=%zu evaluated=%zu "
+      "sched_hash=%lluull bd_hash=%lluull tasks=%zu\n",
+      name, chunk, (long long)refined.breakdown.t_wait.count_nanos(),
+      (long long)refined.breakdown.span.count_nanos(), refined.moves_applied,
+      refined.moves_evaluated, (unsigned long long)hash_schedule(refined.schedule),
+      (unsigned long long)hash_breakdown(refined.breakdown), refined.schedule.tasks.size());
+}
+
+// Random profiles through the same path, so odd ready/size patterns (ties,
+// zero gaps) are pinned too.
+void capture_refine_random(std::uint64_t seed, std::size_t n) {
+  Rng rng{seed};
+  std::vector<Duration> ready(n);
+  std::vector<Bytes> sizes(n);
+  Duration clock{};
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::size_t idx = n - 1 - step;
+    if (step == 0 || rng.bernoulli(0.6)) clock += Duration::millis(rng.uniform_int(2, 25));
+    ready[idx] = clock;
+    sizes[idx] = Bytes::kib(rng.uniform_int(16, 4096));
+  }
+  core::GradientProfile profile;
+  profile.ready = ready;
+  profile.sizes = sizes;
+  profile.intervals = dnn::transfer_intervals(profile.ready);
+  profile.iterations_profiled = 1;
+  std::vector<Duration> fwd(n, Duration::millis(2));
+  const core::PerfModel pm{profile, fwd, Bandwidth::gbps(1), net::TcpCostModel{}};
+  core::Schedule initial;
+  for (std::size_t g = 0; g < n; ++g) {
+    core::ScheduledTask task;
+    task.grads.push_back(g);
+    initial.tasks.push_back(std::move(task));
+  }
+  const core::LocalSearchPlanner planner{32};
+  const auto refined = planner.refine(initial, pm);
+  std::printf(
+      "random seed=%llu n=%zu twait=%lld span=%lld applied=%zu evaluated=%zu "
+      "sched_hash=%lluull bd_hash=%lluull tasks=%zu\n",
+      (unsigned long long)seed, n, (long long)refined.breakdown.t_wait.count_nanos(),
+      (long long)refined.breakdown.span.count_nanos(), refined.moves_applied,
+      refined.moves_evaluated, (unsigned long long)hash_schedule(refined.schedule),
+      (unsigned long long)hash_breakdown(refined.breakdown), refined.schedule.tasks.size());
+}
+
+void capture_sim() {
+  sim::Simulator sim;
+  Rng rng{12345};
+  std::vector<sim::EventHandle> handles;
+  std::uint64_t work = 0;
+  for (int i = 0; i < 5000; ++i) {
+    auto h = sim.schedule_after(Duration::micros(rng.uniform_int(0, 100000)),
+                                [&work] { ++work; });
+    if (rng.bernoulli(0.25)) handles.push_back(h);
+  }
+  for (std::size_t i = 0; i < handles.size(); i += 2) handles[i].cancel();
+  sim::EventHandle periodic = sim.schedule_periodic(Duration::micros(700), [&](TimePoint) {
+    ++work;
+    if (work > 5500) periodic.cancel();
+  });
+  sim.schedule_after(Duration::millis(3), [&] {
+    sim.schedule_after(Duration::millis(1), [&work] { work += 10; });
+  });
+  sim.run();
+  std::printf("sim fired=%llu work=%llu now=%lld\n", (unsigned long long)sim.events_fired(),
+              (unsigned long long)work, (long long)sim.now().count_nanos());
+}
+
+void capture_flows() {
+  sim::Simulator sim;
+  net::FlowNetwork net{sim, net::TcpCostModel{}};
+  const auto ps = net.add_node("ps", Bandwidth::gbps(10), Bandwidth::gbps(10));
+  std::vector<net::NodeId> workers;
+  for (int i = 0; i < 4; ++i)
+    workers.push_back(net.add_node("w", Bandwidth::gbps(5), Bandwidth::gbps(5)));
+  std::uint64_t h = kFnvSeed;
+  int done = 0;
+  for (int round = 0; round < 6; ++round) {
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      net.start_flow(workers[w], ps, Bytes::mib(static_cast<std::int64_t>(1 + w)),
+                     [&](net::FlowId id) {
+                       ++done;
+                       h = fnv1a(h, id);
+                       h = fnv1a(h, static_cast<std::uint64_t>(sim.now().count_nanos()));
+                     });
+      net.start_flow(ps, workers[w], Bytes::kib(512), [&](net::FlowId id) {
+        ++done;
+        h = fnv1a(h, id);
+        h = fnv1a(h, static_cast<std::uint64_t>(sim.now().count_nanos()));
+      });
+    }
+    sim.schedule_after(Duration::millis(1),
+                       [&] { net.set_capacity(ps, net::Direction::kRx, Bandwidth::gbps(8)); });
+    sim.schedule_after(Duration::millis(2), [&] { net.set_link_up(workers[1], false); });
+    sim.schedule_after(Duration::millis(4), [&] { net.set_link_up(workers[1], true); });
+    sim.run();
+    net.set_capacity(ps, net::Direction::kRx, Bandwidth::gbps(10));
+  }
+  std::printf("flows done=%d hash=%lluull fired=%llu now=%lld tb=%lld busy=%lld\n", done,
+              (unsigned long long)h, (unsigned long long)sim.events_fired(),
+              (long long)sim.now().count_nanos(),
+              (long long)net.total_bytes(ps, net::Direction::kRx),
+              (long long)net.busy_time(ps, net::Direction::kRx).count_nanos());
+}
+
+void capture_cluster(const char* name, const ps::StrategyConfig& strategy) {
+  ps::ClusterConfig cfg;
+  cfg.model = dnn::resnet50();
+  cfg.num_workers = 3;
+  cfg.batch = 64;
+  cfg.iterations = 10;
+  cfg.worker_bandwidth = Bandwidth::gbps(3);
+  cfg.strategy = strategy;
+  cfg.strategy.prophet_config.profile_iterations = 4;
+  const auto result = ps::run_cluster(cfg, 5);
+  std::printf("cluster %s events=%llu sim_ns=%lld rate_centi=%lld\n", name,
+              (unsigned long long)result.events_fired,
+              (long long)result.simulated_time.count_nanos(),
+              (long long)(result.mean_rate() * 100.0));
+}
+
+}  // namespace
+}  // namespace prophet
+
+int main() {
+  prophet::capture_planner("resnet50", prophet::dnn::resnet50());
+  prophet::capture_planner("resnet152", prophet::dnn::resnet152());
+  prophet::capture_refine_hard("resnet50", prophet::dnn::resnet50(), 1);
+  prophet::capture_refine_hard("resnet152", prophet::dnn::resnet152(), 4);
+  prophet::capture_refine_random(7, 48);
+  prophet::capture_refine_random(99, 64);
+  prophet::capture_sim();
+  prophet::capture_flows();
+  prophet::capture_cluster("fifo", prophet::ps::StrategyConfig::fifo());
+  prophet::capture_cluster("prophet", prophet::ps::StrategyConfig::prophet());
+  return 0;
+}
