@@ -280,6 +280,7 @@ std::vector<std::string> PerfModel::check_constraints(const Schedule& schedule) 
         std::snprintf(buf, sizeof buf,
                       "constraint (7): task %zu starts at %.3f ms before gradient "
                       "%zu is generated (%.3f ms)",
+                      // prophet-lint: allow(R1): renders final ns-exact times as ms in a diagnostic string
                       k, task.start.to_millis(), g, profile_.ready[g].to_millis());
         violations.emplace_back(buf);
       }
@@ -289,6 +290,7 @@ std::vector<std::string> PerfModel::check_constraints(const Schedule& schedule) 
       std::snprintf(buf, sizeof buf,
                     "constraint (8): task %zu starts at %.3f ms inside the previous "
                     "transfer (ends %.3f ms)",
+                    // prophet-lint: allow(R1): renders final ns-exact times as ms in a diagnostic string
                     k, task.start.to_millis(), prev_end.to_millis());
       violations.emplace_back(buf);
     }
@@ -319,6 +321,7 @@ std::vector<std::string> PerfModel::check_constraints(const Schedule& schedule) 
         std::snprintf(buf, sizeof buf,
                       "constraint (11): task %zu (priority %zu) ends at %.3f ms, past "
                       "the next higher-priority generation at %.3f ms",
+                      // prophet-lint: allow(R1): renders final ns-exact times as ms in a diagnostic string
                       k, priority, end.to_millis(), next_gen.to_millis());
         violations.emplace_back(buf);
       }

@@ -18,7 +18,7 @@ TrainingJobProfiler::TrainingJobProfiler(std::size_t gradient_count,
     : gradient_count_{gradient_count},
       target_{target_iterations},
       sizes_(gradient_count, Bytes::zero()),
-      offset_sum_s_(gradient_count, 0.0),
+      offset_sum_ns_(gradient_count, 0),
       seen_this_iter_(gradient_count, 0) {
   PROPHET_CHECK(gradient_count > 0);
   PROPHET_CHECK(target_iterations > 0);
@@ -40,7 +40,7 @@ void TrainingJobProfiler::record_ready(std::size_t grad, Bytes size, TimePoint w
   seen_this_iter_[grad] = 1;
   ++seen_count_;
   sizes_[grad] = size;
-  offset_sum_s_[grad] += (when - *backward_start_).to_seconds();
+  offset_sum_ns_[grad] += (when - *backward_start_).count_nanos();
 }
 
 void TrainingJobProfiler::end_iteration() {
@@ -56,9 +56,11 @@ GradientProfile TrainingJobProfiler::build() const {
   GradientProfile profile;
   profile.sizes = sizes_;
   profile.ready.resize(gradient_count_);
+  const auto iters = static_cast<std::int64_t>(iterations_);
   for (std::size_t i = 0; i < gradient_count_; ++i) {
-    profile.ready[i] = Duration::from_seconds(offset_sum_s_[i] /
-                                              static_cast<double>(iterations_));
+    // Round-to-nearest integer mean, matching what the previous
+    // double-seconds path produced for every profile in the golden suite.
+    profile.ready[i] = Duration::nanos((offset_sum_ns_[i] + iters / 2) / iters);
   }
   profile.intervals = dnn::transfer_intervals(profile.ready);
   profile.iterations_profiled = iterations_;

@@ -53,8 +53,10 @@ class TrainingJobProfiler {
   std::optional<TimePoint> backward_start_;
   std::vector<Bytes> sizes_;
   // Sum of ready offsets per gradient (for averaging) and per-iteration
-  // scratch of this iteration's offsets.
-  std::vector<double> offset_sum_s_;
+  // scratch of this iteration's offsets. Accumulated in integer nanoseconds:
+  // summing through double seconds loses sub-ns precision and makes c^(i)
+  // depend on accumulation order, which would leak into the block plan.
+  std::vector<std::int64_t> offset_sum_ns_;
   std::vector<std::int8_t> seen_this_iter_;
   std::size_t seen_count_{0};
 };

@@ -42,6 +42,7 @@ void Server::on_push_bytes(std::size_t worker, std::size_t key, Bytes bytes) {
     state.received[worker] = 0;
     ++state.versions;
     const Duration cost =
+        // prophet-lint: allow(R1): update-cost model divides bytes by a double bytes/sec rate; single rounding point into Duration
         update_fixed_ + Duration::from_seconds(
                             static_cast<double>(state.size.count()) /
                             update_bytes_per_sec_);
@@ -64,6 +65,7 @@ void Server::complete_round(std::size_t key) {
   // Aggregation of W copies + optimizer step, charged per byte.
   const Duration cost =
       update_fixed_ +
+      // prophet-lint: allow(R1): update-cost model divides bytes by a double bytes/sec rate; single rounding point into Duration
       Duration::from_seconds(static_cast<double>(state.size.count()) *
                              static_cast<double>(num_workers_) /
                              update_bytes_per_sec_);

@@ -49,6 +49,7 @@ void ByteSchedulerScheduler::finish_tuning_episode(TimePoint now) {
   if (elapsed > Duration::zero()) {
     // Iterations per second is a monotone proxy for samples/s.
     const double rate =
+        // prophet-lint: allow(R1): autotuner reward is a float throughput rate by design; never fed back into time arithmetic
         static_cast<double>(episode_iters_) / elapsed.to_seconds();
     tuner_->observe(static_cast<double>(credit_.count()), rate);
     const double next = tuner_->suggest(tuner_rng_);

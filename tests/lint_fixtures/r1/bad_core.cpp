@@ -1,0 +1,15 @@
+// fixture-path: src/core/bad_time.cpp
+// R1 positive cases: float arithmetic on time values inside src/core.
+namespace prophet::core {
+
+void bad(Duration d) {
+  const double s = d.to_seconds();                         // expect(R1)
+  const Duration back = Duration::from_seconds(s * 2.0);   // expect(R1)
+  double wait_ms = 3.0;                                    // expect(R1)
+  const auto ns = static_cast<double>(d.count_nanos());    // expect(R1)
+  (void)back;
+  (void)wait_ms;
+  (void)ns;
+}
+
+}  // namespace prophet::core

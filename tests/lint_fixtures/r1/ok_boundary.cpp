@@ -1,0 +1,9 @@
+// fixture-path: src/common/report_helper.cpp
+// R1 negative case: src/common is a sanctioned boundary — conversions are the
+// point of this layer, so none of these may fire.
+namespace prophet {
+
+double report(Duration d) { return d.to_millis(); }
+Duration parse(double seconds) { return Duration::from_seconds(seconds); }
+
+}  // namespace prophet

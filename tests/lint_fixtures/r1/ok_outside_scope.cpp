@@ -1,0 +1,11 @@
+// fixture-path: bench/report.cpp
+// R1 negative case: bench/ is the measurement/reporting boundary and outside
+// R1 scope entirely.
+namespace prophet::bench {
+
+double wall_ms(Duration d) {
+  double elapsed_ms = d.to_millis();
+  return elapsed_ms;
+}
+
+}  // namespace prophet::bench

@@ -1,0 +1,12 @@
+// fixture-path: src/core/rates.cpp
+// R1 negative case: float-typed *rates* are fine — only time-like names and
+// explicit time conversions are flagged.
+namespace prophet::core {
+
+struct Model {
+  double bytes_per_sec = 1e9;
+  double sample_rate = 0.5;
+  float gflops = 15.0F;
+};
+
+}  // namespace prophet::core

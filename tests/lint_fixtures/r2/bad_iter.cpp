@@ -1,0 +1,20 @@
+// fixture-path: src/sched/bad_iter.cpp
+// R2 positive cases: range-iteration over unordered containers in a
+// scheduling path, both via a direct declaration and through a type alias.
+namespace prophet::sched {
+
+using TaskTable = std::unordered_map<int, int>;
+
+struct Queue {
+  std::unordered_map<int, int> pending_;
+  TaskTable by_priority_;
+
+  int drain() {
+    int sum = 0;
+    for (const auto& [k, v] : pending_) sum += v;     // expect(R2)
+    for (const auto& [k, v] : by_priority_) sum += v; // expect(R2)
+    return sum;
+  }
+};
+
+}  // namespace prophet::sched

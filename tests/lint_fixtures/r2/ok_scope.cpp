@@ -1,0 +1,16 @@
+// fixture-path: src/metrics/ok_scope.cpp
+// R2 negative case: src/metrics is outside the R2 scope (reporting code may
+// iterate hash maps; its output is aggregated, not ordered).
+namespace prophet::metrics {
+
+struct Rollup {
+  std::unordered_map<int, long> counts_;
+
+  long total() const {
+    long sum = 0;
+    for (const auto& [k, v] : counts_) sum += v;
+    return sum;
+  }
+};
+
+}  // namespace prophet::metrics

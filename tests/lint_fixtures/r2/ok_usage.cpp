@@ -1,0 +1,18 @@
+// fixture-path: src/net/ok_usage.cpp
+// R2 negative cases: point lookups into unordered containers are fine, and
+// range-fors over ordered containers never fire.
+namespace prophet::net {
+
+struct Table {
+  std::unordered_map<int, int> flows_;
+  std::vector<int> order_;
+
+  int lookup(int k) {
+    const auto it = flows_.find(k);
+    int sum = it == flows_.end() ? 0 : it->second;
+    for (int id : order_) sum += flows_[id];
+    return sum;
+  }
+};
+
+}  // namespace prophet::net

@@ -1,0 +1,12 @@
+// fixture-path: src/sim/split.cpp
+// …and the iteration half lives in the matching .cpp. The checker merges
+// declared names across the header/impl pair.
+namespace prophet::sim {
+
+int Registry::count() const {
+  int n = 0;
+  for (int id : live_) n += id;  // expect(R2)
+  return n;
+}
+
+}  // namespace prophet::sim

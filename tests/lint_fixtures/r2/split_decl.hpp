@@ -1,0 +1,10 @@
+// fixture-path: src/sim/split.hpp
+// Declaration half of the cross-file R2 case: the member lives in the header…
+namespace prophet::sim {
+
+struct Registry {
+  std::unordered_set<int> live_;
+  int count() const;
+};
+
+}  // namespace prophet::sim

@@ -1,0 +1,20 @@
+// fixture-path: src/core/bad_nondet.cpp
+// R3 positive cases: ambient randomness, wall clocks, pointer-value ordering.
+namespace prophet::core {
+
+struct Block;
+
+void bad() {
+  int a = rand();                                     // expect(R3)
+  srand(42);                                          // expect(R3)
+  std::random_device rd;                              // expect(R3)
+  auto now = std::chrono::system_clock::now();        // expect(R3)
+  auto t0 = std::chrono::steady_clock::now();         // expect(R3)
+  long t = time(nullptr);                             // expect(R3)
+  long c = clock();                                   // expect(R3)
+  std::set<Block*, std::less<Block*>> ordered;        // expect(R3)
+  auto key = reinterpret_cast<std::uintptr_t>(&a);    // expect(R3)
+  (void)a; (void)rd; (void)now; (void)t0; (void)t; (void)c; (void)ordered; (void)key;
+}
+
+}  // namespace prophet::core

@@ -1,0 +1,19 @@
+// fixture-path: src/core/ok_patterns.cpp
+// R3 negative cases: member functions that happen to be called `time` or
+// `rand`, string literals mentioning banned names, and a scoped helper.
+namespace prophet::core {
+
+struct Sampler {
+  int rand_count = 0;
+  Duration time() const { return Duration::zero(); }
+  double rand_value(Rng& rng) { return rng.next_double(); }
+};
+
+const char* describe() { return "uses rand() and system_clock internally? no."; }
+
+void ok(Sampler& s) {
+  auto d = s.time();
+  (void)d;
+}
+
+}  // namespace prophet::core

@@ -1,0 +1,10 @@
+// fixture-path: src/common/rng.cpp
+// R3 negative case: the deterministic RNG implementation itself is sanctioned.
+namespace prophet {
+
+unsigned seed_fallback() {
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace prophet

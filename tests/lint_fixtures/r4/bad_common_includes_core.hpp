@@ -1,0 +1,10 @@
+// fixture-path: src/common/bad_base.hpp
+// R4 positive case: src/common is the base layer and includes nothing from
+// src/ — an upward edge here would make everything depend on everything.
+#include "core/planner.hpp"  // expect(R4)
+
+namespace prophet {
+
+struct BadBase {};
+
+}  // namespace prophet

@@ -1,0 +1,10 @@
+// fixture-path: src/sched/bad_up.hpp
+// R4 positive case: src/sched is below src/sim in the layering table and may
+// not include it — schedulers must stay runnable outside the simulator.
+#include "sim/simulator.hpp"  // expect(R4)
+
+namespace prophet::sched {
+
+struct BadUp {};
+
+}  // namespace prophet::sched

@@ -1,0 +1,11 @@
+// fixture-path: src/experimental/probe.hpp
+// R4 positive case: a module that is not registered in the layering table at
+// all. New directories under src/ must declare their allowed edges before
+// they may include across module boundaries.
+#include "common/check.hpp"  // expect(R4)
+
+namespace prophet::experimental {
+
+struct Probe {};
+
+}  // namespace prophet::experimental

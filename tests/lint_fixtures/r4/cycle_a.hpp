@@ -1,0 +1,11 @@
+// fixture-path: src/core/cycle_a.hpp
+// Half of an include cycle. Intra-module edges are legal layering-wise, but
+// the include graph must stay acyclic; the cycle is reported once, from the
+// file whose include closes it (cycle_b.hpp, which the scan reaches second).
+#include "core/cycle_b.hpp"
+
+namespace prophet::core {
+
+struct CycleA {};
+
+}  // namespace prophet::core

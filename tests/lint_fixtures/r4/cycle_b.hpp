@@ -1,0 +1,9 @@
+// fixture-path: src/core/cycle_b.hpp
+// Second half of the include cycle; this back-edge closes it.
+#include "core/cycle_a.hpp"  // expect(R4)
+
+namespace prophet::core {
+
+struct CycleB {};
+
+}  // namespace prophet::core

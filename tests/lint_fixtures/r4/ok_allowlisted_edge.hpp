@@ -1,0 +1,11 @@
+// fixture-path: src/net/monitor.hpp
+// R4 negative case: net -> sim is NOT in the module table, but this exact
+// file-level edge is on the sanctioned-edges allowlist (the monitor samples
+// NIC counters on the simulator's periodic-callback API).
+#include "sim/simulator.hpp"
+
+namespace prophet::net {
+
+struct MonitorLike {};
+
+}  // namespace prophet::net

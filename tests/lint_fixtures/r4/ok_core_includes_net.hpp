@@ -1,0 +1,10 @@
+// fixture-path: src/core/uses_net.hpp
+// R4 negative case: core -> net is a registered edge in the layering table
+// (the cost model consumes bandwidth estimates), so this include is legal.
+#include "net/cost_model.hpp"
+
+namespace prophet::core {
+
+struct UsesNet {};
+
+}  // namespace prophet::core

@@ -1,0 +1,7 @@
+// fixture-path: src/sim/simulator.hpp
+// Include target for the layering fixtures; no findings of its own.
+namespace prophet::sim {
+
+struct Simulator {};
+
+}  // namespace prophet::sim

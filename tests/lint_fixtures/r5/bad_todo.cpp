@@ -1,0 +1,16 @@
+// fixture-path: src/core/bad_todo.cpp
+// R5 positive cases: untagged work-item markers, in line and block comments.
+namespace prophet::core {
+
+// TODO: tighten this bound                             expect(R5)
+int loose_bound() { return 128; }
+
+// FIXME handle the zero-gradient case                  expect(R5)
+int zero_case() { return 0; }
+
+/* A longer design note.
+   TODO without a tag inside a block comment.           expect(R5)
+   The diagnostic must point at this exact line. */
+int block_case() { return 1; }
+
+}  // namespace prophet::core

@@ -1,0 +1,14 @@
+// fixture-path: src/core/ok_todo.cpp
+// R5 negative cases: tagged markers and identifiers that merely contain the
+// marker words.
+namespace prophet::core {
+
+// TODO(#142): replace with the incremental evaluator once PR 5 lands.
+int tracked() { return 1; }
+
+// FIXME(prophet#87): the bound is loose for mixed-precision models.
+int tracked_too() { return 2; }
+
+int autodoc_TODOLIST = 0;  // identifier, not a marker
+
+}  // namespace prophet::core

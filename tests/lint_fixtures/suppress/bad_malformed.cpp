@@ -1,0 +1,9 @@
+// fixture-path: src/core/suppress_malformed.cpp
+// Anything after the marker other than allow(<rule>) is a malformed
+// directive, not a silent no-op.
+namespace prophet::core {
+
+// prophet-lint: please ignore this file   expect(lint)
+int fixture_malformed() { return 0; }
+
+}  // namespace prophet::core

@@ -1,0 +1,10 @@
+// fixture-path: src/core/suppress_no_justification.cpp
+// A suppression without a written justification still absorbs its finding,
+// but is flagged: the whole point of the waiver is the recorded "why".
+namespace prophet::core {
+
+long fixture_unjustified() {
+  return time(nullptr);  // prophet-lint: allow(R3)   expect(lint)
+}
+
+}  // namespace prophet::core

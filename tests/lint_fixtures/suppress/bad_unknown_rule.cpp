@@ -1,0 +1,8 @@
+// fixture-path: src/core/suppress_unknown_rule.cpp
+// Waiving a rule id that does not exist is rejected outright.
+namespace prophet::core {
+
+// prophet-lint: allow(R9): there is no rule nine   expect(lint)
+int fixture_unknown_rule() { return 9; }
+
+}  // namespace prophet::core

@@ -1,0 +1,9 @@
+// fixture-path: src/core/suppress_unused.cpp
+// A suppression that absorbs nothing is itself an error: dead waivers are how
+// invariants rot silently.
+namespace prophet::core {
+
+// prophet-lint: allow(R2): nothing below iterates a hash map any more   expect(lint)
+int fixture_nothing_to_waive() { return 7; }
+
+}  // namespace prophet::core

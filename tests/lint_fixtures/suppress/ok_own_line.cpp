@@ -1,0 +1,11 @@
+// fixture-path: src/core/suppress_own_line.cpp
+// Suppression, own-line form: the directive on the line directly above the
+// finding absorbs it. No diagnostics may escape this file.
+namespace prophet::core {
+
+double fixture_report(Duration d) {
+  // prophet-lint: allow(R1): fixture — exercises the own-line waiver form
+  return d.to_millis();
+}
+
+}  // namespace prophet::core

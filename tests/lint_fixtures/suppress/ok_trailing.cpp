@@ -1,0 +1,10 @@
+// fixture-path: src/core/suppress_trailing.cpp
+// Suppression, trailing form: the directive sits on the violating line and
+// absorbs exactly the named rule. No diagnostics may escape this file.
+namespace prophet::core {
+
+long fixture_wall_clock() {
+  return time(nullptr);  // prophet-lint: allow(R3): fixture — exercises the trailing waiver form
+}
+
+}  // namespace prophet::core

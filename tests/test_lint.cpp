@@ -1,0 +1,356 @@
+// prophet_lint's own test suite (ctest: prophet_lint_self).
+//
+// The main test is fixture-driven: every file under tests/lint_fixtures/
+// declares the repo path it pretends to live at ("// fixture-path: ...") and
+// marks each line where a diagnostic must fire with "expect(<rule>)". All
+// fixtures are linted in one run against the real checked-in config
+// (tools/prophet_lint/prophet_lint.conf), so the sanctioned-file lists, the
+// layering table and the sanctioned-edges allowlist are exercised exactly as
+// shipped. Unit tests below cover config parsing errors, suppression
+// accounting and rule edge cases that are awkward to express as fixtures.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "prophet_lint/lint.hpp"
+
+namespace fs = std::filesystem;
+
+using prophet::lint::Config;
+using prophet::lint::Diagnostic;
+using prophet::lint::Result;
+using prophet::lint::SourceFile;
+using prophet::lint::Suppression;
+
+namespace {
+
+const fs::path kRepoRoot{PROPHET_REPO_ROOT};
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << p;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Config repo_config() {
+  const std::string text =
+      read_file(kRepoRoot / "tools" / "prophet_lint" / "prophet_lint.conf");
+  std::string error;
+  const auto cfg = prophet::lint::parse_config(text, &error);
+  EXPECT_TRUE(cfg.has_value()) << error;
+  return cfg.value_or(Config{});
+}
+
+// (file, line, rule) — the identity of a diagnostic for fixture matching.
+using Key = std::tuple<std::string, int, std::string>;
+
+std::string key_str(const Key& k) {
+  return std::get<0>(k) + ":" + std::to_string(std::get<1>(k)) + ": [" +
+         std::get<2>(k) + "]";
+}
+
+struct FixtureSet {
+  std::vector<SourceFile> files;  // sorted by virtual path
+  std::vector<Key> expected;      // sorted
+};
+
+FixtureSet load_fixtures() {
+  const fs::path dir = kRepoRoot / "tests" / "lint_fixtures";
+  std::map<std::string, std::string> by_virtual_path;
+  std::vector<Key> expected;
+
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file()) paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  EXPECT_GE(paths.size(), 20U) << "fixture tree looks truncated";
+
+  for (const fs::path& p : paths) {
+    const std::string content = read_file(p);
+    static const std::string kHeader = "// fixture-path: ";
+    const std::size_t eol = content.find('\n');
+    if (content.compare(0, kHeader.size(), kHeader) != 0 ||
+        eol == std::string::npos) {
+      ADD_FAILURE() << p << " must start with '// fixture-path: <repo path>'";
+      continue;
+    }
+    std::string vpath = content.substr(kHeader.size(), eol - kHeader.size());
+    while (!vpath.empty() && (vpath.back() == '\r' || vpath.back() == ' ')) {
+      vpath.pop_back();
+    }
+    if (!by_virtual_path.emplace(vpath, content).second) {
+      ADD_FAILURE() << "duplicate fixture-path " << vpath
+                    << " (second copy: " << p << ")";
+      continue;
+    }
+
+    int line = 1;
+    std::size_t start = 0;
+    while (start < content.size()) {
+      std::size_t nl = content.find('\n', start);
+      if (nl == std::string::npos) nl = content.size();
+      const std::string text = content.substr(start, nl - start);
+      static const std::string kMarker = "expect(";
+      for (std::size_t pos = text.find(kMarker); pos != std::string::npos;
+           pos = text.find(kMarker, pos + kMarker.size())) {
+        const std::size_t close = text.find(')', pos);
+        if (close == std::string::npos) {
+          ADD_FAILURE() << "unterminated expect(...) at " << p << ":" << line;
+          break;
+        }
+        const std::string rule =
+            text.substr(pos + kMarker.size(), close - pos - kMarker.size());
+        expected.emplace_back(vpath, line, rule);
+      }
+      start = nl + 1;
+      ++line;
+    }
+  }
+
+  FixtureSet out;
+  for (auto& [vpath, content] : by_virtual_path) {
+    out.files.push_back(SourceFile{vpath, std::move(content)});
+  }
+  std::sort(expected.begin(), expected.end());
+  out.expected = std::move(expected);
+  return out;
+}
+
+Result run_on(const Config& cfg, const std::vector<SourceFile>& files) {
+  return prophet::lint::run(cfg, files);
+}
+
+SourceFile src(std::string path, std::string content) {
+  return SourceFile{std::move(path), std::move(content)};
+}
+
+}  // namespace
+
+// --- the fixture suite -------------------------------------------------------
+
+TEST(LintFixtures, EveryExpectedMarkerFiresAndNothingElse) {
+  const FixtureSet fx = load_fixtures();
+  const Result result = run_on(repo_config(), fx.files);
+
+  std::vector<Key> actual;
+  for (const Diagnostic& d : result.diagnostics) {
+    actual.emplace_back(d.file, d.line, d.rule);
+  }
+  std::sort(actual.begin(), actual.end());
+
+  std::vector<Key> missing;
+  std::set_difference(fx.expected.begin(), fx.expected.end(), actual.begin(),
+                      actual.end(), std::back_inserter(missing));
+  std::vector<Key> unexpected;
+  std::set_difference(actual.begin(), actual.end(), fx.expected.begin(),
+                      fx.expected.end(), std::back_inserter(unexpected));
+
+  for (const Key& k : missing) {
+    ADD_FAILURE() << "expected diagnostic did not fire: " << key_str(k);
+  }
+  for (const Key& k : unexpected) {
+    ADD_FAILURE() << "unexpected diagnostic: " << key_str(k);
+  }
+}
+
+TEST(LintFixtures, SuppressionUsesAreCounted) {
+  const FixtureSet fx = load_fixtures();
+  const Result result = run_on(repo_config(), fx.files);
+
+  std::map<std::string, const Suppression*> by_file;
+  for (const Suppression& s : result.suppressions) {
+    by_file.emplace(s.file, &s);
+  }
+
+  // Trailing form: directive on the violating line itself.
+  auto it = by_file.find("src/core/suppress_trailing.cpp");
+  ASSERT_NE(it, by_file.end());
+  EXPECT_EQ(it->second->rule, "R3");
+  EXPECT_EQ(it->second->uses, 1);
+  EXPECT_FALSE(it->second->justification.empty());
+
+  // Own-line form: directive on the line directly above.
+  it = by_file.find("src/core/suppress_own_line.cpp");
+  ASSERT_NE(it, by_file.end());
+  EXPECT_EQ(it->second->rule, "R1");
+  EXPECT_EQ(it->second->uses, 1);
+
+  // Stale waiver: recorded, zero uses (and flagged — fixture carries the
+  // expect(lint) marker for that).
+  it = by_file.find("src/core/suppress_unused.cpp");
+  ASSERT_NE(it, by_file.end());
+  EXPECT_EQ(it->second->uses, 0);
+}
+
+TEST(LintFixtures, DiagnosticsAreSortedAndDeterministic) {
+  const FixtureSet fx = load_fixtures();
+  const Config cfg = repo_config();
+  const Result a = run_on(cfg, fx.files);
+  const Result b = run_on(cfg, fx.files);
+
+  ASSERT_EQ(a.diagnostics.size(), b.diagnostics.size());
+  for (std::size_t i = 0; i < a.diagnostics.size(); ++i) {
+    EXPECT_EQ(a.diagnostics[i].file, b.diagnostics[i].file);
+    EXPECT_EQ(a.diagnostics[i].line, b.diagnostics[i].line);
+    EXPECT_EQ(a.diagnostics[i].message, b.diagnostics[i].message);
+  }
+  EXPECT_TRUE(std::is_sorted(
+      a.diagnostics.begin(), a.diagnostics.end(),
+      [](const Diagnostic& x, const Diagnostic& y) {
+        return std::tie(x.file, x.line, x.rule) < std::tie(y.file, y.line, y.rule);
+      }));
+}
+
+// --- config parsing ----------------------------------------------------------
+
+TEST(LintConfig, ShippedConfigParsesAndCoversEveryModule) {
+  const Config cfg = repo_config();
+  for (const char* module :
+       {"common", "sim", "net", "dnn", "metrics", "sched", "core", "ps",
+        "allreduce"}) {
+    EXPECT_EQ(cfg.layering.count(module), 1U)
+        << "src/" << module << " missing from the layering table";
+  }
+  // The base layer may only include itself.
+  const auto common = cfg.layering.find("common");
+  ASSERT_NE(common, cfg.layering.end());
+  const std::set<std::string> only_itself{"common"};
+  EXPECT_EQ(common->second, only_itself);
+}
+
+TEST(LintConfig, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(prophet::lint::parse_config("[unterminated\n", &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+
+  EXPECT_FALSE(prophet::lint::parse_config("[layering]\nno-colon-here\n", &error));
+  EXPECT_NE(error.find("layering"), std::string::npos);
+
+  EXPECT_FALSE(
+      prophet::lint::parse_config("[sanctioned-edges]\na.hpp b.hpp\n", &error));
+  EXPECT_NE(error.find("from -> to"), std::string::npos);
+
+  EXPECT_FALSE(prophet::lint::parse_config("stray-entry\n", &error));
+  EXPECT_NE(error.find("outside"), std::string::npos);
+}
+
+TEST(LintConfig, ScopeSectionsReplaceDefaults) {
+  std::string error;
+  const auto cfg = prophet::lint::parse_config(
+      "[r1-scope]\nlib/\n[r2-scope]\nlib/hot/\n", &error);
+  ASSERT_TRUE(cfg.has_value()) << error;
+  EXPECT_EQ(cfg->r1_scope, std::vector<std::string>{"lib/"});
+  EXPECT_EQ(cfg->r2_scope, std::vector<std::string>{"lib/hot/"});
+  // Untouched scope keeps its built-in default.
+  EXPECT_EQ(cfg->r3_scope, std::vector<std::string>{"src/"});
+
+  // Diagnostics follow the overridden scope, not the built-in one.
+  const Result r = run_on(*cfg, {src("lib/a.cpp", "double total_time_ms = 1.0;\n"),
+                                 src("src/b.cpp", "double total_time_ms = 1.0;\n")});
+  ASSERT_EQ(r.diagnostics.size(), 1U);
+  EXPECT_EQ(r.diagnostics[0].file, "lib/a.cpp");
+  EXPECT_EQ(r.diagnostics[0].rule, "R1");
+}
+
+// --- rule edge cases ---------------------------------------------------------
+
+TEST(LintRules, RawAndQuotedStringsNeverFire) {
+  const Result r = run_on(Config{}, {src("src/core/strings.cpp",
+                                         "const char* a = \"rand() inside a string\";\n"
+                                         "const char* b = R\"(std::random_device)\";\n")});
+  EXPECT_TRUE(r.clean()) << r.diagnostics[0].message;
+}
+
+TEST(LintRules, TodoTagNeedsADigitAfterHash) {
+  const Result r = run_on(
+      Config{}, {src("src/core/todo.cpp", "// TODO(#x): tag without a number\n")});
+  ASSERT_EQ(r.diagnostics.size(), 1U);
+  EXPECT_EQ(r.diagnostics[0].rule, "R5");
+  EXPECT_EQ(r.diagnostics[0].line, 1);
+}
+
+TEST(LintRules, UnorderedIterationViaMemberAcrossHeaderImplPair) {
+  const Result r = run_on(
+      Config{},
+      {src("src/core/reg.hpp",
+           "struct Reg { std::unordered_map<int, int> live_; int total() const; };\n"),
+       src("src/core/reg.cpp",
+           "int Reg::total() const {\n"
+           "  int n = 0;\n"
+           "  for (const auto& [k, v] : live_) n += v;\n"
+           "  return n;\n"
+           "}\n")});
+  ASSERT_EQ(r.diagnostics.size(), 1U);
+  EXPECT_EQ(r.diagnostics[0].rule, "R2");
+  EXPECT_EQ(r.diagnostics[0].file, "src/core/reg.cpp");
+  EXPECT_EQ(r.diagnostics[0].line, 3);
+}
+
+TEST(LintRules, LayeringCycleReportedOnce) {
+  Config cfg;
+  cfg.layering["core"] = {"core"};
+  const Result r = run_on(
+      cfg, {src("src/core/a.hpp", "#include \"core/b.hpp\"\n"),
+            src("src/core/b.hpp", "#include \"core/a.hpp\"\n")});
+  ASSERT_EQ(r.diagnostics.size(), 1U);
+  EXPECT_EQ(r.diagnostics[0].rule, "R4");
+  EXPECT_NE(r.diagnostics[0].message.find("include cycle"), std::string::npos);
+  EXPECT_NE(r.diagnostics[0].message.find("src/core/a.hpp -> src/core/b.hpp"),
+            std::string::npos);
+}
+
+TEST(LintRules, RelativeIncludesResolveThroughDotDot) {
+  Config cfg;
+  cfg.layering["common"] = {"common"};
+  cfg.layering["core"] = {"core", "common"};
+  // "../sim/x.hpp" from src/core must resolve to src/sim/x.hpp — a module
+  // edge that is NOT allowed for core in this config.
+  const Result r = run_on(
+      cfg, {src("src/core/a.hpp", "#include \"../sim/x.hpp\"\n"),
+            src("src/sim/x.hpp", "struct X {};\n")});
+  ASSERT_EQ(r.diagnostics.size(), 1U);
+  EXPECT_EQ(r.diagnostics[0].rule, "R4");
+  EXPECT_NE(r.diagnostics[0].message.find("src/core may not include src/sim"),
+            std::string::npos);
+}
+
+TEST(LintRules, AngledIncludesAreExemptFromLayering) {
+  Config cfg;
+  cfg.layering["common"] = {"common"};
+  const Result r = run_on(
+      cfg, {src("src/common/x.hpp", "#include <unordered_map>\n#include <vector>\n")});
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(LintSuppressions, SuppressionOnlyAbsorbsItsOwnRule) {
+  // allow(R1) must not hide an R3 finding on the same line.
+  const Result r = run_on(
+      Config{},
+      {src("src/core/mismatch.cpp",
+           "// prophet-lint: allow(R1): wrong rule on purpose\n"
+           "long t = time(nullptr);\n")});
+  ASSERT_EQ(r.diagnostics.size(), 2U);  // the R3 itself + the now-unused waiver
+  EXPECT_EQ(r.diagnostics[0].rule, "lint");
+  EXPECT_EQ(r.diagnostics[1].rule, "R3");
+}
+
+TEST(LintSuppressions, QuotedDirectiveInProseIsNotADirective) {
+  // Documentation that QUOTES the syntax mid-comment must not register.
+  const Result r = run_on(
+      Config{},
+      {src("src/core/doc.cpp",
+           "// waive findings with prophet-lint: allow(R1): reason\n"
+           "int x = 0;\n")});
+  EXPECT_TRUE(r.clean());
+  EXPECT_TRUE(r.suppressions.empty());
+}

@@ -1,0 +1,36 @@
+// Internal interfaces between the lint driver (lint.cpp) and the rule
+// implementations (rules.cpp). Not part of the public API.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "prophet_lint/lint.hpp"
+#include "prophet_lint/tokenizer.hpp"
+
+namespace prophet::lint::internal {
+
+// True when `path` starts with one of the '/'-terminated prefixes.
+bool path_in_scope(const std::vector<std::string>& prefixes, const std::string& path);
+// True when `path` equals an entry, or starts with an entry ending in '/'.
+bool path_sanctioned(const std::set<std::string>& entries, const std::string& path);
+
+// Names declared (in this file) with an unordered container type, including
+// names declared via a local `using X = std::unordered_map<...>` alias.
+std::set<std::string> collect_unordered_names(const TokenizedFile& tf);
+
+void check_float_time(const SourceFile& f, const TokenizedFile& tf, const Config& cfg,
+                      std::vector<Diagnostic>& out);
+void check_unordered_iteration(const SourceFile& f, const TokenizedFile& tf, const Config& cfg,
+                               const std::set<std::string>& unordered_names,
+                               std::vector<Diagnostic>& out);
+void check_nondeterminism(const SourceFile& f, const TokenizedFile& tf, const Config& cfg,
+                          std::vector<Diagnostic>& out);
+void check_todo_tags(const SourceFile& f, const TokenizedFile& tf,
+                     std::vector<Diagnostic>& out);
+void check_layering(const std::vector<SourceFile>& files,
+                    const std::vector<TokenizedFile>& tokenized, const Config& cfg,
+                    std::vector<Diagnostic>& out);
+
+}  // namespace prophet::lint::internal

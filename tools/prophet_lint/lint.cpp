@@ -1,0 +1,265 @@
+// Lint driver: config parsing, suppression handling, rule orchestration.
+#include "prophet_lint/lint.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "prophet_lint/internal.hpp"
+#include "prophet_lint/tokenizer.hpp"
+
+namespace prophet::lint {
+
+namespace {
+
+const std::set<std::string> kRuleIds = {"R1", "R2", "R3", "R4", "R5"};
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+    std::size_t j = i;
+    while (j < s.size() && s[j] != ' ' && s[j] != '\t') ++j;
+    if (j > i) out.push_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+// Parsed suppression comments for one file, plus any misuse diagnostics.
+struct FileSuppressions {
+  // index into Result::suppressions keyed by the line the comment sits on
+  std::map<int, std::vector<std::size_t>> by_line;
+};
+
+void parse_suppressions(const SourceFile& f, const TokenizedFile& tf, Result& result,
+                        FileSuppressions& out) {
+  static const std::string kMarker = "prophet-lint:";
+  for (const Comment& c : tf.comments) {
+    for (std::size_t pos = c.text.find(kMarker); pos != std::string::npos;
+         pos = c.text.find(kMarker, pos + kMarker.size())) {
+      // The directive must be the first thing in the comment (or on its line
+      // within a block comment). Anything else — e.g. documentation QUOTING
+      // the syntax — is not a directive.
+      std::size_t bol = c.text.rfind('\n', pos);
+      bol = bol == std::string::npos ? 0 : bol + 1;
+      if (trim(c.text.substr(bol, pos - bol)) != "") continue;
+      int line = c.line;
+      for (std::size_t k = 0; k < pos; ++k) {
+        if (c.text[k] == '\n') ++line;
+      }
+      std::size_t p = pos + kMarker.size();
+      while (p < c.text.size() && (c.text[p] == ' ' || c.text[p] == '\t')) ++p;
+      const std::string allow = "allow(";
+      if (c.text.compare(p, allow.size(), allow) != 0) {
+        result.diagnostics.push_back(
+            Diagnostic{f.path, line, "lint",
+                       "malformed prophet-lint directive; expected "
+                       "'prophet-lint: allow(<rule>): <justification>'"});
+        continue;
+      }
+      p += allow.size();
+      const std::size_t close = c.text.find(')', p);
+      if (close == std::string::npos) {
+        result.diagnostics.push_back(Diagnostic{
+            f.path, line, "lint", "unterminated allow(...) in prophet-lint directive"});
+        continue;
+      }
+      const std::string rule = trim(c.text.substr(p, close - p));
+      if (kRuleIds.count(rule) == 0) {
+        result.diagnostics.push_back(
+            Diagnostic{f.path, line, "lint",
+                       "unknown rule '" + rule + "' in prophet-lint suppression"});
+        continue;
+      }
+      std::size_t q = close + 1;
+      while (q < c.text.size() && (c.text[q] == ' ' || c.text[q] == '\t')) ++q;
+      std::string justification;
+      if (q < c.text.size() && c.text[q] == ':') {
+        const std::size_t eol = c.text.find('\n', q);
+        justification = trim(c.text.substr(
+            q + 1, eol == std::string::npos ? std::string::npos : eol - q - 1));
+      }
+      if (justification.empty()) {
+        result.diagnostics.push_back(
+            Diagnostic{f.path, line, "lint",
+                       "suppression of " + rule +
+                           " has no justification; write 'prophet-lint: allow(" + rule +
+                           "): <why this is sound>'"});
+      }
+      result.suppressions.push_back(Suppression{f.path, line, rule, justification, 0});
+      out.by_line[line].push_back(result.suppressions.size() - 1);
+    }
+  }
+}
+
+std::string stem_key(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  const std::size_t slash = path.rfind('/');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) return path;
+  return path.substr(0, dot);
+}
+
+}  // namespace
+
+std::optional<Config> parse_config(const std::string& text, std::string* error) {
+  Config cfg;
+  std::string section;
+  bool r1_scope_seen = false;
+  bool r2_scope_seen = false;
+  bool r3_scope_seen = false;
+  int lineno = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    std::string raw = text.substr(
+        start, nl == std::string::npos ? std::string::npos : nl - start);
+    start = nl == std::string::npos ? text.size() + 1 : nl + 1;
+    ++lineno;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw = raw.substr(0, hash);
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        if (error) *error = "line " + std::to_string(lineno) + ": unterminated section header";
+        return std::nullopt;
+      }
+      section = line.substr(1, line.size() - 2);
+      continue;
+    }
+    if (section == "r1-sanctioned") {
+      cfg.r1_sanctioned.insert(line);
+    } else if (section == "r3-sanctioned") {
+      cfg.r3_sanctioned.insert(line);
+    } else if (section == "r1-scope" || section == "r2-scope" || section == "r3-scope") {
+      auto& scope = section == "r1-scope"   ? cfg.r1_scope
+                    : section == "r2-scope" ? cfg.r2_scope
+                                            : cfg.r3_scope;
+      auto& seen = section == "r1-scope"   ? r1_scope_seen
+                   : section == "r2-scope" ? r2_scope_seen
+                                           : r3_scope_seen;
+      if (!seen) {
+        scope.clear();
+        seen = true;
+      }
+      scope.push_back(line);
+    } else if (section == "layering") {
+      const std::size_t colon = line.find(':');
+      if (colon == std::string::npos) {
+        if (error) {
+          *error = "line " + std::to_string(lineno) + ": layering entry needs 'module: deps'";
+        }
+        return std::nullopt;
+      }
+      const std::string module = trim(line.substr(0, colon));
+      auto& deps = cfg.layering[module];
+      for (const std::string& d : split_ws(line.substr(colon + 1))) deps.insert(d);
+      deps.insert(module);  // intra-module includes are always legal
+    } else if (section == "sanctioned-edges") {
+      const std::size_t arrow = line.find("->");
+      if (arrow == std::string::npos) {
+        if (error) {
+          *error = "line " + std::to_string(lineno) + ": sanctioned edge needs 'from -> to'";
+        }
+        return std::nullopt;
+      }
+      cfg.sanctioned_edges.emplace(trim(line.substr(0, arrow)),
+                                   trim(line.substr(arrow + 2)));
+    } else {
+      if (error) {
+        *error = "line " + std::to_string(lineno) + ": entry outside any known section";
+      }
+      return std::nullopt;
+    }
+  }
+  return cfg;
+}
+
+Result run(const Config& cfg, const std::vector<SourceFile>& files) {
+  Result result;
+
+  std::vector<TokenizedFile> tokenized;
+  tokenized.reserve(files.size());
+  for (const SourceFile& f : files) tokenized.push_back(tokenize(f.content));
+
+  std::vector<FileSuppressions> suppressions(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    parse_suppressions(files[i], tokenized[i], result, suppressions[i]);
+  }
+
+  // R2 needs declared-name visibility across a header/impl pair: member
+  // containers are declared in foo.hpp but iterated in foo.cpp. Merge the
+  // collected names per path stem.
+  std::map<std::string, std::set<std::string>> names_by_stem;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (!internal::path_in_scope(cfg.r2_scope, files[i].path)) continue;
+    auto names = internal::collect_unordered_names(tokenized[i]);
+    auto& merged = names_by_stem[stem_key(files[i].path)];
+    merged.insert(names.begin(), names.end());
+  }
+
+  std::vector<Diagnostic> raw;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    internal::check_float_time(files[i], tokenized[i], cfg, raw);
+    const auto stem = names_by_stem.find(stem_key(files[i].path));
+    internal::check_unordered_iteration(
+        files[i], tokenized[i], cfg,
+        stem == names_by_stem.end() ? std::set<std::string>{} : stem->second, raw);
+    internal::check_nondeterminism(files[i], tokenized[i], cfg, raw);
+    internal::check_todo_tags(files[i], tokenized[i], raw);
+  }
+  internal::check_layering(files, tokenized, cfg, raw);
+
+  // Apply suppressions: a comment on line L absorbs matching diagnostics on
+  // L (trailing form) and L+1 (own-line form above the statement).
+  std::map<std::string, std::size_t> file_index;
+  for (std::size_t i = 0; i < files.size(); ++i) file_index.emplace(files[i].path, i);
+  for (Diagnostic& d : raw) {
+    bool absorbed = false;
+    const auto fit = file_index.find(d.file);
+    if (fit != file_index.end()) {
+      const FileSuppressions& fs = suppressions[fit->second];
+      for (const int line : {d.line, d.line - 1}) {
+        const auto sit = fs.by_line.find(line);
+        if (sit == fs.by_line.end()) continue;
+        for (const std::size_t idx : sit->second) {
+          if (result.suppressions[idx].rule == d.rule) {
+            ++result.suppressions[idx].uses;
+            absorbed = true;
+            break;
+          }
+        }
+        if (absorbed) break;
+      }
+    }
+    if (!absorbed) result.diagnostics.push_back(std::move(d));
+  }
+
+  // A suppression that absorbs nothing is stale and must be deleted — dead
+  // waivers are how invariants rot silently.
+  for (const Suppression& s : result.suppressions) {
+    if (s.uses == 0) {
+      result.diagnostics.push_back(
+          Diagnostic{s.file, s.line, "lint",
+                     "unused suppression for " + s.rule + "; delete the stale waiver"});
+    }
+  }
+
+  std::sort(result.diagnostics.begin(), result.diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return result;
+}
+
+}  // namespace prophet::lint

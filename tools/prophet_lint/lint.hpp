@@ -1,0 +1,83 @@
+// prophet_lint — determinism & layering static analysis for the Prophet tree.
+//
+// The golden suite pins schedules and event traces to exact integer-nanosecond
+// values; that only stays true if a handful of coding invariants hold across
+// the whole simulator. This tool makes them machine-checkable:
+//
+//   R1  no float/double arithmetic on time values outside the sanctioned
+//       boundary files (common/time.hpp and the cost model's conversion points)
+//   R2  no range-iteration over std::unordered_map/unordered_set in the
+//       scheduling/simulation paths (hash-order nondeterminism)
+//   R3  no wall-clock, rand(), std::random_device, or pointer-value ordering
+//       in src/ — all randomness routes through common/rng
+//   R4  layering: module include edges must match the checked-in allowlist,
+//       and the include graph must be acyclic
+//   R5  every to-do marker carries an issue tag, e.g. "(#42)"
+//
+// Diagnostics are `file:line: [rule] message`. A finding can be waived with a
+// comment that starts with "prophet-lint:" followed by allow(<rule>), a colon
+// and a written justification, on the same line or the line directly above.
+// Suppressions without a justification, and suppressions that no longer fire,
+// are themselves errors (rule id "lint"). docs/DETERMINISM.md has the full
+// contract and worked examples.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace prophet::lint {
+
+struct SourceFile {
+  std::string path;  // repo-relative, '/'-separated; drives rule scoping
+  std::string content;
+};
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;  // "R1".."R5" or "lint" for suppression misuse
+  std::string message;
+};
+
+struct Suppression {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string justification;
+  int uses = 0;  // number of diagnostics this suppression absorbed
+};
+
+struct Config {
+  // Path prefixes each rule applies to ("src/" style, '/'-terminated).
+  std::vector<std::string> r1_scope{"src/"};
+  std::vector<std::string> r2_scope{"src/core/", "src/sched/", "src/net/", "src/sim/"};
+  std::vector<std::string> r3_scope{"src/"};
+
+  // R1/R3 sanctioned locations: exact paths, or directory prefixes ending '/'.
+  std::set<std::string> r1_sanctioned;
+  std::set<std::string> r3_sanctioned;
+
+  // R4: module -> set of modules it may include (modules are the directory
+  // names directly under src/). Empty map disables the layering check.
+  std::map<std::string, std::set<std::string>> layering;
+  // Sanctioned file-level edges that bypass the module table.
+  std::set<std::pair<std::string, std::string>> sanctioned_edges;
+};
+
+// Parses the prophet_lint.conf format (see tools/prophet_lint/prophet_lint.conf).
+// Returns std::nullopt and fills *error on malformed input.
+std::optional<Config> parse_config(const std::string& text, std::string* error);
+
+struct Result {
+  std::vector<Diagnostic> diagnostics;  // sorted by (file, line, rule)
+  std::vector<Suppression> suppressions;
+  [[nodiscard]] bool clean() const { return diagnostics.empty(); }
+};
+
+Result run(const Config& config, const std::vector<SourceFile>& files);
+
+}  // namespace prophet::lint

@@ -1,0 +1,166 @@
+// prophet_lint CLI.
+//
+//   prophet_lint [--root DIR] [--config FILE] [--quiet] <path>...
+//
+// Paths are files or directories, repo-relative (run from the repo root, or
+// pass --root). Directories are walked recursively for C++ sources; fixture
+// and build trees are skipped unless a file is named explicitly. Exit status
+// is non-zero iff any diagnostic fires.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "prophet_lint/lint.hpp"
+
+namespace fs = std::filesystem;
+using prophet::lint::Config;
+using prophet::lint::SourceFile;
+
+namespace {
+
+const char* kDefaultConfig = "tools/prophet_lint/prophet_lint.conf";
+
+bool has_source_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  for (const char* e : {".cpp", ".cc", ".cxx", ".hpp", ".h", ".hxx", ".ipp"}) {
+    if (ext == e) return true;
+  }
+  return false;
+}
+
+bool skip_directory(const std::string& name) {
+  return name == "lint_fixtures" || name == ".git" || name == "third_party" ||
+         name == "external" || name.rfind("build", 0) == 0;
+}
+
+std::string read_file(const fs::path& p, bool* ok) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return {};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *ok = true;
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string config_path;
+  bool quiet = false;
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--config" && i + 1 < argc) {
+      config_path = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: prophet_lint [--root DIR] [--config FILE] [--quiet] <path>...\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "prophet_lint: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "prophet_lint: no input paths (try --help)\n");
+    return 2;
+  }
+
+  const fs::path root_path{root};
+  Config cfg;
+  {
+    const fs::path conf =
+        config_path.empty() ? root_path / kDefaultConfig : fs::path{config_path};
+    bool ok = false;
+    const std::string text = read_file(conf, &ok);
+    if (ok) {
+      std::string error;
+      const auto parsed = prophet::lint::parse_config(text, &error);
+      if (!parsed) {
+        std::fprintf(stderr, "prophet_lint: %s: %s\n", conf.string().c_str(),
+                     error.c_str());
+        return 2;
+      }
+      cfg = *parsed;
+    } else if (!config_path.empty()) {
+      std::fprintf(stderr, "prophet_lint: cannot read config %s\n",
+                   config_path.c_str());
+      return 2;
+    }
+    // With no config file at all, run with built-in defaults (no sanctioned
+    // files, no layering table).
+  }
+
+  // Collect sources. std::map keys keep the scan order stable across
+  // filesystems, so diagnostics are deterministic too.
+  std::map<std::string, fs::path> sources;
+  for (const std::string& input : inputs) {
+    const fs::path abs = root_path / input;
+    std::error_code ec;
+    if (fs::is_regular_file(abs, ec)) {
+      sources.emplace(fs::path(input).generic_string(), abs);
+      continue;
+    }
+    if (!fs::is_directory(abs, ec)) {
+      std::fprintf(stderr, "prophet_lint: no such file or directory: %s\n",
+                   input.c_str());
+      return 2;
+    }
+    fs::recursive_directory_iterator it(abs, fs::directory_options::skip_permission_denied,
+                                        ec);
+    const fs::recursive_directory_iterator end;
+    for (; it != end; it.increment(ec)) {
+      if (ec) break;
+      if (it->is_directory() && skip_directory(it->path().filename().string())) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (!it->is_regular_file() || !has_source_extension(it->path())) continue;
+      const fs::path rel = fs::relative(it->path(), root_path, ec);
+      sources.emplace((ec ? it->path() : rel).generic_string(), it->path());
+    }
+  }
+
+  std::vector<SourceFile> files;
+  files.reserve(sources.size());
+  for (const auto& [rel, abs] : sources) {
+    bool ok = false;
+    std::string content = read_file(abs, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "prophet_lint: cannot read %s\n", rel.c_str());
+      return 2;
+    }
+    files.push_back(SourceFile{rel, std::move(content)});
+  }
+
+  const auto result = prophet::lint::run(cfg, files);
+
+  for (const auto& d : result.diagnostics) {
+    std::printf("%s:%d: [%s] %s\n", d.file.c_str(), d.line, d.rule.c_str(),
+                d.message.c_str());
+  }
+  if (!quiet) {
+    for (const auto& s : result.suppressions) {
+      std::printf("note: %s:%d: allow(%s) used %dx — %s\n", s.file.c_str(), s.line,
+                  s.rule.c_str(), s.uses,
+                  s.justification.empty() ? "(no justification)" : s.justification.c_str());
+    }
+    std::printf("prophet_lint: %zu file(s), %zu diagnostic(s), %zu suppression(s)\n",
+                files.size(), result.diagnostics.size(), result.suppressions.size());
+  }
+  return result.diagnostics.empty() ? 0 : 1;
+}

@@ -1,0 +1,506 @@
+// Rule implementations R1–R5. Each pass is a linear scan over the token
+// stream; none of them try to be a type checker — the heuristics are tuned so
+// that every hit is either a real invariant violation or something worth a
+// written justification (see docs/DETERMINISM.md).
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+#include "prophet_lint/internal.hpp"
+
+namespace prophet::lint::internal {
+
+namespace {
+
+const std::set<std::string> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokKind::Ident && t.text == text;
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Heuristic: does a float-typed variable name look like it holds a time value?
+// Rates (bytes/sec, samples/sec, Hz) are doubles by design and are excluded.
+bool looks_like_time_name(const std::string& raw) {
+  const std::string name = lower(raw);
+  for (const char* rate : {"per_sec", "per_second", "rate", "bps", "hz", "freq"}) {
+    if (name.find(rate) != std::string::npos) return false;
+  }
+  for (const char* suffix : {"_s", "_ms", "_us", "_ns", "_sec", "_secs", "_seconds",
+                             "_millis", "_micros", "_nanos"}) {
+    if (ends_with(name, suffix)) return true;
+  }
+  for (const char* word : {"time", "latency", "elapsed", "deadline", "duration", "timeout"}) {
+    if (name.find(word) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// Index just past a balanced <...> starting at `open` (which must be '<').
+// Returns `open` if the angle brackets never balance.
+std::size_t skip_angle(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::Punct) continue;
+    if (toks[i].text == "<") ++depth;
+    if (toks[i].text == ">") {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+    // A ';' inside template args means we mis-parsed an operator< expression.
+    if (toks[i].text == ";") return open;
+  }
+  return open;
+}
+
+void diag(std::vector<Diagnostic>& out, const SourceFile& f, int line, const char* rule,
+          std::string message) {
+  out.push_back(Diagnostic{f.path, line, rule, std::move(message)});
+}
+
+}  // namespace
+
+bool path_in_scope(const std::vector<std::string>& prefixes, const std::string& path) {
+  for (const auto& p : prefixes) {
+    if (path.compare(0, p.size(), p) == 0) return true;
+  }
+  return false;
+}
+
+bool path_sanctioned(const std::set<std::string>& entries, const std::string& path) {
+  for (const auto& e : entries) {
+    if (e == path) return true;
+    if (!e.empty() && e.back() == '/' && path.compare(0, e.size(), e) == 0) return true;
+  }
+  return false;
+}
+
+// --- R1: float arithmetic on time values ------------------------------------
+
+void check_float_time(const SourceFile& f, const TokenizedFile& tf, const Config& cfg,
+                      std::vector<Diagnostic>& out) {
+  if (!path_in_scope(cfg.r1_scope, f.path)) return;
+  if (path_sanctioned(cfg.r1_sanctioned, f.path)) return;
+  const auto& toks = tf.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::Ident) continue;
+
+    const bool has_next_paren =
+        i + 1 < toks.size() && toks[i + 1].kind == TokKind::Punct && toks[i + 1].text == "(";
+    const bool member_call = i > 0 && toks[i - 1].kind == TokKind::Punct &&
+                             (toks[i - 1].text == "." || toks[i - 1].text == "->");
+
+    if (has_next_paren && member_call &&
+        (t.text == "to_seconds" || t.text == "to_millis" || t.text == "to_micros")) {
+      diag(out, f, t.line, "R1",
+           "time value converted to floating point via " + t.text +
+               "(); keep time arithmetic in integer nanoseconds outside sanctioned "
+               "boundary files");
+      continue;
+    }
+    if (has_next_paren && (t.text == "from_seconds" || t.text == "from_millis")) {
+      diag(out, f, t.line, "R1",
+           "Duration constructed from floating point via " + t.text +
+               "(); only sanctioned conversion points may round floats into time");
+      continue;
+    }
+
+    // float/double declaration whose name reads like a time quantity.
+    if (t.text == "double" || t.text == "float") {
+      std::size_t j = i + 1;
+      while (j < toks.size() &&
+             ((toks[j].kind == TokKind::Punct &&
+               (toks[j].text == "&" || toks[j].text == "*")) ||
+              is_ident(toks[j], "const"))) {
+        ++j;
+      }
+      if (j < toks.size() && toks[j].kind == TokKind::Ident &&
+          looks_like_time_name(toks[j].text) && j + 1 < toks.size() &&
+          toks[j + 1].kind == TokKind::Punct &&
+          (toks[j + 1].text == "=" || toks[j + 1].text == ";" || toks[j + 1].text == "," ||
+           toks[j + 1].text == ")" || toks[j + 1].text == "{")) {
+        diag(out, f, toks[j].line, "R1",
+             "float-typed variable '" + toks[j].text +
+                 "' looks like a time value; use prophet::Duration / TimePoint");
+      }
+      continue;
+    }
+
+    // static_cast<double>(... count_nanos() ...)
+    if (t.text == "static_cast" && i + 4 < toks.size() && toks[i + 1].text == "<" &&
+        (is_ident(toks[i + 2], "double") || is_ident(toks[i + 2], "float")) &&
+        toks[i + 3].text == ">" && toks[i + 4].text == "(") {
+      int depth = 0;
+      for (std::size_t j = i + 4; j < toks.size(); ++j) {
+        if (toks[j].kind == TokKind::Punct) {
+          if (toks[j].text == "(") ++depth;
+          if (toks[j].text == ")" && --depth == 0) break;
+        }
+        if (toks[j].kind == TokKind::Ident && toks[j].text == "count_nanos") {
+          diag(out, f, t.line, "R1",
+               "nanosecond count cast to floating point; keep time arithmetic integral");
+          break;
+        }
+      }
+    }
+  }
+}
+
+// --- R2: hash-order iteration -----------------------------------------------
+
+std::set<std::string> collect_unordered_names(const TokenizedFile& tf) {
+  const auto& toks = tf.tokens;
+  // Pass 1: local aliases of unordered types (`using FlowTable = unordered_map<..>;`).
+  std::set<std::string> aliases;
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "using") || toks[i + 1].kind != TokKind::Ident ||
+        toks[i + 2].text != "=") {
+      continue;
+    }
+    for (std::size_t j = i + 3; j < toks.size() && toks[j].text != ";"; ++j) {
+      if (toks[j].kind == TokKind::Ident && kUnorderedTypes.count(toks[j].text) != 0) {
+        aliases.insert(toks[i + 1].text);
+        break;
+      }
+    }
+  }
+  // Pass 2: names declared with an unordered type or one of its aliases.
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::Ident) continue;
+    const bool is_container = kUnorderedTypes.count(toks[i].text) != 0;
+    const bool is_alias = aliases.count(toks[i].text) != 0;
+    if (!is_container && !is_alias) continue;
+    std::size_t j = i + 1;
+    if (is_container && j < toks.size() && toks[j].text == "<") {
+      const std::size_t after = skip_angle(toks, j);
+      if (after == j) continue;  // operator< mis-parse; bail on this site
+      j = after;
+    }
+    while (j < toks.size() && ((toks[j].kind == TokKind::Punct &&
+                                (toks[j].text == "&" || toks[j].text == "*")) ||
+                               is_ident(toks[j], "const"))) {
+      ++j;
+    }
+    if (j + 1 < toks.size() && toks[j].kind == TokKind::Ident &&
+        toks[j + 1].kind == TokKind::Punct &&
+        (toks[j + 1].text == ";" || toks[j + 1].text == "=" || toks[j + 1].text == "{" ||
+         toks[j + 1].text == "," || toks[j + 1].text == ")")) {
+      names.insert(toks[j].text);
+    }
+  }
+  return names;
+}
+
+void check_unordered_iteration(const SourceFile& f, const TokenizedFile& tf, const Config& cfg,
+                               const std::set<std::string>& unordered_names,
+                               std::vector<Diagnostic>& out) {
+  if (!path_in_scope(cfg.r2_scope, f.path)) return;
+  const auto& toks = tf.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "for") || toks[i + 1].text != "(") continue;
+    // Find the range-for ':' at paren depth 1, then scan the range expression.
+    int depth = 0;
+    std::size_t colon = 0;
+    std::size_t close = 0;
+    for (std::size_t j = i + 1; j < toks.size(); ++j) {
+      if (toks[j].kind != TokKind::Punct) continue;
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")") {
+        if (--depth == 0) {
+          close = j;
+          break;
+        }
+      }
+      if (toks[j].text == ":" && depth == 1 && colon == 0) colon = j;
+    }
+    if (colon == 0 || close == 0) continue;
+    for (std::size_t j = colon + 1; j < close; ++j) {
+      if (toks[j].kind != TokKind::Ident) continue;
+      const bool is_type = kUnorderedTypes.count(toks[j].text) != 0;
+      if (is_type || unordered_names.count(toks[j].text) != 0) {
+        diag(out, f, toks[i].line, "R2",
+             "range-for over unordered container '" + toks[j].text +
+                 "': iteration order is hash-dependent and breaks bit-reproducible "
+                 "schedules; use an ordered container or iterate sorted keys");
+        break;
+      }
+    }
+  }
+}
+
+// --- R3: wall clock / ambient randomness / pointer ordering ------------------
+
+void check_nondeterminism(const SourceFile& f, const TokenizedFile& tf, const Config& cfg,
+                          std::vector<Diagnostic>& out) {
+  if (!path_in_scope(cfg.r3_scope, f.path)) return;
+  if (path_sanctioned(cfg.r3_sanctioned, f.path)) return;
+  const auto& toks = tf.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::Ident) continue;
+    const bool member = i > 0 && toks[i - 1].kind == TokKind::Punct &&
+                        (toks[i - 1].text == "." || toks[i - 1].text == "->");
+    const bool next_paren =
+        i + 1 < toks.size() && toks[i + 1].kind == TokKind::Punct && toks[i + 1].text == "(";
+    const bool std_qualified = i >= 2 && toks[i - 1].text == "::" &&
+                               (is_ident(toks[i - 2], "std") || is_ident(toks[i - 2], "chrono"));
+
+    if ((t.text == "rand" || t.text == "srand") && next_paren && !member) {
+      diag(out, f, t.line, "R3",
+           "call to " + t.text + "(); all randomness must route through common/rng");
+      continue;
+    }
+    if (t.text == "random_device") {
+      diag(out, f, t.line, "R3",
+           "std::random_device is nondeterministic; seed a prophet::Rng stream instead");
+      continue;
+    }
+    if (t.text == "system_clock" || t.text == "steady_clock" ||
+        t.text == "high_resolution_clock" || t.text == "gettimeofday" ||
+        t.text == "clock_gettime") {
+      diag(out, f, t.line, "R3",
+           "wall-clock access (" + t.text +
+               ") in simulator code; simulation time comes from sim::Simulator only");
+      continue;
+    }
+    if (t.text == "time" && next_paren && !member) {
+      const bool bare_or_std = std_qualified || (i == 0 || toks[i - 1].text != "::");
+      const bool libc_arg =
+          i + 2 < toks.size() &&
+          (toks[i + 2].text == "nullptr" || toks[i + 2].text == "0" ||
+           toks[i + 2].text == "NULL" || toks[i + 2].text == "&");
+      if (bare_or_std && libc_arg) {
+        diag(out, f, t.line, "R3", "call to time(); wall clocks are banned in src/");
+        continue;
+      }
+    }
+    if (t.text == "clock" && next_paren && !member && i + 2 < toks.size() &&
+        toks[i + 2].text == ")") {
+      diag(out, f, t.line, "R3", "call to clock(); wall clocks are banned in src/");
+      continue;
+    }
+    if ((t.text == "less" || t.text == "greater") && i + 1 < toks.size() &&
+        toks[i + 1].text == "<") {
+      const std::size_t after = skip_angle(toks, i + 1);
+      for (std::size_t j = i + 1; j < after; ++j) {
+        if (toks[j].kind == TokKind::Punct && toks[j].text == "*") {
+          diag(out, f, t.line, "R3",
+               "std::" + t.text +
+                   "<T*> orders by pointer value, which varies run to run; key on a "
+                   "stable id instead");
+          break;
+        }
+      }
+      continue;
+    }
+    if (t.text == "uintptr_t" || t.text == "intptr_t") {
+      diag(out, f, t.line, "R3",
+           t.text + " converts pointer values to integers; ordering or hashing on them "
+                    "is nondeterministic across runs");
+    }
+  }
+}
+
+// --- R5: work-item issue tags -----------------------------------------------
+
+void check_todo_tags(const SourceFile& f, const TokenizedFile& tf,
+                     std::vector<Diagnostic>& out) {
+  for (const Comment& c : tf.comments) {
+    for (const char* marker : {"TODO", "FIXME"}) {
+      const std::string m = marker;
+      for (std::size_t pos = c.text.find(m); pos != std::string::npos;
+           pos = c.text.find(m, pos + m.size())) {
+        const bool boundary_before =
+            pos == 0 || (std::isalnum(static_cast<unsigned char>(c.text[pos - 1])) == 0 &&
+                         c.text[pos - 1] != '_');
+        const std::size_t after = pos + m.size();
+        if (!boundary_before) continue;
+        int line = c.line;
+        for (std::size_t k = 0; k < pos; ++k) {
+          if (c.text[k] == '\n') ++line;
+        }
+        const std::size_t close =
+            (after < c.text.size() && c.text[after] == '(') ? c.text.find(')', after) : std::string::npos;
+        bool tagged = false;
+        if (close != std::string::npos) {
+          const std::string tag = c.text.substr(after + 1, close - after - 1);
+          const std::size_t hash = tag.find('#');
+          tagged = hash != std::string::npos && hash + 1 < tag.size() &&
+                   std::isdigit(static_cast<unsigned char>(tag[hash + 1])) != 0;
+        }
+        if (!tagged) {
+          diag(out, f, line, "R5",
+               m + " without an issue tag; write " + m + "(#123): ... so stale work "
+                   "items stay traceable");
+        }
+      }
+    }
+  }
+}
+
+// --- R4: layering + include cycles ------------------------------------------
+
+namespace {
+
+// Lexically normalize "a/b/../c" and "a/./b".
+std::string normalize_path(const std::string& path) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    const std::size_t slash = path.find('/', start);
+    const std::string part = path.substr(
+        start, slash == std::string::npos ? std::string::npos : slash - start);
+    if (part == "..") {
+      if (!parts.empty()) parts.pop_back();
+    } else if (!part.empty() && part != ".") {
+      parts.push_back(part);
+    }
+    if (slash == std::string::npos) break;
+    start = slash + 1;
+  }
+  std::string out;
+  for (const auto& p : parts) {
+    if (!out.empty()) out += '/';
+    out += p;
+  }
+  return out;
+}
+
+std::string dirname_of(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string{} : path.substr(0, slash);
+}
+
+// Module of a repo path under src/, or "" if not a src file.
+std::string src_module(const std::string& path) {
+  if (path.compare(0, 4, "src/") != 0) return {};
+  const std::size_t slash = path.find('/', 4);
+  if (slash == std::string::npos) return {};
+  return path.substr(4, slash - 4);
+}
+
+}  // namespace
+
+void check_layering(const std::vector<SourceFile>& files,
+                    const std::vector<TokenizedFile>& tokenized, const Config& cfg,
+                    std::vector<Diagnostic>& out) {
+  // Known module names: layering table keys plus whatever is present on disk.
+  std::set<std::string> modules;
+  for (const auto& [m, deps] : cfg.layering) {
+    modules.insert(m);
+    modules.insert(deps.begin(), deps.end());
+  }
+  for (const auto& f : files) {
+    const std::string m = src_module(f.path);
+    if (!m.empty()) modules.insert(m);
+  }
+
+  std::map<std::string, std::size_t> by_path;
+  for (std::size_t i = 0; i < files.size(); ++i) by_path.emplace(files[i].path, i);
+
+  // Resolve a quote-include seen in `from` to a repo-relative path.
+  const auto resolve = [&](const std::string& from, const std::string& target) {
+    const std::size_t slash = target.find('/');
+    if (slash != std::string::npos && modules.count(target.substr(0, slash)) != 0) {
+      return normalize_path("src/" + target);
+    }
+    const std::string dir = dirname_of(from);
+    return normalize_path(dir.empty() ? target : dir + "/" + target);
+  };
+
+  // Module-edge check (only when a layering table is configured).
+  std::vector<std::vector<std::size_t>> edges(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const std::string from_module = src_module(files[i].path);
+    for (const IncludeDirective& inc : tokenized[i].includes) {
+      if (inc.angled) continue;
+      const std::string resolved = resolve(files[i].path, inc.target);
+      const auto it = by_path.find(resolved);
+      if (it != by_path.end()) edges[i].push_back(it->second);
+
+      if (cfg.layering.empty() || from_module.empty()) continue;
+      const std::string to_module = src_module(resolved);
+      if (to_module.empty() || to_module == from_module) continue;
+      if (cfg.sanctioned_edges.count({files[i].path, resolved}) != 0) continue;
+      const auto allowed = cfg.layering.find(from_module);
+      if (allowed == cfg.layering.end()) {
+        out.push_back(Diagnostic{files[i].path, inc.line, "R4",
+                                 "module 'src/" + from_module +
+                                     "' is not registered in the layering table "
+                                     "(tools/prophet_lint/prophet_lint.conf)"});
+      } else if (allowed->second.count(to_module) == 0) {
+        out.push_back(Diagnostic{files[i].path, inc.line, "R4",
+                                 "layering violation: src/" + from_module +
+                                     " may not include src/" + to_module + " (" +
+                                     inc.target + "); add a sanctioned edge to the "
+                                     "allowlist only with a design justification"});
+      }
+    }
+  }
+
+  // Include-cycle check over the scanned-file graph (iterative DFS, 3-color).
+  enum class Color { White, Grey, Black };
+  std::vector<Color> color(files.size(), Color::White);
+  std::vector<std::size_t> stack_path;
+  std::set<std::string> reported;
+
+  struct Frame {
+    std::size_t node;
+    std::size_t next_edge;
+  };
+  for (std::size_t root = 0; root < files.size(); ++root) {
+    if (color[root] != Color::White) continue;
+    std::vector<Frame> stack{{root, 0}};
+    color[root] = Color::Grey;
+    stack_path.push_back(root);
+    while (!stack.empty()) {
+      Frame& fr = stack.back();
+      if (fr.next_edge < edges[fr.node].size()) {
+        const std::size_t next = edges[fr.node][fr.next_edge++];
+        if (color[next] == Color::White) {
+          color[next] = Color::Grey;
+          stack.push_back(Frame{next, 0});
+          stack_path.push_back(next);
+        } else if (color[next] == Color::Grey) {
+          // Found a cycle: slice stack_path from `next` to the top.
+          std::string chain;
+          bool in_cycle = false;
+          for (const std::size_t idx : stack_path) {
+            if (idx == next) in_cycle = true;
+            if (in_cycle) chain += files[idx].path + " -> ";
+          }
+          chain += files[next].path;
+          if (reported.insert(chain).second) {
+            int line = 1;
+            for (const IncludeDirective& inc : tokenized[fr.node].includes) {
+              if (resolve(files[fr.node].path, inc.target) == files[next].path) {
+                line = inc.line;
+                break;
+              }
+            }
+            out.push_back(Diagnostic{files[fr.node].path, line, "R4",
+                                     "include cycle: " + chain});
+          }
+        }
+      } else {
+        color[fr.node] = Color::Black;
+        stack.pop_back();
+        stack_path.pop_back();
+      }
+    }
+  }
+}
+
+}  // namespace prophet::lint::internal

@@ -1,0 +1,187 @@
+#include "prophet_lint/tokenizer.hpp"
+
+#include <cctype>
+
+namespace prophet::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+}  // namespace
+
+TokenizedFile tokenize(const std::string& src) {
+  TokenizedFile out;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // nothing but whitespace seen since the last newline
+
+  const auto push = [&](TokKind kind, std::string text, int at) {
+    out.tokens.push_back(Token{kind, std::move(text), at});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      at_line_start = true;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t j = i + 2;
+      while (j < n && src[j] != '\n') ++j;
+      out.comments.push_back(Comment{line, src.substr(i + 2, j - i - 2)});
+      i = j;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      out.comments.push_back(Comment{start_line, src.substr(i + 2, j - (i + 2))});
+      i = (j + 1 < n) ? j + 2 : n;
+      continue;
+    }
+
+    // Preprocessor directive: capture #include targets; the directive name is
+    // swallowed, the remainder of the line is tokenized normally so macro
+    // bodies are still visible to the rules.
+    if (c == '#' && at_line_start) {
+      std::size_t j = i + 1;
+      while (j < n && (src[j] == ' ' || src[j] == '\t')) ++j;
+      std::size_t k = j;
+      while (k < n && is_ident_char(src[k])) ++k;
+      const std::string directive = src.substr(j, k - j);
+      if (directive == "include") {
+        std::size_t p = k;
+        while (p < n && (src[p] == ' ' || src[p] == '\t')) ++p;
+        if (p < n && (src[p] == '"' || src[p] == '<')) {
+          const char close = src[p] == '"' ? '"' : '>';
+          std::size_t q = p + 1;
+          while (q < n && src[q] != close && src[q] != '\n') ++q;
+          out.includes.push_back(IncludeDirective{line, src.substr(p + 1, q - p - 1),
+                                                  close == '>'});
+          i = (q < n && src[q] == close) ? q + 1 : q;
+          at_line_start = false;
+          continue;
+        }
+      }
+      i = k;
+      at_line_start = false;
+      continue;
+    }
+    at_line_start = false;
+
+    // Raw string literal (only the bare R"..." prefix form; prefixed raw
+    // strings like u8R"()" are rare enough not to matter for lint rules).
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"' &&
+        (out.tokens.empty() || i == 0 || !is_ident_char(src[i - 1]))) {
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < n && src[p] != '(' && src[p] != '\n') {
+        delim += src[p];
+        ++p;
+      }
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t q = src.find(closer, p);
+      const int start_line = line;
+      const std::size_t end = (q == std::string::npos) ? n : q + closer.size();
+      for (std::size_t t = i; t < end; ++t) {
+        if (src[t] == '\n') ++line;
+      }
+      push(TokKind::Str, "", start_line);
+      i = end;
+      continue;
+    }
+
+    if (is_ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && is_ident_char(src[j])) ++j;
+      push(TokKind::Ident, src.substr(i, j - i), line);
+      i = j;
+      continue;
+    }
+
+    if (is_digit(c) || (c == '.' && i + 1 < n && is_digit(src[i + 1]))) {
+      // pp-number-ish: digits, identifier chars (hex/suffixes), '.', digit
+      // separators, and exponent signs.
+      std::size_t j = i;
+      while (j < n) {
+        const char d = src[j];
+        if (is_ident_char(d) || d == '.' || d == '\'') {
+          ++j;
+          continue;
+        }
+        if ((d == '+' || d == '-') && j > i &&
+            (src[j - 1] == 'e' || src[j - 1] == 'E' || src[j - 1] == 'p' ||
+             src[j - 1] == 'P')) {
+          ++j;
+          continue;
+        }
+        break;
+      }
+      push(TokKind::Number, src.substr(i, j - i), line);
+      i = j;
+      continue;
+    }
+
+    if (c == '"') {
+      const int start_line = line;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != '"') {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      push(TokKind::Str, "", start_line);
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+
+    if (c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && src[j] != '\'' && src[j] != '\n') {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      push(TokKind::CharLit, "", line);
+      i = (j < n && src[j] == '\'') ? j + 1 : j;
+      continue;
+    }
+
+    // Punctuation. "::" and "->" are fused because the rules key on them.
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      push(TokKind::Punct, "::", line);
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+      push(TokKind::Punct, "->", line);
+      i += 2;
+      continue;
+    }
+    push(TokKind::Punct, std::string(1, c), line);
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace prophet::lint

@@ -1,0 +1,42 @@
+// Minimal C++ lexer for prophet_lint.
+//
+// This is deliberately NOT a full C++ front end: the lint rules only need a
+// token stream with line numbers, the comment list (for suppressions and
+// work-item tag scanning), and the #include directives (for the layering graph).
+// Strings, character literals and raw strings are lexed as opaque tokens so
+// rule patterns can never match inside literal text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace prophet::lint {
+
+enum class TokKind { Ident, Number, Str, CharLit, Punct };
+
+struct Token {
+  TokKind kind;
+  std::string text;  // empty for Str/CharLit (contents are irrelevant to rules)
+  int line;
+};
+
+struct Comment {
+  int line;  // line the comment starts on
+  std::string text;
+};
+
+struct IncludeDirective {
+  int line;
+  std::string target;
+  bool angled;  // <...> (system) vs "..." (project)
+};
+
+struct TokenizedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<IncludeDirective> includes;
+};
+
+TokenizedFile tokenize(const std::string& content);
+
+}  // namespace prophet::lint

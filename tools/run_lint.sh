@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Convenience wrapper around prophet_lint: builds the tool if needed, then
+# runs it over the standard paths from the repo root.
+#
+#   tools/run_lint.sh                 # lint src tools bench tests examples
+#   tools/run_lint.sh src/core        # lint a subset
+#   BUILD_DIR=build-asan tools/run_lint.sh
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BUILD_DIR:-build}"
+lint_bin="${repo_root}/${build_dir}/tools/prophet_lint"
+
+if [[ ! -x "${lint_bin}" ]]; then
+  if [[ ! -d "${repo_root}/${build_dir}" ]]; then
+    echo "run_lint.sh: configuring ${build_dir}/" >&2
+    cmake -S "${repo_root}" -B "${repo_root}/${build_dir}" >/dev/null
+  fi
+  echo "run_lint.sh: building prophet_lint" >&2
+  cmake --build "${repo_root}/${build_dir}" --target prophet_lint >/dev/null
+fi
+
+paths=("$@")
+if [[ ${#paths[@]} -eq 0 ]]; then
+  paths=(src tools bench tests examples)
+fi
+
+exec "${lint_bin}" --root "${repo_root}" "${paths[@]}"
