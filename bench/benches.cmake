@@ -39,6 +39,7 @@ prophet_bench(ablation)
 prophet_bench(perf_engine)
 prophet_bench(extended_comparison)
 prophet_bench(allreduce_comparison)
+prophet_bench(fault_recovery)
 
 # Microbenchmarks (google-benchmark): engine and Algorithm 1 costs. Uses a
 # custom main (not benchmark_main) so timings also land in BENCH_engine.json.

@@ -51,7 +51,16 @@ void usage() {
       "  --outage SPEC      T_S:DUR_S[:WORKER]  — transient link outage\n"
       "                     (all workers when WORKER is omitted)\n"
       "  --straggler SPEC   WORKER:FACTOR[:T_S]  — slow one worker's compute\n"
-      "  --ps-degrade SPEC  FACTOR[:T_S]  — scale the PS update CPU cost\n",
+      "  --ps-degrade SPEC  FACTOR[:T_S]  — scale the PS update CPU cost\n"
+      "\ncrash & reliable-transport faults (PS only, BSP only):\n"
+      "  --worker-crash SPEC T_S:DUR_S:WORKER  — kill one worker, restart it\n"
+      "                     DUR_S later\n"
+      "  --ps-crash SPEC    T_S:DUR_S  — kill the PS; failover restores the\n"
+      "                     last checkpoint DUR_S later\n"
+      "  --checkpoint-s X   PS checkpoint period in seconds (default 2)\n"
+      "  --loss SPEC        RATE[:T_S]  — transport loss probability per\n"
+      "                     attempt, from T_S on (default from the start)\n"
+      "  --retry-budget N   retries per transfer before aborting (default 16)\n",
       strategy_list().c_str());
 }
 
@@ -114,8 +123,27 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", dyn_error.c_str());
     return 1;
   }
+  if (flags->has("worker-crash") &&
+      !plan->add_worker_crash_spec(flags->get("worker-crash", std::string{}),
+                                   &dyn_error)) {
+    std::fprintf(stderr, "%s\n", dyn_error.c_str());
+    return 1;
+  }
+  if (flags->has("ps-crash") &&
+      !plan->add_ps_crash_spec(flags->get("ps-crash", std::string{}), &dyn_error)) {
+    std::fprintf(stderr, "%s\n", dyn_error.c_str());
+    return 1;
+  }
+  if (flags->has("loss") &&
+      !plan->add_loss_spec(flags->get("loss", std::string{}), &dyn_error)) {
+    std::fprintf(stderr, "%s\n", dyn_error.c_str());
+    return 1;
+  }
   plan->sort();
   cfg.dynamics = std::move(*plan);
+  cfg.checkpoint_period = Duration::from_seconds(flags->get("checkpoint-s", 2.0));
+  cfg.reliability.retry_budget =
+      static_cast<std::size_t>(flags->get("retry-budget", std::int64_t{16}));
 
   const std::string arch = flags->get("arch", std::string{"ps"});
   std::printf("%s | %s | %zu workers | %s | batch %d | %zu iterations",
@@ -155,6 +183,23 @@ int main(int argc, char** argv) {
   if (result.workers[0].prophet_replans > 0) {
     std::printf("Prophet re-planned %zu times on monitored bandwidth drift\n",
                 result.workers[0].prophet_replans);
+  }
+  std::size_t retries = 0;
+  std::size_t crash_events = 0;
+  for (const auto& w : result.workers) {
+    for (const auto& fault : w.transfers.faults()) {
+      if (fault.kind == metrics::FaultKind::kTransportRetry) {
+        ++retries;
+      } else {
+        ++crash_events;
+      }
+    }
+  }
+  if (retries + crash_events > 0) {
+    std::printf(
+        "faults survived: %zu transport retries, %zu crash/recovery events "
+        "(%zu BSP invariant checks clean)\n",
+        retries, crash_events, result.audit_checks);
   }
   if (flags->has("trace")) {
     const std::string path = flags->get("trace", std::string{"run.trace.json"});

@@ -1,0 +1,97 @@
+// BSP invariant auditor: an always-on, purely passive checker that mirrors
+// the protocol state the PS layer claims to maintain and aborts with a
+// diagnostic the moment the two disagree.
+//
+// The invariants it enforces are the correctness claims crash recovery and
+// reliable transport must not break:
+//   * exactly one gradient contribution per tensor per worker per round —
+//     a round completes only when every worker delivered the key's full
+//     byte count exactly once (retries and replayed iterations included);
+//   * bytes are conserved: per-round delivered bytes never exceed the key
+//     size, and nothing is left partially delivered when training ends;
+//   * simulation time is monotone across every audited event;
+//   * the BSP barrier holds: no worker finishes forward propagation of
+//     iteration k (= starts backward k) before it pulled round-k updates of
+//     every key, and no round k+1 completes before round k.
+//
+// The auditor is fed by hooks in Server / Worker / the cluster driver; it
+// never schedules events, draws random numbers, or mutates the simulation,
+// so wiring it in cannot perturb a timeline (pay-for-use determinism). In
+// ASP mode there is no barrier to audit and the cluster runs without one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace prophet::audit {
+
+class BspAuditor {
+ public:
+  // `key_sizes[k]` is the full byte count of tensor k.
+  BspAuditor(std::size_t num_workers, std::vector<Bytes> key_sizes);
+
+  // --- server-side hooks ---------------------------------------------------
+  // Worker `w` delivered `bytes` of `key` toward the currently open round.
+  void on_push_delivered(std::size_t w, std::size_t key, Bytes bytes,
+                         TimePoint now);
+  // The server found `key`'s round complete (all workers fully delivered).
+  void on_round_complete(std::size_t key, TimePoint now);
+  // A worker crash wiped its partial (incomplete) contributions.
+  void on_push_discarded(std::size_t w, std::size_t key, Bytes bytes,
+                         TimePoint now);
+  void on_ps_crash(TimePoint now);
+  // PS failover restored the snapshot `versions`; every worker is rolled
+  // back with it (partial deliveries are void, pulls must redo the snapshot
+  // round).
+  void on_rollback(const std::vector<std::size_t>& versions, TimePoint now);
+
+  // --- worker-side hooks ---------------------------------------------------
+  // Worker `w` completed its pull of `key`, bringing it to `round` pulls.
+  void on_pull_complete(std::size_t w, std::size_t key, std::size_t round,
+                        TimePoint now);
+  // Worker `w` started (forward of) iteration `iter`; fired for the final
+  // boundary too (iter == total iterations).
+  void on_iteration_start(std::size_t w, std::size_t iter, TimePoint now);
+  // Worker `w` finished forward `iter` and starts backward — the instant the
+  // per-worker side of the round-`iter` barrier must already hold.
+  void on_backward_start(std::size_t w, std::size_t iter, TimePoint now);
+  void on_worker_crash(std::size_t w, TimePoint now);
+  void on_worker_recover(std::size_t w, TimePoint now);
+  // A reliable-transport attempt failed and will be retried (counted so a
+  // chaos run can assert faults actually happened).
+  void on_transport_retry(std::size_t w, TimePoint now);
+
+  // End-of-run audit: every key at version `expected_iterations`, every
+  // worker across its final boundary, no node down, no partial bytes.
+  void finish(std::size_t expected_iterations) const;
+
+  [[nodiscard]] std::uint64_t checks_run() const { return checks_; }
+  [[nodiscard]] std::uint64_t retries_seen() const { return retries_; }
+  [[nodiscard]] std::uint64_t crashes_seen() const { return crashes_; }
+
+ private:
+  // Advances the monotone clock (every hook routes through here).
+  void tick(TimePoint now);
+  void check(bool ok, const char* what) const;
+
+  std::size_t num_workers_;
+  std::vector<Bytes> key_sizes_;
+  // Mirror of the protocol state, indexed [worker][key] where 2-D.
+  std::vector<std::vector<std::int64_t>> delivered_;   // bytes, open round
+  std::vector<std::vector<std::size_t>> pushed_;       // completed push rounds
+  std::vector<std::vector<std::size_t>> pulls_;        // completed pull rounds
+  std::vector<std::size_t> versions_;                  // completed rounds per key
+  std::vector<std::int64_t> worker_iter_;              // last started iteration
+  std::vector<std::uint8_t> down_;
+  std::vector<std::uint8_t> replay_ok_;  // recovery/rollback licenses a replay
+  bool ps_down_ = false;
+  TimePoint last_event_{};
+  mutable std::uint64_t checks_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t crashes_ = 0;
+};
+
+}  // namespace prophet::audit

@@ -19,6 +19,7 @@ TrainingJobProfiler::TrainingJobProfiler(std::size_t gradient_count,
       target_{target_iterations},
       sizes_(gradient_count, Bytes::zero()),
       offset_sum_ns_(gradient_count, 0),
+      iter_offset_ns_(gradient_count, 0),
       seen_this_iter_(gradient_count, 0) {
   PROPHET_CHECK(gradient_count > 0);
   PROPHET_CHECK(target_iterations > 0);
@@ -30,6 +31,7 @@ void TrainingJobProfiler::begin_iteration(TimePoint backward_start) {
   backward_start_ = backward_start;
   std::fill(seen_this_iter_.begin(), seen_this_iter_.end(), std::int8_t{0});
   seen_count_ = 0;
+  invalid_ = false;
 }
 
 void TrainingJobProfiler::record_ready(std::size_t grad, Bytes size, TimePoint when) {
@@ -40,15 +42,32 @@ void TrainingJobProfiler::record_ready(std::size_t grad, Bytes size, TimePoint w
   seen_this_iter_[grad] = 1;
   ++seen_count_;
   sizes_[grad] = size;
-  offset_sum_ns_[grad] += (when - *backward_start_).count_nanos();
+  iter_offset_ns_[grad] = (when - *backward_start_).count_nanos();
 }
 
 void TrainingJobProfiler::end_iteration() {
   PROPHET_CHECK_MSG(backward_start_.has_value(), "end_iteration without begin");
+  if (invalid_) {
+    backward_start_.reset();
+    invalid_ = false;
+    return;
+  }
   PROPHET_CHECK_MSG(seen_count_ == gradient_count_,
                     "iteration ended before every gradient was recorded");
+  for (std::size_t i = 0; i < gradient_count_; ++i) {
+    offset_sum_ns_[i] += iter_offset_ns_[i];
+  }
   backward_start_.reset();
   ++iterations_;
+}
+
+void TrainingJobProfiler::abandon_iteration() {
+  backward_start_.reset();
+  invalid_ = false;
+}
+
+void TrainingJobProfiler::invalidate_iteration() {
+  if (backward_start_.has_value()) invalid_ = true;
 }
 
 GradientProfile TrainingJobProfiler::build() const {

@@ -39,6 +39,14 @@ class TrainingJobProfiler {
   void record_ready(std::size_t grad, Bytes size, TimePoint when);
   void end_iteration();
 
+  // Crash recovery: discards the open iteration (if any) without recording
+  // it — a partially-observed iteration would skew the c^(i) means.
+  void abandon_iteration();
+  // Marks the open iteration as unusable (a replayed iteration that skips
+  // already-aggregated gradients can never see every tensor); end_iteration
+  // then discards it instead of asserting completeness. No-op when closed.
+  void invalidate_iteration();
+
   [[nodiscard]] std::size_t iterations_recorded() const { return iterations_; }
   [[nodiscard]] bool complete() const { return iterations_ >= target_; }
 
@@ -57,8 +65,13 @@ class TrainingJobProfiler {
   // summing through double seconds loses sub-ns precision and makes c^(i)
   // depend on accumulation order, which would leak into the block plan.
   std::vector<std::int64_t> offset_sum_ns_;
+  // This iteration's offsets are staged here and folded into the sums only
+  // when the iteration completes cleanly, so a discarded iteration leaves no
+  // residue in the means.
+  std::vector<std::int64_t> iter_offset_ns_;
   std::vector<std::int8_t> seen_this_iter_;
   std::size_t seen_count_{0};
+  bool invalid_{false};
 };
 
 }  // namespace prophet::core

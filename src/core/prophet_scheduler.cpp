@@ -65,6 +65,36 @@ void ProphetScheduler::on_iteration_start(std::size_t, TimePoint now) {
   if (profile_.has_value()) maybe_replan();
 }
 
+void ProphetScheduler::on_recovery(TimePoint) {
+  // Queued partitions died with the worker's in-flight state; the engine
+  // re-enqueues what the replayed iteration still owes.
+  partitions_.clear();
+  // A partially-observed profiling iteration would skew the c^(i) means —
+  // drop it. The profile built from the surviving iterations is what the
+  // re-plan works from (profiling simply runs one iteration longer).
+  if (profiler_ != nullptr && iteration_open_) {
+    profiler_->abandon_iteration();
+    iteration_open_ = false;
+  }
+  // Schedule repair: force a fresh plan from the monitored bandwidth at the
+  // next iteration boundary instead of trusting a pre-crash snapshot (the
+  // recovery traffic burst and any link change since make it stale).
+  if (config_.repair_replan && !planning_bandwidth_.is_zero()) {
+    planning_bandwidth_ = Bandwidth::zero();
+    ++replans_;
+  }
+}
+
+void ProphetScheduler::on_gradient_skipped(std::size_t grad, TimePoint) {
+  PROPHET_CHECK(grad < gradient_count_);
+  // The PS already holds this round's aggregate for `grad`: the replayed
+  // iteration will not transfer it, but block assembly must not keep
+  // predicting its generation either.
+  arrived_[grad] = 1;
+  // A profiling iteration that skips tensors can never be complete.
+  if (profiler_ != nullptr && iteration_open_) profiler_->invalidate_iteration();
+}
+
 void ProphetScheduler::maybe_replan() {
   if (!config_.bandwidth_override.is_zero()) return;
   const Bandwidth live = bandwidth_fn_();

@@ -81,6 +81,13 @@ struct ProphetConfig {
   // fraction, the snapshot is refreshed — a re-plan — at the next iteration
   // boundary. Zero refreshes every iteration.
   double replan_drift = 0.1;
+  // Schedule repair after a crash/failover: true re-plans from the monitored
+  // bandwidth at the next iteration boundary (the recovery burst and any
+  // sub-threshold link change since the snapshot make the pre-crash plan
+  // stale); false keeps the stale plan and merely re-enqueues lost work —
+  // the naive recovery the baselines use (ablation knob; bench/fault_recovery
+  // measures the gap).
+  bool repair_replan = true;
 };
 
 class ProphetScheduler final : public sched::CommScheduler {
@@ -98,6 +105,8 @@ class ProphetScheduler final : public sched::CommScheduler {
   void on_task_done(const sched::TransferTask& task, TimePoint started,
                     TimePoint finished) override;
   void on_iteration_start(std::size_t iteration, TimePoint now) override;
+  void on_recovery(TimePoint now) override;
+  void on_gradient_skipped(std::size_t grad, TimePoint now) override;
   [[nodiscard]] bool has_pending() const override;
   [[nodiscard]] std::string name() const override { return "prophet"; }
 

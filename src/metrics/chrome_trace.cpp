@@ -46,6 +46,20 @@ void ChromeTraceWriter::add_span(const std::string& name, const std::string& cat
   out_ << buf;
 }
 
+void ChromeTraceWriter::add_instant(const std::string& name,
+                                    const std::string& category, int pid, int tid,
+                                    TimePoint at) {
+  PROPHET_CHECK(!closed_);
+  comma();
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
+                "\"pid\":%d,\"tid\":%d,\"ts\":%.3f}",
+                escape(name).c_str(), escape(category).c_str(), pid, tid,
+                at.to_seconds() * 1e6);
+  out_ << buf;
+}
+
 void ChromeTraceWriter::name_process(int pid, const std::string& name) {
   PROPHET_CHECK(!closed_);
   comma();

@@ -24,6 +24,10 @@ class ChromeTraceWriter {
   // Complete event ("ph":"X"): one box on lane (`pid`, `tid`).
   void add_span(const std::string& name, const std::string& category, int pid,
                 int tid, TimePoint start, Duration duration);
+  // Instant event ("ph":"i", thread scope): a zero-width marker on lane
+  // (`pid`, `tid`) — used for point-in-time faults (retries, crashes).
+  void add_instant(const std::string& name, const std::string& category, int pid,
+                   int tid, TimePoint at);
   // Names a process/thread lane in the viewer.
   void name_process(int pid, const std::string& name);
   void name_thread(int pid, int tid, const std::string& name);

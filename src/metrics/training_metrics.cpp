@@ -15,6 +15,11 @@ void TrainingMetrics::mark_iteration_start(std::size_t iter, TimePoint at) {
 
 void TrainingMetrics::finish(TimePoint at) { end_ = at; }
 
+void TrainingMetrics::rewind_to(std::size_t iter) {
+  PROPHET_CHECK_MSG(iter <= starts_.size(), "rewind past the recorded iterations");
+  starts_.resize(iter);
+}
+
 TimePoint TrainingMetrics::iteration_start(std::size_t iter) const {
   PROPHET_CHECK(iter < starts_.size());
   return starts_[iter];

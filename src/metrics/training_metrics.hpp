@@ -16,6 +16,10 @@ class TrainingMetrics {
   // Iteration `iter` began (forward start) at `at`.
   void mark_iteration_start(std::size_t iter, TimePoint at);
   void finish(TimePoint at);
+  // Crash recovery: discards recorded starts from `iter` on, so the replayed
+  // iteration re-marks its own boundary (iteration times then include the
+  // downtime and replay — the recovery cost the fault bench measures).
+  void rewind_to(std::size_t iter);
 
   [[nodiscard]] std::size_t iterations_started() const { return starts_.size(); }
 

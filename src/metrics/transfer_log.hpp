@@ -21,9 +21,39 @@ struct TransferRecord {
   TimePoint enqueued;    // became transferable
   TimePoint started;     // task containing it left the NIC queue
   TimePoint finished;    // task completed
+  // Transport attempts the carrying task took (1 = no retransmission).
+  std::size_t attempts = 1;
 
   [[nodiscard]] Duration wait() const { return started - enqueued; }
   [[nodiscard]] Duration transfer() const { return finished - started; }
+};
+
+// Robustness events interleaved with the transfer timeline: transport
+// retries, worker crash/recovery, PS crash and checkpoint failover.
+enum class FaultKind {
+  kTransportRetry,  // a reliable-transport attempt failed and backs off
+  kWorkerCrash,
+  kWorkerRecover,
+  kPsCrash,
+  kPsFailover,  // PS recovered to its last checkpoint; worker rolled back
+};
+
+[[nodiscard]] constexpr const char* fault_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTransportRetry: return "transport_retry";
+    case FaultKind::kWorkerCrash: return "worker_crash";
+    case FaultKind::kWorkerRecover: return "worker_recover";
+    case FaultKind::kPsCrash: return "ps_crash";
+    case FaultKind::kPsFailover: return "ps_failover";
+  }
+  return "?";
+}
+
+struct FaultRecord {
+  FaultKind kind = FaultKind::kTransportRetry;
+  TimePoint at{};
+  // Failed attempt number for retries, zero otherwise.
+  std::size_t attempt = 0;
 };
 
 struct GradientTransferSummary {
@@ -39,8 +69,10 @@ class TransferLog {
   void record(TransferRecord rec) { records_.push_back(rec); }
   // Marks backward start of `iteration` (reference point for Fig. 11).
   void mark_backward_start(std::size_t iteration, TimePoint at);
+  void record_fault(FaultRecord rec) { faults_.push_back(rec); }
 
   [[nodiscard]] const std::vector<TransferRecord>& records() const { return records_; }
+  [[nodiscard]] const std::vector<FaultRecord>& faults() const { return faults_; }
 
   // Aggregates per gradient over iterations [first, last), push direction
   // only (Fig. 11 plots gradient pushes).
@@ -58,6 +90,7 @@ class TransferLog {
 
  private:
   std::vector<TransferRecord> records_;
+  std::vector<FaultRecord> faults_;
   std::vector<std::pair<std::size_t, TimePoint>> backward_starts_;
 };
 

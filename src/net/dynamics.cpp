@@ -59,6 +59,11 @@ const char* DynamicsEvent::type_name(Type t) {
     case Type::kOutageEnd: return "outage_end";
     case Type::kComputeScale: return "compute_scale";
     case Type::kPsComputeScale: return "ps_compute_scale";
+    case Type::kWorkerCrash: return "worker_crash";
+    case Type::kWorkerRecover: return "worker_recover";
+    case Type::kPsCrash: return "ps_crash";
+    case Type::kPsRecover: return "ps_recover";
+    case Type::kLossRate: return "loss_rate";
   }
   return "?";
 }
@@ -140,6 +145,39 @@ DynamicsPlan& DynamicsPlan::ps_degrade(Duration at, double factor) {
   return *this;
 }
 
+DynamicsPlan& DynamicsPlan::worker_crash(Duration at, Duration downtime,
+                                         std::size_t worker) {
+  PROPHET_CHECK_MSG(downtime > Duration::zero(),
+                    "worker crash downtime must be positive");
+  DynamicsEvent crash = event_at(at, DynamicsEvent::Type::kWorkerCrash);
+  crash.worker = worker;
+  events.push_back(crash);
+  DynamicsEvent recover =
+      event_at(at + downtime, DynamicsEvent::Type::kWorkerRecover);
+  recover.worker = worker;
+  events.push_back(recover);
+  return *this;
+}
+
+DynamicsPlan& DynamicsPlan::ps_crash(Duration at, Duration failover) {
+  PROPHET_CHECK_MSG(failover > Duration::zero(),
+                    "ps crash failover delay must be positive");
+  DynamicsEvent crash = event_at(at, DynamicsEvent::Type::kPsCrash);
+  crash.target_ps = true;
+  events.push_back(crash);
+  DynamicsEvent recover = event_at(at + failover, DynamicsEvent::Type::kPsRecover);
+  recover.target_ps = true;
+  events.push_back(recover);
+  return *this;
+}
+
+DynamicsPlan& DynamicsPlan::loss_rate(Duration at, double rate) {
+  DynamicsEvent ev = event_at(at, DynamicsEvent::Type::kLossRate);
+  ev.factor = rate;
+  events.push_back(ev);
+  return *this;
+}
+
 DynamicsPlan DynamicsPlan::fluctuation(std::uint64_t seed, double amplitude,
                                        Duration period, Duration horizon,
                                        std::size_t num_workers) {
@@ -213,12 +251,27 @@ std::optional<DynamicsPlan> DynamicsPlan::from_trace_csv(const std::string& path
       ev.type = DynamicsEvent::Type::kComputeScale;
     } else if (kind == "ps_compute_scale") {
       ev.type = DynamicsEvent::Type::kPsComputeScale;
+    } else if (kind == "worker_crash") {
+      ev.type = DynamicsEvent::Type::kWorkerCrash;
+    } else if (kind == "worker_recover") {
+      ev.type = DynamicsEvent::Type::kWorkerRecover;
+    } else if (kind == "ps_crash") {
+      ev.type = DynamicsEvent::Type::kPsCrash;
+    } else if (kind == "ps_recover") {
+      ev.type = DynamicsEvent::Type::kPsRecover;
+    } else if (kind == "loss_rate") {
+      ev.type = DynamicsEvent::Type::kLossRate;
     } else {
       set_error(error, where + ": unknown event '" + kind + "'");
       return std::nullopt;
     }
-    if (kind == "compute_scale" || kind == "ps_compute_scale") ev.factor = value;
-    const bool needs_value = kind != "outage_start" && kind != "outage_end";
+    if (kind == "compute_scale" || kind == "ps_compute_scale" ||
+        kind == "loss_rate") {
+      ev.factor = value;
+    }
+    const bool needs_value = kind != "outage_start" && kind != "outage_end" &&
+                             kind != "worker_crash" && kind != "worker_recover" &&
+                             kind != "ps_crash" && kind != "ps_recover";
     if (needs_value && !has_value) {
       set_error(error, where + ": bad value '" + fields[3] + "'");
       return std::nullopt;
@@ -327,6 +380,49 @@ bool DynamicsPlan::add_ps_degrade_spec(const std::string& spec, std::string* err
   return true;
 }
 
+bool DynamicsPlan::add_worker_crash_spec(const std::string& spec,
+                                         std::string* error) {
+  const auto fields = split(spec, ':');
+  double at_s = 0.0;
+  double dur_s = 0.0;
+  std::size_t worker = 0;
+  if (fields.size() != 3 || !parse_double(fields[0], &at_s) ||
+      !parse_double(fields[1], &dur_s) || !parse_index(fields[2], &worker) ||
+      at_s < 0.0 || dur_s <= 0.0) {
+    set_error(error, "--worker-crash wants T_S:DUR_S:WORKER");
+    return false;
+  }
+  worker_crash(Duration::from_seconds(at_s), Duration::from_seconds(dur_s), worker);
+  return true;
+}
+
+bool DynamicsPlan::add_ps_crash_spec(const std::string& spec, std::string* error) {
+  const auto fields = split(spec, ':');
+  double at_s = 0.0;
+  double dur_s = 0.0;
+  if (fields.size() != 2 || !parse_double(fields[0], &at_s) ||
+      !parse_double(fields[1], &dur_s) || at_s < 0.0 || dur_s <= 0.0) {
+    set_error(error, "--ps-crash wants T_S:DUR_S");
+    return false;
+  }
+  ps_crash(Duration::from_seconds(at_s), Duration::from_seconds(dur_s));
+  return true;
+}
+
+bool DynamicsPlan::add_loss_spec(const std::string& spec, std::string* error) {
+  const auto fields = split(spec, ':');
+  double rate = 0.0;
+  double at_s = 0.0;
+  if (fields.empty() || fields.size() > 2 || !parse_double(fields[0], &rate) ||
+      (fields.size() == 2 && !parse_double(fields[1], &at_s)) || rate < 0.0 ||
+      rate >= 1.0 || at_s < 0.0) {
+    set_error(error, "--loss wants RATE[:T_S] with RATE in [0, 1)");
+    return false;
+  }
+  loss_rate(Duration::from_seconds(at_s), rate);
+  return true;
+}
+
 void DynamicsPlan::sort() {
   std::stable_sort(events.begin(), events.end(),
                    [](const DynamicsEvent& a, const DynamicsEvent& b) {
@@ -338,6 +434,8 @@ void DynamicsPlan::validate(std::size_t num_workers) const {
   using Type = DynamicsEvent::Type;
   // Outage bookkeeping per exact target (worker index, all-workers, or PS).
   std::map<std::string, bool> link_down;
+  // Crash bookkeeping per node ("ps" or a worker index).
+  std::map<std::string, bool> node_down;
   Duration prev = Duration::zero();
   for (std::size_t i = 0; i < events.size(); ++i) {
     const DynamicsEvent& ev = events[i];
@@ -376,11 +474,66 @@ void DynamicsPlan::validate(std::size_t num_workers) const {
         }
         break;
       }
+      case Type::kWorkerCrash:
+      case Type::kWorkerRecover: {
+        PROPHET_CHECK_MSG(!ev.target_ps && ev.worker.has_value(),
+                          "dynamics worker_crash/worker_recover needs a concrete "
+                          "worker index (crashing every worker at once is not a "
+                          "recoverable BSP state)");
+        bool& down = node_down[std::to_string(*ev.worker)];
+        if (ev.type == Type::kWorkerCrash) {
+          PROPHET_CHECK_MSG(!down,
+                            "dynamics worker_crash while the worker is already down");
+          down = true;
+        } else {
+          PROPHET_CHECK_MSG(down,
+                            "dynamics worker_recover without a matching worker_crash");
+          down = false;
+        }
+        break;
+      }
+      case Type::kPsCrash:
+      case Type::kPsRecover: {
+        bool& down = node_down["ps"];
+        if (ev.type == Type::kPsCrash) {
+          PROPHET_CHECK_MSG(!down, "dynamics ps_crash while the PS is already down");
+          down = true;
+        } else {
+          PROPHET_CHECK_MSG(down, "dynamics ps_recover without a matching ps_crash");
+          down = false;
+        }
+        break;
+      }
+      case Type::kLossRate:
+        PROPHET_CHECK_MSG(ev.factor >= 0.0 && ev.factor < 1.0,
+                          "dynamics loss_rate must be in [0, 1)");
+        break;
     }
   }
   for (const auto& [key, down] : link_down) {
     PROPHET_CHECK_MSG(!down, "dynamics outage_start without a matching outage_end");
   }
+  for (const auto& [key, down] : node_down) {
+    PROPHET_CHECK_MSG(!down, "dynamics crash without a matching recover");
+  }
+}
+
+bool DynamicsPlan::has_ps_crash() const {
+  return std::any_of(events.begin(), events.end(), [](const DynamicsEvent& ev) {
+    return ev.type == DynamicsEvent::Type::kPsCrash;
+  });
+}
+
+bool DynamicsPlan::has_worker_crash() const {
+  return std::any_of(events.begin(), events.end(), [](const DynamicsEvent& ev) {
+    return ev.type == DynamicsEvent::Type::kWorkerCrash;
+  });
+}
+
+bool DynamicsPlan::has_loss() const {
+  return std::any_of(events.begin(), events.end(), [](const DynamicsEvent& ev) {
+    return ev.type == DynamicsEvent::Type::kLossRate && ev.factor > 0.0;
+  });
 }
 
 }  // namespace prophet::net

@@ -29,6 +29,11 @@ struct DynamicsEvent {
     kOutageEnd,       // link back up: parked flows resume, re-rated
     kComputeScale,    // stretch a worker's compute times by factor (straggler)
     kPsComputeScale,  // stretch the PS's per-update CPU cost by factor
+    kWorkerCrash,     // worker process dies: in-flight push/pull state is lost
+    kWorkerRecover,   // worker restarts and replays its current iteration
+    kPsCrash,         // PS dies; workers stall against a dead endpoint
+    kPsRecover,       // PS restores the last checkpoint; workers roll back
+    kLossRate,        // re-rate the per-attempt transport loss probability
   };
 
   Duration at{};  // offset from simulation start
@@ -62,6 +67,14 @@ struct DynamicsPlan {
   DynamicsPlan& ps_outage(Duration at, Duration duration);
   DynamicsPlan& straggler(Duration at, std::size_t worker, double factor);
   DynamicsPlan& ps_degrade(Duration at, double factor);
+  // Appends the crash *and* its recovery at `at + downtime`. Worker crashes
+  // need a concrete index (a cluster-wide worker wipeout is not a recoverable
+  // BSP state); PS crashes roll every worker back to the last checkpoint.
+  DynamicsPlan& worker_crash(Duration at, Duration downtime, std::size_t worker);
+  DynamicsPlan& ps_crash(Duration at, Duration failover);
+  // Transport loss probability from `at` onward (factor carries the rate;
+  // 0 turns injection back off).
+  DynamicsPlan& loss_rate(Duration at, double rate);
 
   // --- generators ---------------------------------------------------------
   // Seeded-random congestion dips: every `period`, each worker NIC is
@@ -74,9 +87,11 @@ struct DynamicsPlan {
 
   // Trace-driven: CSV rows `time_s,event,target,value` where event is one of
   // bandwidth_scale|bandwidth_gbps|outage_start|outage_end|compute_scale|
-  // ps_compute_scale, target is a worker index, `*` (all workers) or `ps`,
-  // and value carries the factor / Gbit-per-second rate (ignored for
-  // outages). Lines starting with `#` or `time_s` are skipped.
+  // ps_compute_scale|worker_crash|worker_recover|ps_crash|ps_recover|
+  // loss_rate, target is a worker index, `*` (all workers) or `ps`, and
+  // value carries the factor / Gbit-per-second rate / loss probability
+  // (ignored for outages and crash/recover events). Lines starting with `#`
+  // or `time_s` are skipped.
   static std::optional<DynamicsPlan> from_trace_csv(const std::string& path,
                                                     std::string* error = nullptr);
 
@@ -94,6 +109,12 @@ struct DynamicsPlan {
   bool add_straggler_spec(const std::string& spec, std::string* error = nullptr);
   // "FACTOR[:T_S]" — PS CPU degradation from T_S (default 0) onward.
   bool add_ps_degrade_spec(const std::string& spec, std::string* error = nullptr);
+  // "T_S:DUR_S:WORKER" — worker crash at T_S, restart after DUR_S.
+  bool add_worker_crash_spec(const std::string& spec, std::string* error = nullptr);
+  // "T_S:DUR_S" — PS crash at T_S, checkpoint failover completes after DUR_S.
+  bool add_ps_crash_spec(const std::string& spec, std::string* error = nullptr);
+  // "RATE[:T_S]" — transport loss probability from T_S (default 0) onward.
+  bool add_loss_spec(const std::string& spec, std::string* error = nullptr);
 
   // Stable-sorts events by time (same-instant events keep insertion order,
   // so a sorted plan replays bit-identically).
@@ -101,8 +122,16 @@ struct DynamicsPlan {
 
   // Aborts with a clear message on a malformed plan: unsorted or negative
   // event times, out-of-range worker indices, non-positive scale factors or
-  // bandwidths, or unbalanced outage start/end pairs.
+  // bandwidths, unbalanced outage start/end pairs, crash events that overlap
+  // an active crash of the same node (or recoveries without a crash), worker
+  // crashes without a concrete worker index, or loss rates outside [0, 1).
   void validate(std::size_t num_workers) const;
+
+  // True if any event is a crash/recover of the given flavor (the cluster
+  // driver uses these to arm checkpointing only when needed).
+  [[nodiscard]] bool has_ps_crash() const;
+  [[nodiscard]] bool has_worker_crash() const;
+  [[nodiscard]] bool has_loss() const;
 };
 
 }  // namespace prophet::net

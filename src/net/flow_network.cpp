@@ -1,6 +1,7 @@
 #include "net/flow_network.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/check.hpp"
@@ -249,10 +250,40 @@ void FlowNetwork::reassign_rates() {
 
 void FlowNetwork::enter_drain(FlowId id) {
   const std::ptrdiff_t slot = find_slot(id);
-  PROPHET_CHECK(slot >= 0);
+  // The flow may have been cancelled while still in setup; its ramp event
+  // then fires against a stale id and must be inert.
+  if (slot < 0) return;
   advance_to_now();
   slots_[static_cast<std::size_t>(slot)].flow.draining = true;
   reassign_rates();
+}
+
+Bytes FlowNetwork::cancel_flow(FlowId id) {
+  const std::ptrdiff_t found = find_slot(id);
+  if (found < 0) return Bytes::zero();
+  const auto slot = static_cast<std::uint32_t>(found);
+  advance_to_now();
+  FlowSlot& s = slots_[slot];
+  // Round the fractional residue up: a resuming retry must cover every byte
+  // the drain did not fully deliver.
+  const auto remaining =
+      static_cast<std::int64_t>(std::ceil(s.flow.remaining - kDrainEpsilon));
+  s.flow.completion.cancel();
+  s.flow.on_complete = nullptr;
+  s.flow.completion = sim::EventHandle{};
+  s.occupied = false;
+  ++s.generation;
+  free_slots_.push_back(slot);
+  active_.erase(std::find(active_.begin(), active_.end(), slot));
+  reassign_rates();
+  return Bytes::of(std::max<std::int64_t>(remaining, 0));
+}
+
+double FlowNetwork::flow_remaining_bytes(FlowId id) {
+  const std::ptrdiff_t slot = find_slot(id);
+  if (slot < 0) return 0.0;
+  advance_to_now();
+  return slots_[static_cast<std::size_t>(slot)].flow.remaining;
 }
 
 void FlowNetwork::complete_flow(FlowId id) {

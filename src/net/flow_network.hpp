@@ -67,6 +67,15 @@ class FlowNetwork {
   FlowId start_flow(NodeId src, NodeId dst, Bytes size,
                     std::function<void(FlowId)> on_complete);
 
+  // Aborts a flow without firing its completion callback (transport loss or
+  // a crashed endpoint). Returns the bytes that had not yet drained, rounded
+  // up — what a byte-range-resuming retry would still have to send. Stale
+  // ids are a no-op returning zero.
+  Bytes cancel_flow(FlowId id);
+  // Bytes not yet drained, settled to now(); zero for stale ids. Kept as the
+  // raw fractional count so progress watchdogs see sub-byte movement.
+  [[nodiscard]] double flow_remaining_bytes(FlowId id);
+
   [[nodiscard]] bool flow_active(FlowId id) const { return find_slot(id) >= 0; }
   [[nodiscard]] std::size_t active_flow_count() const { return active_.size(); }
   // Current drain rate; zero while in setup.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "audit/bsp_auditor.hpp"
 #include "common/check.hpp"
 #include "net/flow_network.hpp"
 #include "ps/server.hpp"
@@ -57,6 +58,19 @@ ClusterResult Cluster::run(std::optional<std::size_t> measure_first) {
   const dnn::IterationModel iteration_model{cfg.model, cfg.gpu, cfg.batch,
                                             cfg.kvstore, cfg.jitter_sigma};
 
+  // BSP invariant auditor: passive mirror of the push/pull/round protocol,
+  // always on under BSP. Aborts with a diagnostic on the first violated
+  // invariant (lost or double-counted gradient, broken barrier, ...).
+  std::unique_ptr<audit::BspAuditor> auditor;
+  if (cfg.sync == SyncMode::kBsp) {
+    std::vector<Bytes> key_sizes;
+    for (std::size_t k = 0; k < cfg.model.tensor_count(); ++k) {
+      key_sizes.push_back(cfg.model.tensor(k).bytes);
+    }
+    auditor = std::make_unique<audit::BspAuditor>(cfg.num_workers,
+                                                  std::move(key_sizes));
+  }
+
   std::vector<std::unique_ptr<Worker>> workers;
   Server server{sim,
                 cfg.model,
@@ -68,6 +82,8 @@ ClusterResult Cluster::run(std::optional<std::size_t> measure_first) {
                   workers[w]->on_param_updated(key);
                 },
                 cfg.serialize_ps_cpu};
+  server.set_auditor(auditor.get());
+  if (cfg.dynamics.has_ps_crash()) server.enable_failover(cfg.checkpoint_period);
 
   Rng root{cfg.seed};
   for (std::size_t w = 0; w < cfg.num_workers; ++w) {
@@ -84,6 +100,8 @@ ClusterResult Cluster::run(std::optional<std::size_t> measure_first) {
     params.metrics_bin = cfg.metrics_bin;
     params.metrics_horizon = cfg.metrics_horizon;
     params.batch = cfg.batch;
+    params.reliability = cfg.reliability;
+    params.auditor = auditor.get();
     workers.push_back(
         std::make_unique<Worker>(sim, network, params, root.fork(w)));
   }
@@ -104,6 +122,10 @@ ClusterResult Cluster::run(std::optional<std::size_t> measure_first) {
       for (std::size_t w = 0; w < cfg.num_workers; ++w) fn(w);
     }
   };
+  // Fault events (crashes, recoveries, loss changes) only make sense while
+  // training runs; stragglers of a plan that extends past the finish line
+  // are dropped instead of perturbing drained state.
+  bool faults_live = true;
   auto apply_event = [&, node_of, for_each_target](const net::DynamicsEvent& ev) {
     using Type = net::DynamicsEvent::Type;
     switch (ev.type) {
@@ -133,6 +155,31 @@ ClusterResult Cluster::run(std::optional<std::size_t> measure_first) {
       case Type::kPsComputeScale:
         server.set_cpu_factor(ev.factor);
         break;
+      case Type::kWorkerCrash:
+        if (faults_live) workers[*ev.worker]->crash();
+        break;
+      case Type::kWorkerRecover:
+        if (faults_live) workers[*ev.worker]->recover();
+        break;
+      case Type::kPsCrash:
+        if (faults_live) {
+          server.crash();
+          network.set_link_up(ps_node, false);
+          for (auto& worker : workers) worker->on_ps_crash();
+        }
+        break;
+      case Type::kPsRecover:
+        if (faults_live) {
+          network.set_link_up(ps_node, true);
+          const std::vector<std::size_t> snapshot = server.recover();
+          for (auto& worker : workers) worker->rollback(snapshot);
+        }
+        break;
+      case Type::kLossRate:
+        if (faults_live) {
+          for (auto& worker : workers) worker->set_loss_rate(ev.factor);
+        }
+        break;
     }
   };
   for (const auto& ev : cfg.dynamics.events) {
@@ -151,10 +198,18 @@ ClusterResult Cluster::run(std::optional<std::size_t> measure_first) {
     if (!sim.step()) break;
   }
   PROPHET_CHECK_MSG(all_done(), "training did not finish within the metrics horizon");
+  // Training can finish while an already-done worker is still down (its
+  // recover event lands past the finish line, where it will be dropped);
+  // bring it back now so the audit sees a whole cluster.
+  for (auto& worker : workers) {
+    if (worker->crashed()) worker->recover();
+  }
+  faults_live = false;
   const Duration training_span = sim.now() - TimePoint::origin();
   for (auto& worker : workers) worker->finish();
   // Drain residual network traffic (monitors are stopped, so this converges).
   sim.run_until(horizon);
+  if (auditor != nullptr) auditor->finish(cfg.iterations);
 
   // Default window: past Prophet's profiling phase so strategies compare at
   // steady state; the same window is applied to every strategy.
@@ -175,6 +230,7 @@ ClusterResult Cluster::run(std::optional<std::size_t> measure_first) {
   result.measure_last = last;
   result.simulated_time = training_span;
   result.events_fired = sim.events_fired();
+  result.audit_checks = auditor != nullptr ? auditor->checks_run() : 0;
   for (std::size_t w = 0; w < cfg.num_workers; ++w) {
     const Worker& worker = *workers[w];
     WorkerResult wr{.id = w,

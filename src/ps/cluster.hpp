@@ -42,6 +42,8 @@ struct ClusterResult {
   std::size_t measure_last = 0;
   Duration simulated_time{};
   std::uint64_t events_fired = 0;
+  // BSP invariant checks evaluated by the auditor (0 under ASP).
+  std::size_t audit_checks = 0;
 
   // Mean per-worker training rate (samples/s) over the window.
   [[nodiscard]] double mean_rate() const;

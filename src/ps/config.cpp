@@ -26,6 +26,25 @@ void ClusterConfig::validate() const {
   PROPHET_CHECK_MSG(metrics_horizon > metrics_bin,
                     "ClusterConfig: metrics_horizon must exceed metrics_bin");
   dynamics.validate(num_workers);
+  reliability.validate();
+  // A retry budget of zero cannot survive a single drop: the transfer fails
+  // permanently and the BSP round never completes.
+  PROPHET_CHECK_MSG(
+      reliability.retry_budget > 0 ||
+          (reliability.loss_rate == 0.0 && !dynamics.has_loss()),
+      "ClusterConfig: transport loss enabled with retry_budget == 0 would "
+      "hang the first dropped transfer forever");
+  // Crash recovery replays BSP rounds; under ASP there is no round to roll
+  // back to, so fault plans with crashes are rejected up front.
+  PROPHET_CHECK_MSG(
+      sync == SyncMode::kBsp ||
+          (!dynamics.has_worker_crash() && !dynamics.has_ps_crash()),
+      "ClusterConfig: crash/recovery faults require BSP (ASP has no round "
+      "boundary to replay from)");
+  PROPHET_CHECK_MSG(!dynamics.has_ps_crash() ||
+                        checkpoint_period > Duration::zero(),
+                    "ClusterConfig: ps_crash failover needs a positive "
+                    "checkpoint_period to restore from");
 }
 
 }  // namespace prophet::ps

@@ -13,6 +13,7 @@
 #include "net/cost_model.hpp"
 #include "net/dynamics.hpp"
 #include "net/monitor.hpp"
+#include "net/reliability.hpp"
 #include "ps/strategy.hpp"
 
 namespace prophet::ps {
@@ -39,9 +40,20 @@ struct ClusterConfig {
   StrategyConfig strategy = StrategyConfig::prophet();
 
   // Network-dynamics / fault-injection timeline applied at event time while
-  // the cluster runs (bandwidth shifts, outages, stragglers, PS slowdown).
-  // Empty by default: a static network.
+  // the cluster runs (bandwidth shifts, outages, stragglers, PS slowdown,
+  // worker/PS crashes, transport loss). Empty by default: a static network.
   net::DynamicsPlan dynamics;
+
+  // Reliable-transport knobs shared by every worker<->PS channel (seeded
+  // loss, stall watchdog, bounded backoff, retry budget). Defaults lose
+  // nothing and draw no randomness — a fault-free run is bit-identical to
+  // one without the channel.
+  net::ReliabilityConfig reliability;
+
+  // PS checkpoint period: a `ps_crash` failover restores key versions to the
+  // last multiple of this before the crash. Only consulted when the dynamics
+  // plan contains a ps_crash event.
+  Duration checkpoint_period = Duration::seconds(2);
 
   // Uniform worker NIC rate; entries in `worker_bandwidth_override`
   // (indexed by worker) replace it for heterogeneous clusters (Sec. 5.3).

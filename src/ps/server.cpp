@@ -30,6 +30,12 @@ Server::Server(sim::Simulator& sim, const dnn::ModelSpec& model,
 void Server::on_push_bytes(std::size_t worker, std::size_t key, Bytes bytes) {
   PROPHET_CHECK(key < keys_.size());
   PROPHET_CHECK(worker < num_workers_);
+  PROPHET_CHECK_MSG(!crashed_,
+                    "push delivered to a crashed PS — workers must abort their "
+                    "in-flight transfers on ps_crash");
+  if (auditor_ != nullptr) {
+    auditor_->on_push_delivered(worker, key, bytes, sim_.now());
+  }
   KeyState& state = keys_[key];
   state.received[worker] += bytes.count();
   PROPHET_CHECK_MSG(state.received[worker] <= state.size.count(),
@@ -48,7 +54,10 @@ void Server::on_push_bytes(std::size_t worker, std::size_t key, Bytes bytes) {
                             update_bytes_per_sec_);
     const std::size_t k = key;
     const std::size_t w = worker;
-    schedule_update(cost, [this, w, k] { on_updated_(w, k); });
+    schedule_update(cost, [this, w, k, e = epoch_] {
+      if (e != epoch_) return;
+      on_updated_(w, k);
+    });
     return;
   }
 
@@ -58,10 +67,12 @@ void Server::on_push_bytes(std::size_t worker, std::size_t key, Bytes bytes) {
 }
 
 void Server::complete_round(std::size_t key) {
+  if (auditor_ != nullptr) auditor_->on_round_complete(key, sim_.now());
   KeyState& state = keys_[key];
   state.arrived = 0;
   std::fill(state.received.begin(), state.received.end(), 0);
   ++state.versions;
+  if (failover_enabled_) round_log_.push_back({sim_.now(), key});
   // Aggregation of W copies + optimizer step, charged per byte.
   const Duration cost =
       update_fixed_ +
@@ -69,9 +80,69 @@ void Server::complete_round(std::size_t key) {
       Duration::from_seconds(static_cast<double>(state.size.count()) *
                              static_cast<double>(num_workers_) /
                              update_bytes_per_sec_);
-  schedule_update(cost, [this, key] {
+  schedule_update(cost, [this, key, e = epoch_] {
+    if (e != epoch_) return;
     for (std::size_t w = 0; w < num_workers_; ++w) on_updated_(w, key);
   });
+}
+
+void Server::enable_failover(Duration period) {
+  PROPHET_CHECK_MSG(period > Duration::zero(),
+                    "checkpoint period must be positive");
+  PROPHET_CHECK_MSG(!asp_, "checkpoint failover is a BSP mechanism");
+  failover_enabled_ = true;
+  failover_period_ = period;
+}
+
+void Server::crash() {
+  PROPHET_CHECK_MSG(!crashed_, "PS crashed while already down");
+  crashed_ = true;
+  ++epoch_;  // updates in the CPU pipeline die with the process
+  crash_time_ = sim_.now();
+  cpu_free_ = TimePoint::origin();
+  for (KeyState& state : keys_) {
+    state.arrived = 0;
+    std::fill(state.received.begin(), state.received.end(), 0);
+  }
+  if (auditor_ != nullptr) auditor_->on_ps_crash(sim_.now());
+}
+
+std::vector<std::size_t> Server::recover() {
+  PROPHET_CHECK_MSG(crashed_, "PS recover without a crash");
+  PROPHET_CHECK_MSG(failover_enabled_,
+                    "PS recover needs enable_failover (a checkpoint to restore)");
+  crashed_ = false;
+  // Snapshot instant: the last checkpoint boundary at or before the crash.
+  const std::int64_t period_ns = failover_period_.count_nanos();
+  const std::int64_t crash_ns = (crash_time_ - TimePoint::origin()).count_nanos();
+  const TimePoint snapshot_at =
+      TimePoint::origin() + Duration::nanos((crash_ns / period_ns) * period_ns);
+  // Rounds completed after the snapshot are lost; truncate them off the log
+  // (entries are chronological) and rebuild the per-key versions.
+  std::size_t kept = 0;
+  while (kept < round_log_.size() && round_log_[kept].at <= snapshot_at) ++kept;
+  std::vector<std::size_t> versions(keys_.size(), 0);
+  for (std::size_t i = 0; i < kept; ++i) ++versions[round_log_[i].key];
+  round_log_.resize(kept);
+  for (std::size_t k = 0; k < keys_.size(); ++k) keys_[k].versions = versions[k];
+  if (auditor_ != nullptr) auditor_->on_rollback(versions, sim_.now());
+  return versions;
+}
+
+void Server::on_worker_crash(std::size_t worker) {
+  PROPHET_CHECK(worker < num_workers_);
+  for (std::size_t k = 0; k < keys_.size(); ++k) {
+    KeyState& state = keys_[k];
+    std::int64_t& received = state.received[worker];
+    if (received > 0 && received < state.size.count()) {
+      // The in-flight push state died with the worker; its replayed
+      // iteration re-sends the whole key. Full contributions stand.
+      if (auditor_ != nullptr) {
+        auditor_->on_push_discarded(worker, k, Bytes::of(received), sim_.now());
+      }
+      received = 0;
+    }
+  }
 }
 
 void Server::set_cpu_factor(double factor) {

@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "audit/bsp_auditor.hpp"
 #include "common/time.hpp"
 #include "common/units.hpp"
 #include "dnn/tensor.hpp"
@@ -42,6 +44,27 @@ class Server {
   void set_cpu_factor(double factor);
   [[nodiscard]] double cpu_factor() const { return cpu_factor_; }
 
+  // --- crash / checkpoint failover (BSP only) ------------------------------
+  // Optional passive invariant checker; never perturbs the timeline.
+  void set_auditor(audit::BspAuditor* auditor) { auditor_ = auditor; }
+
+  // Arms checkpointing: recover() restores key versions to the state at the
+  // last multiple of `period` before the crash. Purely passive — completed
+  // rounds are logged as they happen; no snapshot events enter the timeline.
+  void enable_failover(Duration period);
+
+  // PS process dies: the open round's partial contributions are lost and
+  // updates already in the CPU pipeline never announce.
+  void crash();
+  // Failover completes: restores the last checkpoint and returns the
+  // per-key versions workers must roll back to. Requires enable_failover.
+  std::vector<std::size_t> recover();
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
+  // Worker `worker` died: its partial (incomplete) contributions to the open
+  // round are discarded; fully delivered contributions stand.
+  void on_worker_crash(std::size_t worker);
+
  private:
   void complete_round(std::size_t key);
   // Schedules an update of `cost`, honoring CPU serialization; `done` runs
@@ -57,6 +80,21 @@ class Server {
   bool serialize_cpu_;
   double cpu_factor_{1.0};
   TimePoint cpu_free_{};
+  audit::BspAuditor* auditor_ = nullptr;
+  bool crashed_ = false;
+  // Fences update callbacks scheduled before a crash: they capture the epoch
+  // and no-op if it moved (the pre-crash pipeline never announces).
+  std::uint64_t epoch_ = 0;
+  bool failover_enabled_ = false;
+  Duration failover_period_{};
+  TimePoint crash_time_{};
+  // Passive checkpoint source: every completed round in order. recover()
+  // counts entries up to the snapshot instant and truncates the rest.
+  struct RoundEntry {
+    TimePoint at;
+    std::size_t key;
+  };
+  std::vector<RoundEntry> round_log_;
 
   struct KeyState {
     Bytes size;

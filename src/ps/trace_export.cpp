@@ -10,6 +10,7 @@ namespace {
 constexpr int kGpuLane = 0;
 constexpr int kPushLane = 1;
 constexpr int kPullLane = 2;
+constexpr int kFaultLane = 3;
 }  // namespace
 
 void export_chrome_trace(const ClusterResult& result, const std::string& path) {
@@ -32,6 +33,13 @@ void export_chrome_trace(const ClusterResult& result, const std::string& path) {
                     format_bytes(rec.bytes).c_str());
       trace.add_span(name, sched::to_string(rec.kind), pid, lane, rec.started,
                      rec.transfer());
+    }
+    if (!worker.transfers.faults().empty()) {
+      trace.name_thread(pid, kFaultLane, "faults");
+      for (const auto& fault : worker.transfers.faults()) {
+        trace.add_instant(metrics::fault_name(fault.kind), "fault", pid,
+                          kFaultLane, fault.at);
+      }
     }
   }
   trace.close();

@@ -2,6 +2,15 @@
 // Perfetto): one process per worker with GPU-compute, gradient-push and
 // parameter-pull lanes. GPU gaps in the viewer are exactly the T_wait the
 // paper's scheduling minimizes.
+//
+// Phases emitted per worker process:
+//   GPU compute lane   — "compute" spans (ph "X"), gaps are parameter waits;
+//   gradient push lane — one span per push transfer, sized by bytes;
+//   parameter pull lane— one span per pull transfer;
+//   faults lane        — instant markers (ph "i"): "retry" (a reliable-
+//     transport attempt failed and backed off), "worker_crash" /
+//     "worker_recover" (process loss and restart), "ps_crash" /
+//     "ps_failover" (parameter-server loss and checkpoint restore).
 #pragma once
 
 #include <string>

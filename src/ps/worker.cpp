@@ -12,6 +12,10 @@ Worker::Worker(sim::Simulator& sim, net::FlowNetwork& network, Params params, Rn
       network_{network},
       params_{params},
       rng_{rng},
+      // The channel owns its own RNG stream: transport loss draws must not
+      // shift the compute-jitter sequence (fork draws nothing, so a loss-free
+      // run is bit-identical to one without the channel).
+      channel_{sim, network, params.reliability, rng.fork(0xfa017)},
       training_{params.batch},
       gpu_{params.metrics_bin, params.metrics_horizon},
       transfer_log_{} {
@@ -33,9 +37,20 @@ Worker::Worker(sim::Simulator& sim, net::FlowNetwork& network, Params params, Rn
 
   pulls_done_.assign(n, 0);
   pull_pending_bytes_.assign(n, 0);
+  pull_rounds_claimed_.assign(n, 0);
+  push_rounds_done_.assign(n, 0);
+  push_round_bytes_.assign(n, 0);
   enqueue_time_push_.assign(n, TimePoint::origin());
   enqueue_time_pull_.assign(n, TimePoint::origin());
   enqueue_iter_push_.assign(n, 0);
+
+  channel_.set_fault_handler([this](const net::ChannelFault& fault) {
+    transfer_log_.record_fault(
+        {metrics::FaultKind::kTransportRetry, sim_.now(), fault.attempt});
+    if (params_.auditor != nullptr) {
+      params_.auditor->on_transport_retry(params_.id, sim_.now());
+    }
+  });
 }
 
 sched::CommScheduler& Worker::scheduler(sched::TaskKind kind) {
@@ -58,6 +73,9 @@ std::size_t Worker::prophet_replans() const {
 }
 
 void Worker::begin_iteration() {
+  if (params_.auditor != nullptr) {
+    params_.auditor->on_iteration_start(params_.id, iter_, sim_.now());
+  }
   training_.mark_iteration_start(iter_, sim_.now());
   if (done()) return;  // final boundary recorded; no more compute
   timing_ = params_.iteration_model->sample(rng_);
@@ -87,7 +105,8 @@ void Worker::advance_forward() {
       return;
     }
     gpu_.busy_from(sim_.now());
-    sim_.schedule_after(timing_.fwd[fwd_layer_], [this] {
+    sim_.schedule_after(timing_.fwd[fwd_layer_], [this, inc = incarnation_] {
+      if (inc != incarnation_) return;  // compute died with the crash
       gpu_.idle_from(sim_.now());
       ++fwd_layer_;
       advance_forward();
@@ -99,6 +118,9 @@ void Worker::advance_forward() {
 
 void Worker::begin_backward() {
   const TimePoint now = sim_.now();
+  if (params_.auditor != nullptr) {
+    params_.auditor->on_backward_start(params_.id, iter_, now);
+  }
   transfer_log_.mark_backward_start(iter_, now);
 
   // Iteration lifecycle hooks: iteration k-1 "ends" when forward k has
@@ -132,8 +154,15 @@ void Worker::begin_backward() {
     events[timing_.ready_offset[g]].push_back(g);
   }
   for (const auto& [offset, grads] : events) {
-    sim_.schedule_after(offset, [this, grads = grads] {
+    sim_.schedule_after(offset, [this, grads = grads, inc = incarnation_] {
+      if (inc != incarnation_) return;  // flush died with the crash
       for (std::size_t g : grads) {
+        if (push_rounds_done_[g] > iter_) {
+          // Replayed backward: this key's round already aggregated at the PS
+          // before the fault; re-sending it would double-count the gradient.
+          push_sched_->on_gradient_skipped(g, sim_.now());
+          continue;
+        }
         enqueue_time_push_[g] = sim_.now();
         enqueue_iter_push_[g] = iter_;
         push_sched_->enqueue(g, params_.iteration_model->model().tensor(g).bytes,
@@ -142,7 +171,10 @@ void Worker::begin_backward() {
       pump(sched::TaskKind::kPush);
     });
   }
-  sim_.schedule_after(timing_.backward_total(), [this] { end_backward(); });
+  sim_.schedule_after(timing_.backward_total(), [this, inc = incarnation_] {
+    if (inc != incarnation_) return;  // backward died with the crash
+    end_backward();
+  });
 }
 
 void Worker::end_backward() {
@@ -152,6 +184,7 @@ void Worker::end_backward() {
 }
 
 void Worker::pump(sched::TaskKind kind) {
+  if (crashed_ || ps_down_) return;  // no endpoint to talk to
   bool& inflight = kind == sched::TaskKind::kPush ? push_inflight_ : pull_inflight_;
   if (inflight) return;
   const TimePoint hold = kind == sched::TaskKind::kPush ? push_hold_ : pull_hold_;
@@ -173,14 +206,15 @@ void Worker::pump(sched::TaskKind kind) {
   const TimePoint started = sim_.now();
   // Evaluated before the lambda capture moves the task out.
   const Bytes flow_bytes = task->total_bytes();
-  network_.start_flow(src, dst, flow_bytes,
-                      [this, kind, t = std::move(*task), started](net::FlowId) {
-                        on_flow_done(kind, t, started);
-                      });
+  channel_.send(src, dst, flow_bytes,
+                [this, kind, t = std::move(*task), started](
+                    const net::SendOutcome& outcome) {
+                  on_flow_done(kind, t, started, outcome);
+                });
 }
 
 void Worker::on_flow_done(sched::TaskKind kind, const sched::TransferTask& task,
-                          TimePoint started) {
+                          TimePoint started, const net::SendOutcome& outcome) {
   const TimePoint now = sim_.now();
   bool& inflight = kind == sched::TaskKind::kPush ? push_inflight_ : pull_inflight_;
   inflight = false;
@@ -198,15 +232,28 @@ void Worker::on_flow_done(sched::TaskKind kind, const sched::TransferTask& task,
                                                   : enqueue_time_pull_[item.grad];
     rec.started = started;
     rec.finished = now;
+    rec.attempts = outcome.attempts;
     transfer_log_.record(rec);
 
     if (kind == sched::TaskKind::kPush) {
       params_.server->on_push_bytes(params_.id, item.grad, item.bytes);
+      const std::int64_t full =
+          params_.iteration_model->model().tensor(item.grad).bytes.count();
+      push_round_bytes_[item.grad] += item.bytes.count();
+      PROPHET_CHECK(push_round_bytes_[item.grad] <= full);
+      if (push_round_bytes_[item.grad] == full) {
+        push_round_bytes_[item.grad] = 0;
+        ++push_rounds_done_[item.grad];
+      }
     } else {
       pull_pending_bytes_[item.grad] -= item.bytes.count();
       PROPHET_CHECK(pull_pending_bytes_[item.grad] >= 0);
       if (pull_pending_bytes_[item.grad] == 0) {
         ++pulls_done_[item.grad];
+        if (params_.auditor != nullptr) {
+          params_.auditor->on_pull_complete(params_.id, item.grad,
+                                            pulls_done_[item.grad], now);
+        }
         if (waiting_for_param_ && forward_gate_open(fwd_layer_)) {
           waiting_for_param_ = false;
           advance_forward();
@@ -227,14 +274,138 @@ void Worker::on_flow_done(sched::TaskKind kind, const sched::TransferTask& task,
 }
 
 void Worker::on_param_updated(std::size_t key) {
+  // A crashed (or PS-orphaned) worker misses the announcement; recovery
+  // re-derives it from the claimed-vs-version gap.
+  if (crashed_ || ps_down_) return;
+  if (pull_rounds_claimed_[key] >= params_.server->version(key)) return;
+  claim_pull(key);
+  pump(sched::TaskKind::kPull);
+}
+
+void Worker::claim_pull(std::size_t key) {
   const Bytes size = params_.iteration_model->model().tensor(key).bytes;
   PROPHET_CHECK_MSG(pull_pending_bytes_[key] == 0,
-                    "param updated while a previous pull is still pending");
+                    "param update claimed while a previous pull is still pending");
+  ++pull_rounds_claimed_[key];
   pull_pending_bytes_[key] = size.count();
   enqueue_time_pull_[key] = sim_.now();
   pull_sched_->enqueue(key, size, sim_.now());
+}
+
+void Worker::reclaim_missed_pulls() {
+  for (std::size_t key = 0; key < pull_rounds_claimed_.size(); ++key) {
+    if (pull_rounds_claimed_[key] < params_.server->version(key)) claim_pull(key);
+  }
+}
+
+void Worker::repush_owed_rounds() {
+  if (iter_ == 0) return;
+  for (std::size_t g = 0; g < push_rounds_done_.size(); ++g) {
+    if (push_rounds_done_[g] >= iter_) continue;
+    // The round-k barrier precedes backward k, so the debt is exactly the
+    // one round whose transfers were in flight when the fault hit.
+    PROPHET_CHECK_MSG(push_rounds_done_[g] + 1 == iter_,
+                      "fault recovery found a push debt deeper than one round; "
+                      "the BSP barrier should have stopped the worker earlier");
+    enqueue_time_push_[g] = sim_.now();
+    enqueue_iter_push_[g] = iter_ - 1;
+    push_sched_->enqueue(g, params_.iteration_model->model().tensor(g).bytes,
+                         sim_.now());
+  }
+}
+
+void Worker::halt_inflight() {
+  ++incarnation_;  // fences every scheduled compute callback
+  channel_.abort_all();
+  push_inflight_ = false;
+  pull_inflight_ = false;
+  push_poll_.cancel();
+  pull_poll_.cancel();
+  push_hold_ = TimePoint::origin();
+  pull_hold_ = TimePoint::origin();
+  waiting_for_param_ = false;
+  std::fill(pull_pending_bytes_.begin(), pull_pending_bytes_.end(), 0);
+  std::fill(push_round_bytes_.begin(), push_round_bytes_.end(), 0);
+  if (gpu_.is_busy()) gpu_.idle_from(sim_.now());
+}
+
+void Worker::replay_iteration() {
+  if (done()) return;
+  // The interrupted iteration restarts from the top of forward: its start
+  // mark is re-recorded and its compute timing is re-sampled.
+  training_.rewind_to(iter_);
+  begin_iteration();
+}
+
+void Worker::crash() {
+  PROPHET_CHECK_MSG(!crashed_, "worker crashed while already down");
+  crashed_ = true;
+  halt_inflight();
+  // Announcements delivered while down are lost; recovery re-claims the gap
+  // between what the pull pipeline had accepted and the server's version.
+  pull_rounds_claimed_ = pulls_done_;
+  params_.server->on_worker_crash(params_.id);
+  transfer_log_.record_fault({metrics::FaultKind::kWorkerCrash, sim_.now(), 0});
+  if (params_.auditor != nullptr) {
+    params_.auditor->on_worker_crash(params_.id, sim_.now());
+  }
+}
+
+void Worker::recover() {
+  PROPHET_CHECK_MSG(crashed_, "worker recover without a crash");
+  crashed_ = false;
+  transfer_log_.record_fault({metrics::FaultKind::kWorkerRecover, sim_.now(), 0});
+  if (params_.auditor != nullptr) {
+    params_.auditor->on_worker_recover(params_.id, sim_.now());
+  }
+  // Queued scheduler work refers to the interrupted round; drop it (Prophet
+  // re-plans from its surviving profile, the others start clean).
+  push_sched_->on_recovery(sim_.now());
+  pull_sched_->on_recovery(sim_.now());
+  if (ps_down_) return;  // rollback() restarts the pipeline once the PS is back
+  reclaim_missed_pulls();
+  repush_owed_rounds();
+  replay_iteration();
+  pump(sched::TaskKind::kPush);
   pump(sched::TaskKind::kPull);
 }
+
+void Worker::on_ps_crash() {
+  PROPHET_CHECK_MSG(!ps_down_, "PS crashed while already down");
+  ps_down_ = true;
+  halt_inflight();
+  // In-flight pull claims died with the PS round state.
+  pull_rounds_claimed_ = pulls_done_;
+  transfer_log_.record_fault({metrics::FaultKind::kPsCrash, sim_.now(), 0});
+}
+
+void Worker::rollback(const std::vector<std::size_t>& versions) {
+  PROPHET_CHECK_MSG(ps_down_, "rollback without a PS crash");
+  PROPHET_CHECK(versions.size() == pulls_done_.size());
+  halt_inflight();
+  std::size_t target = params_.iterations;
+  for (std::size_t k = 0; k < versions.size(); ++k) {
+    // Force a re-pull of the snapshot round: the restored parameter value
+    // must reach the worker even if it had pulled that round before.
+    pulls_done_[k] = versions[k] > 0 ? versions[k] - 1 : 0;
+    pull_rounds_claimed_[k] = pulls_done_[k];
+    push_rounds_done_[k] = std::min(push_rounds_done_[k], versions[k]);
+    target = std::min(target, versions[k]);
+  }
+  iter_ = std::min(iter_, target);
+  ps_down_ = false;
+  transfer_log_.record_fault({metrics::FaultKind::kPsFailover, sim_.now(), 0});
+  push_sched_->on_recovery(sim_.now());
+  pull_sched_->on_recovery(sim_.now());
+  if (crashed_) return;  // this worker restarts on its own recover()
+  reclaim_missed_pulls();
+  repush_owed_rounds();
+  replay_iteration();
+  pump(sched::TaskKind::kPush);
+  pump(sched::TaskKind::kPull);
+}
+
+void Worker::set_loss_rate(double rate) { channel_.set_loss_rate(rate); }
 
 void Worker::finish() {
   gpu_.finish(sim_.now());

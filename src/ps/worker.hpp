@@ -14,10 +14,12 @@
 // unblocks forward layers.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "audit/bsp_auditor.hpp"
 #include "common/rng.hpp"
 #include "dnn/iteration_model.hpp"
 #include "metrics/gpu_tracker.hpp"
@@ -25,6 +27,7 @@
 #include "metrics/transfer_log.hpp"
 #include "net/flow_network.hpp"
 #include "net/monitor.hpp"
+#include "net/reliability.hpp"
 #include "ps/server.hpp"
 #include "ps/strategy.hpp"
 #include "sched/scheduler.hpp"
@@ -47,6 +50,10 @@ class Worker {
     Duration metrics_bin;
     Duration metrics_horizon;
     int batch;
+    // Reliable-transport knobs for this worker's channel to the PS.
+    net::ReliabilityConfig reliability;
+    // Optional passive BSP invariant checker (cluster-owned; may be null).
+    audit::BspAuditor* auditor = nullptr;
   };
 
   Worker(sim::Simulator& sim, net::FlowNetwork& network, Params params, Rng rng);
@@ -64,6 +71,26 @@ class Worker {
   // and gradient-ready offsets) by `factor` from the next sampled iteration
   // on (straggler injection; factor > 1 slows this worker down).
   void set_compute_factor(double factor);
+
+  // --- fault injection hooks (cluster driver) ------------------------------
+  // Worker process dies: in-flight push/pull transfers abort, queued
+  // scheduler work and partial server-side contributions are lost, compute
+  // stops. The worker stays down until recover().
+  void crash();
+  // Worker restarts: re-claims any parameter updates it lost, drops stale
+  // scheduler state (Prophet re-plans from the surviving profile) and
+  // replays its current iteration from the top of forward.
+  void recover();
+  // PS died: abort transfers against the dead endpoint and stop pumping
+  // until rollback() delivers the recovered snapshot.
+  void on_ps_crash();
+  // PS failover completed with checkpoint `versions`: roll per-key push/pull
+  // progress back to the snapshot, force a re-pull of the snapshot round and
+  // replay from the first un-aggregated iteration.
+  void rollback(const std::vector<std::size_t>& versions);
+  // Transport loss probability from now on (dynamics `loss_rate` events).
+  void set_loss_rate(double rate);
+  [[nodiscard]] bool crashed() const { return crashed_; }
 
   [[nodiscard]] std::size_t id() const { return params_.id; }
   [[nodiscard]] bool done() const { return iter_ >= params_.iterations; }
@@ -92,14 +119,28 @@ class Worker {
   void end_backward();
   void pump(sched::TaskKind kind);
   void on_flow_done(sched::TaskKind kind, const sched::TransferTask& task,
-                    TimePoint started);
+                    TimePoint started, const net::SendOutcome& outcome);
   [[nodiscard]] bool forward_gate_open(std::size_t layer) const;
   [[nodiscard]] sched::CommScheduler& scheduler(sched::TaskKind kind);
+  // Accepts the announced round of `key` into the pull pipeline.
+  void claim_pull(std::size_t key);
+  // Re-claims every announced round lost across a crash or rollback.
+  void reclaim_missed_pulls();
+  // Re-enqueues pushes the server is still owed from the previous backward
+  // (WFBP overlap lets round-`iter_` pushes trail into forward `iter_`; a
+  // crash there loses them without replay ever reaching that backward).
+  void repush_owed_rounds();
+  // Shared teardown of crash()/on_ps_crash()/rollback(): aborts transfers,
+  // fences scheduled compute, closes the GPU interval.
+  void halt_inflight();
+  // Restarts the current iteration from the top of forward.
+  void replay_iteration();
 
   sim::Simulator& sim_;
   net::FlowNetwork& network_;
   Params params_;
   Rng rng_;
+  net::ReliableChannel channel_;
 
   std::unique_ptr<sched::CommScheduler> push_sched_;
   std::unique_ptr<sched::CommScheduler> pull_sched_;
@@ -119,6 +160,20 @@ class Worker {
   // pulls_done_[i] >= k.
   std::vector<std::size_t> pulls_done_;
   std::vector<std::int64_t> pull_pending_bytes_;  // per key, current pull round
+  // Announced rounds this worker accepted into its pull pipeline; lags the
+  // server version exactly by the updates lost across a crash, which is what
+  // recovery re-claims.
+  std::vector<std::size_t> pull_rounds_claimed_;
+  // Rounds fully delivered to the PS per key, plus the partial byte count of
+  // the open round — a replayed iteration skips keys already aggregated.
+  std::vector<std::size_t> push_rounds_done_;
+  std::vector<std::int64_t> push_round_bytes_;
+  bool crashed_{false};
+  bool ps_down_{false};
+  // Fences scheduled compute callbacks (forward steps, gradient flushes,
+  // backward end) across crash/rollback: each captures the incarnation it
+  // was scheduled under and no-ops if it moved.
+  std::uint64_t incarnation_{0};
   std::vector<TimePoint> enqueue_time_push_;
   std::vector<TimePoint> enqueue_time_pull_;
   std::vector<std::size_t> enqueue_iter_push_;

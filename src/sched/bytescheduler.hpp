@@ -46,6 +46,14 @@ class ByteSchedulerScheduler final : public CommScheduler {
   void on_task_done(const TransferTask& task, TimePoint started,
                     TimePoint finished) override;
   void on_iteration_end(std::size_t iteration, TimePoint now) override;
+  // Lost queued partitions are dropped and the tuning episode restarts: the
+  // iterations spanning a crash would feed the tuner a rate the credit did
+  // not cause.
+  void on_recovery(TimePoint) override {
+    queue_.clear();
+    episode_iters_ = 0;
+    episode_start_.reset();
+  }
   [[nodiscard]] bool has_pending() const override { return !queue_.empty(); }
   [[nodiscard]] std::string name() const override { return "bytescheduler"; }
 

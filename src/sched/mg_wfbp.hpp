@@ -33,6 +33,10 @@ class MgWfbpScheduler final : public CommScheduler {
   std::optional<TransferTask> next_task(TimePoint now) override;
   void on_task_done(const TransferTask& task, TimePoint started,
                     TimePoint finished) override;
+  void on_recovery(TimePoint) override {
+    buffer_.clear();
+    buffered_ = Bytes::zero();
+  }
   [[nodiscard]] bool has_pending() const override { return !buffer_.empty(); }
   [[nodiscard]] std::string name() const override { return "mg-wfbp"; }
 

@@ -36,6 +36,13 @@ class PartitionQueue {
   // partition still makes progress, mirroring credit semantics).
   std::vector<TransferItem> pop(Bytes budget);
 
+  // Drops everything queued (crash recovery: the engine re-enqueues what the
+  // replayed iteration still needs).
+  void clear() {
+    partitions_.clear();
+    queued_ = Bytes::zero();
+  }
+
  private:
   struct Slice {
     Bytes bytes;

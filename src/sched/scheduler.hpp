@@ -48,6 +48,17 @@ class CommScheduler {
   virtual void on_iteration_start(std::size_t iteration, TimePoint now);
   virtual void on_iteration_end(std::size_t iteration, TimePoint now);
 
+  // Crash recovery: queued work was lost with the worker's in-flight state;
+  // drop it and expect the engine to re-enqueue while replaying the
+  // iteration. Strategies that planned from profiled state re-plan from
+  // whatever survives (Prophet); fixed-order strategies just clear.
+  virtual void on_recovery(TimePoint now);
+  // During a replayed iteration the engine skips tensors the PS already
+  // aggregated for this round; strategies tracking per-iteration arrival
+  // state (Prophet's readiness map) record the skip so planning stays
+  // consistent. Most strategies ignore it.
+  virtual void on_gradient_skipped(std::size_t grad, TimePoint now);
+
   // True if the scheduler still holds queued work.
   [[nodiscard]] virtual bool has_pending() const = 0;
 
@@ -59,5 +70,7 @@ class CommScheduler {
 
 inline void CommScheduler::on_iteration_start(std::size_t, TimePoint) {}
 inline void CommScheduler::on_iteration_end(std::size_t, TimePoint) {}
+inline void CommScheduler::on_recovery(TimePoint) {}
+inline void CommScheduler::on_gradient_skipped(std::size_t, TimePoint) {}
 
 }  // namespace prophet::sched

@@ -22,6 +22,7 @@ class TicTacScheduler final : public CommScheduler {
   std::optional<TransferTask> next_task(TimePoint now) override;
   void on_task_done(const TransferTask& task, TimePoint started,
                     TimePoint finished) override;
+  void on_recovery(TimePoint) override { queue_.clear(); }
   [[nodiscard]] bool has_pending() const override { return !queue_.empty(); }
   [[nodiscard]] std::string name() const override { return "tictac"; }
 

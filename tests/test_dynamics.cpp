@@ -4,6 +4,9 @@
 // strategy-name registry the CLI flags are built on.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <string>
+
 #include "net/dynamics.hpp"
 #include "net/flow_network.hpp"
 #include "net/monitor.hpp"
@@ -138,6 +141,124 @@ TEST(DynamicsPlan, SpecParsingRoundTrips) {
   plan.sort();
   plan.validate(2);
   EXPECT_EQ(plan.events.size(), 4u);
+}
+
+TEST(DynamicsPlan, CrashSpecParsingAndErrorPaths) {
+  std::string error;
+  net::DynamicsPlan plan;
+  EXPECT_TRUE(plan.add_worker_crash_spec("1.5:0.5:1", &error));
+  EXPECT_TRUE(plan.add_ps_crash_spec("3:0.25", &error));
+  EXPECT_TRUE(plan.add_loss_spec("0.05:2", &error));
+  plan.sort();
+  plan.validate(2);
+  // crash + recover pairs plus the loss event.
+  EXPECT_EQ(plan.events.size(), 5u);
+  EXPECT_TRUE(plan.has_worker_crash());
+  EXPECT_TRUE(plan.has_ps_crash());
+  EXPECT_TRUE(plan.has_loss());
+
+  net::DynamicsPlan bad;
+  // Missing worker index, zero downtime, negative time, junk.
+  EXPECT_FALSE(bad.add_worker_crash_spec("1.5:0.5", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(bad.add_worker_crash_spec("1.5:0:1", &error));
+  EXPECT_FALSE(bad.add_worker_crash_spec("-1:0.5:1", &error));
+  EXPECT_FALSE(bad.add_ps_crash_spec("3", &error));
+  EXPECT_FALSE(bad.add_ps_crash_spec("3:0", &error));
+  EXPECT_FALSE(bad.add_loss_spec("1.0", &error));  // rate must stay below 1
+  EXPECT_FALSE(bad.add_loss_spec("-0.1", &error));
+  EXPECT_FALSE(bad.add_loss_spec("0.1:-2", &error));
+  EXPECT_TRUE(bad.empty());
+}
+
+TEST(DynamicsPlan, TraceCsvRoundTripsFaultEvents) {
+  const std::string path = ::testing::TempDir() + "/fault_trace.csv";
+  {
+    std::ofstream out{path};
+    out << "time_s,event,target,value\n"
+        << "# crash worker 1, then the PS\n"
+        << "0.5,worker_crash,1,0\n"
+        << "0.7,worker_recover,1,0\n"
+        << "1.0,loss_rate,*,0.02\n"
+        << "2.0,ps_crash,ps,0\n"
+        << "2.5,ps_recover,ps,0\n";
+  }
+  std::string error;
+  const auto plan = net::DynamicsPlan::from_trace_csv(path, &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  ASSERT_EQ(plan->events.size(), 5u);
+  plan->validate(2);
+  EXPECT_EQ(plan->events[0].type, net::DynamicsEvent::Type::kWorkerCrash);
+  ASSERT_TRUE(plan->events[0].worker.has_value());
+  EXPECT_EQ(*plan->events[0].worker, 1u);
+  EXPECT_EQ(plan->events[2].type, net::DynamicsEvent::Type::kLossRate);
+  EXPECT_DOUBLE_EQ(plan->events[2].factor, 0.02);
+  EXPECT_TRUE(plan->events[3].target_ps);
+}
+
+TEST(DynamicsPlan, TraceCsvErrorPaths) {
+  std::string error;
+  EXPECT_FALSE(
+      net::DynamicsPlan::from_trace_csv("/no/such/trace.csv", &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+
+  const std::string path = ::testing::TempDir() + "/bad_trace.csv";
+  auto write_and_parse = [&](const std::string& row) {
+    std::ofstream out{path};
+    out << "time_s,event,target,value\n" << row << "\n";
+    out.close();
+    error.clear();
+    return net::DynamicsPlan::from_trace_csv(path, &error);
+  };
+  EXPECT_FALSE(write_and_parse("0.5,worker_crash,1").has_value());  // 3 fields
+  EXPECT_NE(error.find("4 fields"), std::string::npos);
+  EXPECT_FALSE(write_and_parse("-1,worker_crash,1,0").has_value());
+  EXPECT_NE(error.find("bad time"), std::string::npos);
+  EXPECT_FALSE(write_and_parse("0.5,melted,1,0").has_value());
+  EXPECT_NE(error.find("unknown event"), std::string::npos);
+  EXPECT_FALSE(write_and_parse("0.5,loss_rate,*,oops").has_value());
+  EXPECT_NE(error.find("bad value"), std::string::npos);
+  EXPECT_FALSE(write_and_parse("0.5,worker_crash,q,0").has_value());
+  EXPECT_NE(error.find("bad target"), std::string::npos);
+}
+
+TEST(DynamicsPlanDeathTest, ValidateRejectsMalformedFaultPlans) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  {
+    // Crashing a worker that is already down.
+    net::DynamicsPlan plan;
+    plan.worker_crash(1_s, 2_s, 0).worker_crash(1500_ms, 2_s, 0);
+    plan.sort();
+    EXPECT_DEATH(plan.validate(2), "already down");
+  }
+  {
+    // Recover without a crash.
+    net::DynamicsPlan plan;
+    plan.worker_crash(1_s, 1_s, 0);
+    plan.events.erase(plan.events.begin());  // keep only the recover
+    EXPECT_DEATH(plan.validate(2), "matching");
+  }
+  {
+    // Crash whose recover never comes.
+    net::DynamicsPlan plan;
+    plan.ps_crash(1_s, 1_s);
+    plan.events.pop_back();
+    EXPECT_DEATH(plan.validate(2), "without a matching recover");
+  }
+  {
+    // A cluster-wide worker crash (no index) is not recoverable.
+    net::DynamicsPlan plan;
+    plan.worker_crash(1_s, 1_s, 0);
+    plan.events[0].worker.reset();
+    plan.events[1].worker.reset();
+    EXPECT_DEATH(plan.validate(2), "concrete");
+  }
+  {
+    // Loss probability of 1 can never deliver.
+    net::DynamicsPlan plan;
+    plan.loss_rate(1_s, 1.0);
+    EXPECT_DEATH(plan.validate(2), "loss_rate");
+  }
 }
 
 TEST(DynamicsPlanDeathTest, ValidateRejectsMalformedPlans) {
