@@ -14,9 +14,9 @@ function(prophet_bench name)
   add_executable(${name} bench/${name}.cpp $<TARGET_OBJECTS:prophet_bench_common>)
   target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR}/src ${CMAKE_SOURCE_DIR}/bench)
   target_link_libraries(${name} PRIVATE
-    prophet_allreduce prophet_ps prophet_core prophet_sched prophet_metrics
-    prophet_dnn prophet_net prophet_sim prophet_common prophet_warnings
-    Threads::Threads)
+    prophet_allreduce prophet_cluster prophet_ps prophet_core prophet_sched
+    prophet_metrics prophet_dnn prophet_net prophet_sim prophet_common
+    prophet_warnings Threads::Threads)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endfunction()
@@ -40,6 +40,7 @@ prophet_bench(perf_engine)
 prophet_bench(extended_comparison)
 prophet_bench(allreduce_comparison)
 prophet_bench(fault_recovery)
+prophet_bench(multijob)
 
 # Microbenchmarks (google-benchmark): engine and Algorithm 1 costs. Uses a
 # custom main (not benchmark_main) so timings also land in BENCH_engine.json.

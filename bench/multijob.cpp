@@ -1,0 +1,138 @@
+// Multi-job cluster scheduling on an oversubscribed leaf-spine fabric: the
+// cross-job experiment the ROADMAP's top open item asks for. Two jobs share
+// a 4:1-oversubscribed spine inside ONE simulator event loop, and the
+// cluster scheduler's two levers are measured against the naive baseline:
+//
+//   * placement  — network-aware packing (each job in its own rack, spine
+//     traffic zero) vs FIFO striping (every job straddles the spine);
+//   * interleaving — CASSINI-style start staggering from each job's
+//     analytically predicted comm phase, measured at fixed (striped)
+//     placement where the spine is contended either way.
+//
+// Writes bench_results/BENCH_multijob.json and multijob.csv; exits nonzero
+// unless the scheduled policy (packing + interleaving) beats naive FIFO
+// placement on makespan.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/multi_job.hpp"
+#include "dnn/model_zoo.hpp"
+
+namespace prophet::bench {
+namespace {
+
+cluster::MultiJobConfig base_config(cluster::PlacementPolicy placement,
+                                    cluster::InterleavePolicy interleave) {
+  cluster::MultiJobConfig cfg;
+  // 3 Gbps hosts put ResNet-50 in the comm-sensitive regime (Table 2's
+  // low-bandwidth points); the 4:1 spine is then a real bottleneck for any
+  // job that straddles racks.
+  cfg.topology = net::TopologySpec::leaf_spine(/*racks=*/2, /*hosts_per_rack=*/4,
+                                               Bandwidth::gbps(3),
+                                               /*oversubscription=*/4.0);
+  cfg.placement = placement;
+  cfg.interleave = interleave;
+  for (std::size_t j = 0; j < 2; ++j) {
+    cluster::JobSpec job;
+    job.name = "job" + std::to_string(j);
+    job.config.model = dnn::resnet50();
+    job.config.batch = 64;
+    job.config.num_workers = 3;
+    job.config.iterations = 12;
+    job.config.seed = 42 + j;
+    job.config.strategy = ps::StrategyConfig::prophet();
+    job.config.strategy.prophet_config.profile_iterations = 4;
+    cfg.jobs.push_back(std::move(job));
+  }
+  return cfg;
+}
+
+struct Arm {
+  std::string label;
+  cluster::PlacementPolicy placement;
+  cluster::InterleavePolicy interleave;
+};
+
+void report(const Arm& arm, const cluster::MultiJobResult& result,
+            BenchJson& json, CsvWriter& csv) {
+  const double makespan_ms = result.makespan.to_seconds() * 1e3;
+  const double spine_mib =
+      static_cast<double>(result.spine_bytes) / (1024.0 * 1024.0);
+  json.set(arm.label, "makespan_ms", makespan_ms);
+  json.set(arm.label, "spine_mib", spine_mib);
+  json.set(arm.label, "jobs", static_cast<double>(result.jobs.size()));
+  std::printf("  %-28s makespan %8.1f ms   spine %8.1f MiB\n",
+              arm.label.c_str(), makespan_ms, spine_mib);
+  for (const cluster::JobOutcome& job : result.jobs) {
+    json.set(arm.label, job.name + "_finish_ms",
+             job.finish_time.to_seconds() * 1e3);
+    json.set(arm.label, job.name + "_offset_ms",
+             job.start_offset.to_seconds() * 1e3);
+    csv.write_row({arm.label, job.name,
+                   std::to_string(job.start_offset.to_seconds() * 1e3),
+                   std::to_string(job.finish_time.to_seconds() * 1e3),
+                   std::to_string(makespan_ms), std::to_string(spine_mib)});
+  }
+}
+
+}  // namespace
+}  // namespace prophet::bench
+
+int main() {
+  using namespace prophet;
+  using namespace prophet::bench;
+
+  banner("multijob",
+         "2 jobs sharing a 4:1-oversubscribed leaf-spine: scheduler policies "
+         "vs naive FIFO");
+
+  const std::vector<Arm> arms = {
+      {"naive_fifo", cluster::PlacementPolicy::kFifoStripe,
+       cluster::InterleavePolicy::kNone},
+      {"fifo_cassini", cluster::PlacementPolicy::kFifoStripe,
+       cluster::InterleavePolicy::kCassini},
+      {"packed_none", cluster::PlacementPolicy::kNetworkAware,
+       cluster::InterleavePolicy::kNone},
+      {"scheduled", cluster::PlacementPolicy::kNetworkAware,
+       cluster::InterleavePolicy::kCassini},
+  };
+
+  BenchJson json{artifact_dir() + "/BENCH_multijob.json"};
+  CsvWriter csv = make_csv(
+      "multijob",
+      {"arm", "job", "offset_ms", "finish_ms", "makespan_ms", "spine_mib"});
+
+  double naive_ms = 0.0;
+  double scheduled_ms = 0.0;
+  double fifo_cassini_ms = 0.0;
+  for (const Arm& arm : arms) {
+    json.clear_section(arm.label);
+    const cluster::MultiJobResult result =
+        cluster::run_multi_job(base_config(arm.placement, arm.interleave));
+    report(arm, result, json, csv);
+    if (arm.label == "naive_fifo") naive_ms = result.makespan.to_seconds() * 1e3;
+    if (arm.label == "scheduled") {
+      scheduled_ms = result.makespan.to_seconds() * 1e3;
+    }
+    if (arm.label == "fifo_cassini") {
+      fifo_cassini_ms = result.makespan.to_seconds() * 1e3;
+    }
+  }
+  json.save();
+
+  const double placement_gain = naive_ms / scheduled_ms;
+  const double interleave_gain = naive_ms / fifo_cassini_ms;
+  std::printf("\n  scheduled vs naive: %.2fx  (interleaving alone: %.2fx)\n",
+              placement_gain, interleave_gain);
+  std::printf("JSON: %s/BENCH_multijob.json\n", artifact_dir().c_str());
+
+  if (scheduled_ms >= naive_ms) {
+    std::fprintf(stderr,
+                 "FAIL: scheduled makespan %.1f ms did not beat naive %.1f ms\n",
+                 scheduled_ms, naive_ms);
+    return 1;
+  }
+  return 0;
+}

@@ -8,12 +8,17 @@
 //   ./build/examples/run_experiment --strategy prophet --trace run.trace.json
 //   ./build/examples/run_experiment --dynamics fluctuate:0.4:2 --iterations 60
 //   ./build/examples/run_experiment --outage 20:5:1 --straggler 0:1.5:30
+//   ./build/examples/run_experiment --topology leaf-spine:2:4 --oversub 4
+//       --jobs 2 --placement network-aware --interleave cassini
 #include <cstdio>
 #include <string>
+#include <utility>
 
 #include "allreduce/cluster.hpp"
+#include "cluster/multi_job.hpp"
 #include "common/flags.hpp"
 #include "net/dynamics.hpp"
+#include "net/topology.hpp"
 #include "ps/cluster.hpp"
 #include "ps/trace_export.hpp"
 
@@ -30,21 +35,32 @@ std::string strategy_list() {
 
 void usage() {
   std::printf(
-      "run_experiment — simulate one DDNN training configuration\n\n"
+      "run_experiment — simulate one DDNN training configuration\n"
+      "\nmodel & training:\n"
       "  --model NAME       resnet18|resnet50|resnet152|inception_v3|vgg19|\n"
       "                     alexnet|mobilenet_v1|bert_base|toy_cnn (default resnet50)\n"
       "  --batch N          mini-batch per worker (default 64)\n"
       "  --workers N        worker count (default 3)\n"
-      "  --gbps X           worker NIC rate in Gbit/s (default 3)\n"
-      "  --ps-gbps X        PS NIC rate (default 10; PS architecture only)\n"
+      "  --iterations N     training iterations (default 40)\n"
+      "  --seed N           simulation seed (default 42)\n"
+      "  --asp              asynchronous parallel updates (PS only)\n"
+      "\nstrategy & architecture:\n"
       "  --strategy NAME    %s\n"
       "                     (default prophet)\n"
       "  --arch NAME        ps|allreduce (default ps)\n"
-      "  --iterations N     training iterations (default 40)\n"
       "  --profile-iters N  Prophet profiling length (default 10)\n"
-      "  --seed N           simulation seed (default 42)\n"
-      "  --asp              asynchronous parallel updates (PS only)\n"
       "  --trace PATH       write a Chrome trace of the run (PS only)\n"
+      "\nnetwork & topology:\n"
+      "  --gbps X           worker/host NIC rate in Gbit/s (default 3)\n"
+      "  --ps-gbps X        PS NIC rate (default 10; star topology only)\n"
+      "  --topology SPEC    star | leaf-spine[:RACKS[:HOSTS_PER_RACK]]\n"
+      "                     (default star; leaf-spine defaults to 2 racks x 4)\n"
+      "  --oversub X        leaf-spine oversubscription ratio (default 4)\n"
+      "\nmulti-job cluster scheduling (PS only):\n"
+      "  --jobs N           run N copies of the configured job through one\n"
+      "                     event loop on the shared fabric (default 1)\n"
+      "  --placement NAME   fifo-stripe|network-aware (default network-aware)\n"
+      "  --interleave NAME  none|cassini (default cassini)\n"
       "\nnetwork dynamics & fault injection (PS only):\n"
       "  --dynamics SPEC    none | fluctuate:AMP[:PERIOD_S] | step:T_S:FACTOR[:WORKER]\n"
       "                     | trace:PATH  — scripted/random bandwidth timeline\n"
@@ -90,6 +106,24 @@ int main(int argc, char** argv) {
   cfg.num_workers = static_cast<std::size_t>(flags->get("workers", std::int64_t{3}));
   cfg.worker_bandwidth = Bandwidth::gbps(flags->get("gbps", 3.0));
   cfg.ps_bandwidth = Bandwidth::gbps(flags->get("ps-gbps", 10.0));
+  // --topology switches the config to the explicit TopologySpec API; without
+  // it the legacy flat-bandwidth star shims stay in effect.
+  if (flags->has("topology")) {
+    std::string topo_error;
+    auto spec = net::TopologySpec::from_cli(
+        flags->get("topology", std::string{"star"}), &topo_error);
+    if (!spec.has_value()) {
+      std::fprintf(stderr, "%s\n", topo_error.c_str());
+      return 1;
+    }
+    if (spec->kind == net::TopologySpec::Kind::kStar) {
+      *spec = net::TopologySpec::star(cfg.worker_bandwidth, cfg.ps_bandwidth);
+    } else {
+      spec->host_bandwidth = cfg.worker_bandwidth;
+      spec->oversubscription = flags->get("oversub", 4.0);
+    }
+    cfg.topology = *spec;
+  }
   cfg.iterations = static_cast<std::size_t>(flags->get("iterations", std::int64_t{40}));
   cfg.seed = static_cast<std::uint64_t>(flags->get("seed", std::int64_t{42}));
   cfg.strategy = *strategy;
@@ -170,6 +204,52 @@ int main(int argc, char** argv) {
   if (arch != "ps") {
     std::fprintf(stderr, "unknown --arch '%s' (want ps|allreduce)\n", arch.c_str());
     return 1;
+  }
+
+  const auto jobs = static_cast<std::size_t>(flags->get("jobs", std::int64_t{1}));
+  if (jobs > 1) {
+    const std::string placement_name =
+        flags->get("placement", std::string{"network-aware"});
+    const auto placement = cluster::placement_from_name(placement_name);
+    if (!placement.has_value()) {
+      std::fprintf(stderr,
+                   "unknown --placement '%s' (want fifo-stripe|network-aware)\n",
+                   placement_name.c_str());
+      return 1;
+    }
+    const std::string interleave_name =
+        flags->get("interleave", std::string{"cassini"});
+    const auto interleave = cluster::interleave_from_name(interleave_name);
+    if (!interleave.has_value()) {
+      std::fprintf(stderr, "unknown --interleave '%s' (want none|cassini)\n",
+                   interleave_name.c_str());
+      return 1;
+    }
+    cluster::MultiJobConfig mcfg;
+    mcfg.topology = cfg.resolved_topology();
+    mcfg.placement = *placement;
+    mcfg.interleave = *interleave;
+    for (std::size_t j = 0; j < jobs; ++j) {
+      cluster::JobSpec job;
+      job.name = "job" + std::to_string(j);
+      job.config = cfg;
+      job.config.seed = cfg.seed + j;  // decorrelate per-job jitter
+      mcfg.jobs.push_back(std::move(job));
+    }
+    const cluster::MultiJobResult mres = cluster::run_multi_job(mcfg);
+    std::printf("[%s/ps x%zu jobs] %s placement, %s interleave\n",
+                strategy_name.c_str(), jobs, cluster::placement_name(*placement),
+                cluster::interleave_name(*interleave));
+    for (const auto& job : mres.jobs) {
+      std::printf(
+          "  %s: start +%.1f ms, finished at %.1f ms, rate %.2f samples/s/worker\n",
+          job.name.c_str(), job.start_offset.to_seconds() * 1e3,
+          job.finish_time.to_seconds() * 1e3, job.result.mean_rate());
+    }
+    std::printf("makespan %.1f ms, spine traffic %.1f MiB\n",
+                mres.makespan.to_seconds() * 1e3,
+                static_cast<double>(mres.spine_bytes) / (1024.0 * 1024.0));
+    return 0;
   }
 
   const auto result = ps::run_cluster(cfg);

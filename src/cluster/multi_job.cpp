@@ -1,0 +1,96 @@
+#include "cluster/multi_job.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "common/check.hpp"
+#include "net/flow_network.hpp"
+#include "ps/job_runtime.hpp"
+#include "sim/simulator.hpp"
+
+namespace prophet::cluster {
+
+MultiJobResult run_multi_job(const MultiJobConfig& config) {
+  PROPHET_CHECK_MSG(!config.jobs.empty(), "run_multi_job: no jobs submitted");
+  config.topology.validate();
+
+  const std::vector<Placement> placements =
+      place_jobs(config.topology, config.jobs, config.placement);
+  const std::vector<Duration> offsets = interleave_offsets(
+      config.topology, config.jobs, placements, config.interleave);
+
+  sim::Simulator sim;
+  const net::TcpCostModel cost{config.jobs.front().config.tcp};
+  net::FlowNetwork network{sim, cost};
+  net::BuiltTopology topology{network, config.topology};
+
+  std::vector<std::unique_ptr<ps::JobRuntime>> jobs;
+  for (std::size_t j = 0; j < config.jobs.size(); ++j) {
+    ps::ClusterConfig cfg = config.jobs[j].config;
+    // The fabric is the driver's: per-job topology/bandwidth fields are
+    // replaced so validate() and bandwidth_of_worker agree with it.
+    cfg.topology = config.topology;
+    cfg.worker_bandwidth_override.clear();
+    cfg.validate();
+    ps::JobOptions opts;
+    opts.name_prefix = (config.jobs[j].name.empty()
+                            ? "job" + std::to_string(j)
+                            : config.jobs[j].name) +
+                       ".";
+    opts.start_offset = offsets[j];
+    opts.ps_rack = placements[j].ps_rack;
+    opts.worker_racks = placements[j].worker_racks;
+    jobs.push_back(std::make_unique<ps::JobRuntime>(sim, network, topology,
+                                                    std::move(cfg),
+                                                    std::move(opts)));
+  }
+  for (auto& job : jobs) job->start();
+
+  // One event loop for everyone. A job that crosses its final iteration is
+  // finalized on the spot (span recorded, metrics closed, late fault events
+  // disarmed) while its residual flows drain alongside the still-running
+  // jobs.
+  const TimePoint horizon = TimePoint::origin() + config.horizon;
+  std::vector<bool> finished(jobs.size(), false);
+  std::vector<Duration> finish_at(jobs.size(), Duration::zero());
+  std::size_t remaining = jobs.size();
+  auto sweep_finished = [&] {
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      if (finished[j] || !jobs[j]->done()) continue;
+      jobs[j]->recover_crashed();
+      jobs[j]->disarm_faults();
+      jobs[j]->finish_training(sim.now());
+      finished[j] = true;
+      finish_at[j] = sim.now() - TimePoint::origin();
+      --remaining;
+    }
+  };
+  sweep_finished();
+  while (remaining > 0 && sim.now() < horizon) {
+    if (!sim.step()) break;
+    sweep_finished();
+  }
+  PROPHET_CHECK_MSG(remaining == 0,
+                    "run_multi_job: a job did not finish within the horizon");
+  // Drain residual traffic (all monitors are stopped, so this converges).
+  sim.run_until(horizon);
+  for (auto& job : jobs) job->finish_audit();
+
+  MultiJobResult result;
+  result.events_fired = sim.events_fired();
+  result.spine_bytes = topology.spine_bytes();
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    JobOutcome out;
+    out.name = config.jobs[j].name.empty() ? "job" + std::to_string(j)
+                                           : config.jobs[j].name;
+    out.result = jobs[j]->collect({}, sim.events_fired());
+    out.placement = placements[j];
+    out.start_offset = offsets[j];
+    out.finish_time = finish_at[j];
+    if (out.finish_time > result.makespan) result.makespan = out.finish_time;
+    result.jobs.push_back(std::move(out));
+  }
+  return result;
+}
+
+}  // namespace prophet::cluster

@@ -107,6 +107,36 @@ DynamicsPlan& DynamicsPlan::ps_bandwidth_scale(Duration at, double factor) {
   return *this;
 }
 
+DynamicsPlan& DynamicsPlan::link_bandwidth_scale(Duration at, std::string link,
+                                                 double factor) {
+  DynamicsEvent ev = event_at(at, DynamicsEvent::Type::kBandwidthScale);
+  ev.link = std::move(link);
+  ev.factor = factor;
+  events.push_back(ev);
+  return *this;
+}
+
+DynamicsPlan& DynamicsPlan::link_bandwidth_set(Duration at, std::string link,
+                                               Bandwidth bw) {
+  DynamicsEvent ev = event_at(at, DynamicsEvent::Type::kBandwidthSet);
+  ev.link = std::move(link);
+  ev.bandwidth = bw;
+  events.push_back(ev);
+  return *this;
+}
+
+DynamicsPlan& DynamicsPlan::link_outage(Duration at, Duration duration,
+                                        std::string link) {
+  PROPHET_CHECK_MSG(duration > Duration::zero(), "outage duration must be positive");
+  DynamicsEvent start = event_at(at, DynamicsEvent::Type::kOutageStart);
+  start.link = link;
+  events.push_back(start);
+  DynamicsEvent end = event_at(at + duration, DynamicsEvent::Type::kOutageEnd);
+  end.link = std::move(link);
+  events.push_back(end);
+  return *this;
+}
+
 DynamicsPlan& DynamicsPlan::outage(Duration at, Duration duration,
                                    std::optional<std::size_t> worker) {
   PROPHET_CHECK_MSG(duration > Duration::zero(), "outage duration must be positive");
@@ -226,6 +256,12 @@ std::optional<DynamicsPlan> DynamicsPlan::from_trace_csv(const std::string& path
     ev.at = Duration::from_seconds(time_s);
     if (fields[2] == "ps") {
       ev.target_ps = true;
+    } else if (fields[2].rfind("link:", 0) == 0) {
+      ev.link = fields[2].substr(5);
+      if (ev.link.empty()) {
+        set_error(error, where + ": empty link name in target '" + fields[2] + "'");
+        return std::nullopt;
+      }
     } else if (fields[2] != "*") {
       std::size_t w = 0;
       if (!parse_index(fields[2], &w)) {
@@ -448,6 +484,13 @@ void DynamicsPlan::validate(std::size_t num_workers) const {
       PROPHET_CHECK_MSG(*ev.worker < num_workers,
                         "dynamics event targets a worker index >= num_workers");
     }
+    if (ev.targets_link()) {
+      using T = DynamicsEvent::Type;
+      PROPHET_CHECK_MSG(ev.type == T::kBandwidthScale || ev.type == T::kBandwidthSet ||
+                            ev.type == T::kOutageStart || ev.type == T::kOutageEnd,
+                        "dynamics link targets apply only to bandwidth and "
+                        "outage events");
+    }
     switch (ev.type) {
       case Type::kBandwidthScale:
       case Type::kComputeScale:
@@ -462,8 +505,11 @@ void DynamicsPlan::validate(std::size_t num_workers) const {
       case Type::kOutageStart:
       case Type::kOutageEnd: {
         const std::string key =
-            ev.target_ps ? "ps"
-                         : (ev.worker.has_value() ? std::to_string(*ev.worker) : "*");
+            ev.targets_link()
+                ? "link:" + ev.link
+                : (ev.target_ps
+                       ? "ps"
+                       : (ev.worker.has_value() ? std::to_string(*ev.worker) : "*"));
         bool& down = link_down[key];
         if (ev.type == Type::kOutageStart) {
           PROPHET_CHECK_MSG(!down, "dynamics outage_start while the link is already down");

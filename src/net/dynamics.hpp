@@ -42,8 +42,16 @@ struct DynamicsEvent {
   // Compute events ignore `target_ps`; kPsComputeScale ignores both.
   std::optional<std::size_t> worker;
   bool target_ps = false;
+  // Alternative bandwidth/outage target: a named topology link ("rack0.up",
+  // "worker1.rx"), a rack name (both spine directions) or a node name (both
+  // access links). Non-empty `link` wins over worker/target_ps; the
+  // worker/PS spellings remain as the back-compat mapping for existing
+  // plans, resolved to the target's access links at arm time.
+  std::string link;
   double factor = 1.0;    // scale events
   Bandwidth bandwidth;    // kBandwidthSet payload
+
+  [[nodiscard]] bool targets_link() const { return !link.empty(); }
 
   [[nodiscard]] static const char* type_name(Type t);
 };
@@ -61,6 +69,12 @@ struct DynamicsPlan {
   DynamicsPlan& bandwidth_set(Duration at, std::optional<std::size_t> worker,
                               Bandwidth bw);
   DynamicsPlan& ps_bandwidth_scale(Duration at, double factor);
+  // Link-targeted variants: `link` names a topology link, rack or node (see
+  // DynamicsEvent::link). Resolution happens when the plan is armed against
+  // a built network, so plans stay plain data.
+  DynamicsPlan& link_bandwidth_scale(Duration at, std::string link, double factor);
+  DynamicsPlan& link_bandwidth_set(Duration at, std::string link, Bandwidth bw);
+  DynamicsPlan& link_outage(Duration at, Duration duration, std::string link);
   // Appends the outage start *and* its end at `at + duration`.
   DynamicsPlan& outage(Duration at, Duration duration,
                        std::optional<std::size_t> worker);
@@ -88,8 +102,9 @@ struct DynamicsPlan {
   // Trace-driven: CSV rows `time_s,event,target,value` where event is one of
   // bandwidth_scale|bandwidth_gbps|outage_start|outage_end|compute_scale|
   // ps_compute_scale|worker_crash|worker_recover|ps_crash|ps_recover|
-  // loss_rate, target is a worker index, `*` (all workers) or `ps`, and
-  // value carries the factor / Gbit-per-second rate / loss probability
+  // loss_rate, target is a worker index, `*` (all workers), `ps`, or
+  // `link:NAME` (a topology link/rack/node name, bandwidth and outage events
+  // only), and value carries the factor / Gbit-per-second rate / loss probability
   // (ignored for outages and crash/recover events). Lines starting with `#`
   // or `time_s` are skipped.
   static std::optional<DynamicsPlan> from_trace_csv(const std::string& path,
@@ -124,7 +139,8 @@ struct DynamicsPlan {
   // event times, out-of-range worker indices, non-positive scale factors or
   // bandwidths, unbalanced outage start/end pairs, crash events that overlap
   // an active crash of the same node (or recoveries without a crash), worker
-  // crashes without a concrete worker index, or loss rates outside [0, 1).
+  // crashes without a concrete worker index, loss rates outside [0, 1), or
+  // link targets on event types other than bandwidth/outage.
   void validate(std::size_t num_workers) const;
 
   // True if any event is a crash/recover of the given flavor (the cluster

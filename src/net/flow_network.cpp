@@ -17,14 +17,48 @@ constexpr double kDrainEpsilon = 1e-6;
 FlowNetwork::FlowNetwork(sim::Simulator& sim, TcpCostModel cost_model)
     : sim_{sim}, cost_model_{cost_model} {}
 
+LinkId FlowNetwork::add_link(std::string name, Bandwidth cap) {
+  PROPHET_CHECK(!cap.is_zero());
+  links_.push_back(Link{std::move(name), cap});
+  fill_.emplace_back();
+  busy_links_.push_back(0);
+  return static_cast<LinkId>(links_.size() - 1);
+}
+
 NodeId FlowNetwork::add_node(std::string name, Bandwidth egress, Bandwidth ingress) {
   PROPHET_CHECK(!egress.is_zero() && !ingress.is_zero());
-  nodes_.push_back(Node{std::move(name), Port{egress}, Port{ingress}});
-  fill_tx_.emplace_back();
-  fill_rx_.emplace_back();
-  busy_tx_.push_back(0);
-  busy_rx_.push_back(0);
+  const LinkId tx = add_link(name + ".tx", egress);
+  const LinkId rx = add_link(name + ".rx", ingress);
+  nodes_.push_back(Node{std::move(name), tx, rx});
   return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+RackId FlowNetwork::add_rack(std::string name, Bandwidth uplink, Bandwidth downlink) {
+  const LinkId up = add_link(name + ".up", uplink);
+  const LinkId down = add_link(name + ".down", downlink);
+  racks_.push_back(Rack{std::move(name), up, down});
+  return static_cast<RackId>(racks_.size() - 1);
+}
+
+void FlowNetwork::assign_rack(NodeId node, RackId rack) {
+  PROPHET_CHECK(node < nodes_.size());
+  PROPHET_CHECK(rack < racks_.size() || rack == kNoRack);
+  nodes_[node].rack = rack;
+}
+
+RackId FlowNetwork::rack_of(NodeId node) const {
+  PROPHET_CHECK(node < nodes_.size());
+  return nodes_[node].rack;
+}
+
+const std::string& FlowNetwork::rack_name(RackId id) const {
+  PROPHET_CHECK(id < racks_.size());
+  return racks_[id].name;
+}
+
+LinkId FlowNetwork::rack_link(RackId id, Direction dir) const {
+  PROPHET_CHECK(id < racks_.size());
+  return dir == Direction::kTx ? racks_[id].up : racks_[id].down;
 }
 
 const std::string& FlowNetwork::node_name(NodeId id) const {
@@ -32,14 +66,39 @@ const std::string& FlowNetwork::node_name(NodeId id) const {
   return nodes_[id].name;
 }
 
-FlowNetwork::Port& FlowNetwork::port(NodeId id, Direction dir) {
+const std::string& FlowNetwork::link_name(LinkId id) const {
+  PROPHET_CHECK(id < links_.size());
+  return links_[id].name;
+}
+
+std::optional<LinkId> FlowNetwork::find_link(std::string_view name) const {
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    if (links_[l].name == name) return static_cast<LinkId>(l);
+  }
+  return std::nullopt;
+}
+
+LinkId FlowNetwork::node_link(NodeId id, Direction dir) const {
   PROPHET_CHECK(id < nodes_.size());
   return dir == Direction::kTx ? nodes_[id].tx : nodes_[id].rx;
 }
 
-const FlowNetwork::Port& FlowNetwork::port(NodeId id, Direction dir) const {
-  PROPHET_CHECK(id < nodes_.size());
-  return dir == Direction::kTx ? nodes_[id].tx : nodes_[id].rx;
+FlowNetwork::Link& FlowNetwork::link(LinkId id) {
+  PROPHET_CHECK(id < links_.size());
+  return links_[id];
+}
+
+const FlowNetwork::Link& FlowNetwork::link(LinkId id) const {
+  PROPHET_CHECK(id < links_.size());
+  return links_[id];
+}
+
+FlowNetwork::Link& FlowNetwork::access_link(NodeId id, Direction dir) {
+  return link(node_link(id, dir));
+}
+
+const FlowNetwork::Link& FlowNetwork::access_link(NodeId id, Direction dir) const {
+  return link(node_link(id, dir));
 }
 
 std::ptrdiff_t FlowNetwork::find_slot(FlowId id) const {
@@ -51,26 +110,86 @@ std::ptrdiff_t FlowNetwork::find_slot(FlowId id) const {
   return static_cast<std::ptrdiff_t>(slot);
 }
 
-void FlowNetwork::set_capacity(NodeId id, Direction dir, Bandwidth cap) {
+void FlowNetwork::set_link_capacity(LinkId id, Bandwidth cap) {
   PROPHET_CHECK(!cap.is_zero());
   advance_to_now();
-  port(id, dir).cap = cap;
+  link(id).cap = cap;
   reassign_rates();
 }
 
-Bandwidth FlowNetwork::capacity(NodeId id, Direction dir) const { return port(id, dir).cap; }
+Bandwidth FlowNetwork::link_capacity(LinkId id) const { return link(id).cap; }
+
+void FlowNetwork::set_link_state(LinkId id, bool up) {
+  if (link(id).up == up) return;
+  advance_to_now();
+  link(id).up = up;
+  reassign_rates();
+}
+
+bool FlowNetwork::link_state(LinkId id) const { return link(id).up; }
+
+std::int64_t FlowNetwork::link_total_bytes(LinkId id) {
+  advance_to_now();
+  return static_cast<std::int64_t>(link(id).total_bytes);
+}
+
+Duration FlowNetwork::link_busy_time(LinkId id) {
+  advance_to_now();
+  return link(id).busy;
+}
+
+void FlowNetwork::attach_link_tracker(LinkId id, BinnedSeries* series) {
+  link(id).tracker = series;
+}
+
+void FlowNetwork::set_capacity(NodeId id, Direction dir, Bandwidth cap) {
+  PROPHET_CHECK(!cap.is_zero());
+  advance_to_now();
+  access_link(id, dir).cap = cap;
+  reassign_rates();
+}
+
+Bandwidth FlowNetwork::capacity(NodeId id, Direction dir) const {
+  return access_link(id, dir).cap;
+}
 
 void FlowNetwork::set_link_up(NodeId id, bool up) {
   PROPHET_CHECK(id < nodes_.size());
-  if (nodes_[id].up == up) return;
+  if (links_[nodes_[id].tx].up == up && links_[nodes_[id].rx].up == up) return;
   advance_to_now();
-  nodes_[id].up = up;
+  links_[nodes_[id].tx].up = up;
+  links_[nodes_[id].rx].up = up;
   reassign_rates();
 }
 
 bool FlowNetwork::link_up(NodeId id) const {
   PROPHET_CHECK(id < nodes_.size());
-  return nodes_[id].up;
+  return links_[nodes_[id].tx].up && links_[nodes_[id].rx].up;
+}
+
+std::uint8_t FlowNetwork::compute_path(
+    NodeId src, NodeId dst, std::array<LinkId, kMaxPathLinks>& out) const {
+  std::uint8_t n = 0;
+  out[n++] = nodes_[src].tx;
+  const RackId sr = nodes_[src].rack;
+  const RackId dr = nodes_[dst].rack;
+  if (sr != dr) {
+    // Different racks — or one endpoint on the spine: traffic leaves the
+    // source rack through its uplink and enters the destination rack through
+    // its downlink; whichever endpoint is unracked sits at the spine and
+    // contributes no shared link.
+    if (sr != kNoRack) out[n++] = racks_[sr].up;
+    if (dr != kNoRack) out[n++] = racks_[dr].down;
+  }
+  out[n++] = nodes_[dst].rx;
+  return n;
+}
+
+std::vector<LinkId> FlowNetwork::route(NodeId src, NodeId dst) const {
+  PROPHET_CHECK(src < nodes_.size() && dst < nodes_.size());
+  std::array<LinkId, kMaxPathLinks> path{};
+  const std::uint8_t n = compute_path(src, dst, path);
+  return std::vector<LinkId>{path.begin(), path.begin() + n};
 }
 
 FlowId FlowNetwork::start_flow(NodeId src, NodeId dst, Bytes size,
@@ -93,6 +212,7 @@ FlowId FlowNetwork::start_flow(NodeId src, NodeId dst, Bytes size,
   s.flow.remaining = static_cast<double>(size.count());
   s.flow.draining = false;
   s.flow.rate = 0.0;
+  s.flow.path_len = compute_path(src, dst, s.flow.path);
   s.flow.on_complete = std::move(on_complete);
   s.flow.completion = sim::EventHandle{};
   active_.push_back(slot);
@@ -100,7 +220,10 @@ FlowId FlowNetwork::start_flow(NodeId src, NodeId dst, Bytes size,
 
   // The setup ramp is computed against the path's solo line rate: the best
   // the congestion window could hope for, matching how slow start probes.
-  const Bandwidth line_rate = std::min(nodes_[src].tx.cap, nodes_[dst].rx.cap);
+  Bandwidth line_rate = links_[s.flow.path[0]].cap;
+  for (std::uint8_t i = 1; i < s.flow.path_len; ++i) {
+    line_rate = std::min(line_rate, links_[s.flow.path[i]].cap);
+  }
   const Duration setup = cost_model_.setup_delay(size, line_rate);
   sim_.schedule_after(setup, [this, id] { enter_drain(id); });
   return id;
@@ -113,103 +236,88 @@ Bandwidth FlowNetwork::flow_rate(FlowId id) const {
 }
 
 void FlowNetwork::attach_tracker(NodeId id, Direction dir, BinnedSeries* series) {
-  port(id, dir).tracker = series;
+  access_link(id, dir).tracker = series;
 }
 
 std::int64_t FlowNetwork::total_bytes(NodeId id, Direction dir) {
   advance_to_now();
-  return static_cast<std::int64_t>(port(id, dir).total_bytes);
+  return static_cast<std::int64_t>(access_link(id, dir).total_bytes);
 }
 
 Duration FlowNetwork::busy_time(NodeId id, Direction dir) {
   advance_to_now();
-  return port(id, dir).busy;
+  return access_link(id, dir).busy;
 }
 
 void FlowNetwork::advance_to_now() {
   const TimePoint now = sim_.now();
   if (now == last_update_) return;
   const double elapsed_s = (now - last_update_).to_seconds();
-  std::fill(busy_tx_.begin(), busy_tx_.end(), 0);
-  std::fill(busy_rx_.begin(), busy_rx_.end(), 0);
+  std::fill(busy_links_.begin(), busy_links_.end(), 0);
   for (const std::uint32_t slot : active_) {
     Flow& flow = slots_[slot].flow;
     if (!flow.draining || flow.rate <= 0.0) continue;
     const double drained = std::min(flow.remaining, flow.rate * elapsed_s);
     flow.remaining -= drained;
-    auto& tx = nodes_[flow.src].tx;
-    auto& rx = nodes_[flow.dst].rx;
-    tx.total_bytes += drained;
-    rx.total_bytes += drained;
-    if (tx.tracker != nullptr) tx.tracker->add_amount_spread(last_update_, now, drained);
-    if (rx.tracker != nullptr) rx.tracker->add_amount_spread(last_update_, now, drained);
-    busy_tx_[flow.src] = 1;
-    busy_rx_[flow.dst] = 1;
+    for (std::uint8_t i = 0; i < flow.path_len; ++i) {
+      Link& l = links_[flow.path[i]];
+      l.total_bytes += drained;
+      if (l.tracker != nullptr) l.tracker->add_amount_spread(last_update_, now, drained);
+      busy_links_[flow.path[i]] = 1;
+    }
   }
   const Duration elapsed = now - last_update_;
-  for (std::size_t n = 0; n < nodes_.size(); ++n) {
-    if (busy_tx_[n] != 0) nodes_[n].tx.busy += elapsed;
-    if (busy_rx_[n] != 0) nodes_[n].rx.busy += elapsed;
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    if (busy_links_[l] != 0) links_[l].busy += elapsed;
   }
   last_update_ = now;
 }
 
 void FlowNetwork::reassign_rates() {
-  // Progressive filling: repeatedly saturate the port with the smallest fair
+  // Progressive filling: repeatedly saturate the link with the smallest fair
   // share, freeze its flows at that rate, remove the consumed capacity. Only
-  // ports that carry a draining flow participate; everything runs out of
+  // links that carry a draining flow participate; everything runs out of
   // persistent scratch, so steady-state reassignment allocates nothing.
   unfrozen_.clear();
-  active_tx_ports_.clear();
-  active_rx_ports_.clear();
+  active_links_.clear();
   for (const std::uint32_t slot : active_) {
     Flow& flow = slots_[slot].flow;
     if (!flow.draining) continue;
     flow.rate = 0.0;
     unfrozen_.push_back(slot);
-    if (fill_tx_[flow.src].unfrozen == 0) {
-      // First draining flow on this port: (re)load its capacity. A down link
-      // offers no capacity: its flows freeze at rate zero below.
-      fill_tx_[flow.src].cap = nodes_[flow.src].up
-                                   ? nodes_[flow.src].tx.cap.bytes_per_second()
-                                   : 0.0;
-      active_tx_ports_.push_back(flow.src);
+    for (std::uint8_t i = 0; i < flow.path_len; ++i) {
+      const LinkId l = flow.path[i];
+      if (fill_[l].unfrozen == 0) {
+        // First draining flow on this link: (re)load its capacity. A down
+        // link offers no capacity: its flows freeze at rate zero below.
+        fill_[l].cap = links_[l].up ? links_[l].cap.bytes_per_second() : 0.0;
+        active_links_.push_back(l);
+      }
+      ++fill_[l].unfrozen;
     }
-    ++fill_tx_[flow.src].unfrozen;
-    if (fill_rx_[flow.dst].unfrozen == 0) {
-      fill_rx_[flow.dst].cap = nodes_[flow.dst].up
-                                   ? nodes_[flow.dst].rx.cap.bytes_per_second()
-                                   : 0.0;
-      active_rx_ports_.push_back(flow.dst);
-    }
-    ++fill_rx_[flow.dst].unfrozen;
   }
 
   std::size_t remaining = unfrozen_.size();
   while (remaining > 0) {
-    // Find the tightest port among those with unfrozen flows.
+    // Find the tightest link among those with unfrozen flows.
     double min_share = std::numeric_limits<double>::infinity();
-    for (const NodeId n : active_tx_ports_) {
-      if (fill_tx_[n].unfrozen > 0) {
-        min_share = std::min(min_share, fill_tx_[n].cap / fill_tx_[n].unfrozen);
-      }
-    }
-    for (const NodeId n : active_rx_ports_) {
-      if (fill_rx_[n].unfrozen > 0) {
-        min_share = std::min(min_share, fill_rx_[n].cap / fill_rx_[n].unfrozen);
+    for (const LinkId l : active_links_) {
+      if (fill_[l].unfrozen > 0) {
+        min_share = std::min(min_share, fill_[l].cap / fill_[l].unfrozen);
       }
     }
     PROPHET_CHECK(min_share < std::numeric_limits<double>::infinity());
     // Floating-point residue in the capacity subtractions can push a nearly
-    // exhausted port's share epsilon-negative; clamp so no flow ever gets a
+    // exhausted link's share epsilon-negative; clamp so no flow ever gets a
     // negative rate.
     min_share = std::max(min_share, 0.0);
-    // Freeze every flow touching a port whose fair share equals the minimum.
+    // Freeze every flow touching a link whose fair share equals the minimum.
     const auto is_tight = [&](const Flow& f) {
-      const double tx_share = fill_tx_[f.src].cap / fill_tx_[f.src].unfrozen;
-      const double rx_share = fill_rx_[f.dst].cap / fill_rx_[f.dst].unfrozen;
-      return tx_share <= min_share * (1.0 + 1e-12) ||
-             rx_share <= min_share * (1.0 + 1e-12);
+      for (std::uint8_t i = 0; i < f.path_len; ++i) {
+        const LinkFill& fl = fill_[f.path[i]];
+        if (fl.cap / fl.unfrozen <= min_share * (1.0 + 1e-12)) return true;
+      }
+      return false;
     };
     bool froze_any = false;
     std::size_t kept = 0;
@@ -217,10 +325,10 @@ void FlowNetwork::reassign_rates() {
       Flow& f = slots_[unfrozen_[i]].flow;
       if (is_tight(f)) {
         f.rate = min_share;
-        fill_tx_[f.src].cap -= min_share;
-        fill_rx_[f.dst].cap -= min_share;
-        --fill_tx_[f.src].unfrozen;
-        --fill_rx_[f.dst].unfrozen;
+        for (std::uint8_t p = 0; p < f.path_len; ++p) {
+          fill_[f.path[p]].cap -= min_share;
+          --fill_[f.path[p]].unfrozen;
+        }
         froze_any = true;
       } else {
         unfrozen_[kept++] = unfrozen_[i];
@@ -243,7 +351,7 @@ void FlowNetwork::reassign_rates() {
       const Duration eta = Duration::from_seconds(flow.remaining / flow.rate);
       flow.completion = sim_.schedule_after(eta, [this, fid] { complete_flow(fid); });
     }
-    // rate == 0 (fully starved port) leaves the flow parked until the next
+    // rate == 0 (fully starved link) leaves the flow parked until the next
     // reassignment; set_capacity / flow departures will wake it.
   }
 }

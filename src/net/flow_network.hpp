@@ -1,29 +1,48 @@
-// Flow-level network model: a set of nodes (each with an egress and an
-// ingress port) exchanging flows whose rates are assigned by progressive
-// filling (max-min fairness) — the standard fluid approximation of TCP
-// sharing a bottleneck.
+// Flow-level network model: a set of nodes exchanging flows whose rates are
+// assigned by progressive filling (max-min fairness) — the standard fluid
+// approximation of TCP sharing a bottleneck.
+//
+// Capacity lives in *links*, the unit of contention. Every node owns two
+// access links (egress and ingress — the NIC ports of the original
+// star-topology model), and the network can additionally hold shared links:
+// per-rack leaf-spine uplinks with a configurable capacity, which is where
+// oversubscription and cross-job contention live. Each flow traverses a
+// deterministic path of links:
+//
+//   intra-rack / star:  [src.tx, dst.rx]
+//   cross-rack:         [src.tx, srcrack.up, dstrack.down, dst.rx]
+//
+// (a node not assigned to any rack attaches directly to the spine, so only
+// its own access links appear on its paths). Progressive filling runs over
+// whatever links carry draining flows, so an oversubscribed uplink shared by
+// two jobs caps their aggregate rate without any scheduler involvement. A
+// star network — no racks — reduces exactly to the original two-port model,
+// bit for bit.
 //
 // This is the substrate under the PS architecture: worker->PS pushes share
-// the PS ingress port (incast), PS->worker pulls share the PS egress port,
-// and per-worker limits model heterogeneous clusters (Sec. 5.3).
+// the PS ingress (incast), PS->worker pulls share the PS egress, and
+// per-worker limits model heterogeneous clusters (Sec. 5.3).
 //
 // A flow passes through two phases:
 //   1. setup  — latency-bound (per-task overhead + TCP slow-start ramp from
-//               TcpCostModel); consumes no port capacity;
+//               TcpCostModel); consumes no link capacity;
 //   2. drain  — its bytes drain at the max-min fair rate; rates are
-//               recomputed whenever a flow enters/leaves drain or a port
+//               recomputed whenever a flow enters/leaves drain or a link
 //               capacity changes.
 //
 // Flows live in a slab: each admitted flow occupies a reusable slot and its
 // FlowId encodes {generation, slot}, so admission allocates nothing in
 // steady state and stale ids are recognized cheaply. Rate reassignment works
-// from persistent scratch buffers and only walks the ports that currently
+// from persistent scratch buffers and only walks the links that currently
 // carry draining flows.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/time.hpp"
@@ -35,12 +54,20 @@
 namespace prophet::net {
 
 using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+using RackId = std::uint32_t;
 using FlowId = std::uint64_t;
+
+// A node outside any rack attaches straight to the spine.
+inline constexpr RackId kNoRack = 0xffffffffu;
 
 enum class Direction { kTx, kRx };
 
 class FlowNetwork {
  public:
+  // Longest possible path: access tx, rack uplink, rack downlink, access rx.
+  static constexpr std::size_t kMaxPathLinks = 4;
+
   FlowNetwork(sim::Simulator& sim, TcpCostModel cost_model);
   FlowNetwork(const FlowNetwork&) = delete;
   FlowNetwork& operator=(const FlowNetwork&) = delete;
@@ -49,16 +76,49 @@ class FlowNetwork {
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] const std::string& node_name(NodeId id) const;
 
+  // --- topology: racks and shared links -----------------------------------
+  // Adds a rack whose hosts reach the spine through a pair of directed
+  // shared links ("<name>.up" / "<name>.down"). Oversubscription is simply
+  // uplink < sum of member access rates.
+  RackId add_rack(std::string name, Bandwidth uplink, Bandwidth downlink);
+  // Places a node in a rack; flows between nodes of different racks (or
+  // between a racked and an unracked node) traverse the rack uplinks.
+  void assign_rack(NodeId node, RackId rack);
+  [[nodiscard]] RackId rack_of(NodeId node) const;
+  [[nodiscard]] std::size_t rack_count() const { return racks_.size(); }
+  [[nodiscard]] const std::string& rack_name(RackId id) const;
+  // kTx: the rack's uplink (toward the spine); kRx: its downlink.
+  [[nodiscard]] LinkId rack_link(RackId id, Direction dir) const;
+
+  // --- link-level API ------------------------------------------------------
+  // Access links are named "<node>.tx" / "<node>.rx", rack links
+  // "<rack>.up" / "<rack>.down".
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  [[nodiscard]] const std::string& link_name(LinkId id) const;
+  [[nodiscard]] std::optional<LinkId> find_link(std::string_view name) const;
+  [[nodiscard]] LinkId node_link(NodeId id, Direction dir) const;
+  void set_link_capacity(LinkId id, Bandwidth cap);
+  [[nodiscard]] Bandwidth link_capacity(LinkId id) const;
+  // A down link contributes zero capacity: its draining flows park at rate
+  // zero (they stall without losing progress and resume, re-rated, when the
+  // link comes back up). link_capacity() keeps reporting the configured rate.
+  void set_link_state(LinkId id, bool up);
+  [[nodiscard]] bool link_state(LinkId id) const;
+  [[nodiscard]] std::int64_t link_total_bytes(LinkId id);
+  [[nodiscard]] Duration link_busy_time(LinkId id);
+  void attach_link_tracker(LinkId id, BinnedSeries* series);
+
+  // The deterministic link path a flow from `src` to `dst` traverses now.
+  [[nodiscard]] std::vector<LinkId> route(NodeId src, NodeId dst) const;
+
+  // --- node-level shims over the access links ------------------------------
   // Dynamic capacity change (takes effect immediately; in-flight flows are
   // re-rated). Models the varying-bandwidth experiments of Sec. 5.3.
   void set_capacity(NodeId id, Direction dir, Bandwidth cap);
   [[nodiscard]] Bandwidth capacity(NodeId id, Direction dir) const;
 
-  // Fault injection: a down link contributes zero capacity in both
-  // directions, so its draining flows park at rate zero (they stall without
-  // losing progress and resume, re-rated, when the link comes back up).
-  // capacity() keeps reporting the configured rate; setup-phase delays of
-  // already-started flows still elapse while the link is down.
+  // Fault injection: takes both access links of the node down/up at once.
+  // Setup-phase delays of already-started flows still elapse while down.
   void set_link_up(NodeId id, bool up);
   [[nodiscard]] bool link_up(NodeId id) const;
 
@@ -84,24 +144,34 @@ class FlowNetwork {
   // --- observability ------------------------------------------------------
   // Optional per-node throughput series (bytes credited as flows drain).
   void attach_tracker(NodeId id, Direction dir, BinnedSeries* series);
-  // Bytes moved through the port up to the current simulation time. Not
-  // const: in-flight flows are settled up to now() before reading.
+  // Bytes moved through the access link up to the current simulation time.
+  // Not const: in-flight flows are settled up to now() before reading.
   [[nodiscard]] std::int64_t total_bytes(NodeId id, Direction dir);
-  // Cumulative time the port had at least one draining flow, up to now().
+  // Cumulative time the access link had at least one draining flow, to now().
   [[nodiscard]] Duration busy_time(NodeId id, Direction dir);
 
  private:
-  struct Port {
+  // The unit of capacity and contention (an access port or a shared rack
+  // uplink). `up` is per-link so a rack uplink can fail independently of the
+  // hosts behind it.
+  struct Link {
+    std::string name;
     Bandwidth cap;
+    bool up = true;
     double total_bytes = 0.0;
     Duration busy{};
     BinnedSeries* tracker = nullptr;
   };
   struct Node {
     std::string name;
-    Port tx;
-    Port rx;
-    bool up = true;
+    LinkId tx;
+    LinkId rx;
+    RackId rack = kNoRack;
+  };
+  struct Rack {
+    std::string name;
+    LinkId up;
+    LinkId down;
   };
   struct Flow {
     NodeId src;
@@ -109,6 +179,9 @@ class FlowNetwork {
     double remaining;  // bytes left to drain
     bool draining = false;
     double rate = 0.0;  // bytes/s, valid while draining
+    // The link path, fixed at admission (src.tx first, dst.rx last).
+    std::array<LinkId, kMaxPathLinks> path;
+    std::uint8_t path_len = 0;
     std::function<void(FlowId)> on_complete;
     sim::EventHandle completion;
   };
@@ -119,8 +192,8 @@ class FlowNetwork {
     std::uint32_t generation = 1;
     bool occupied = false;
   };
-  // Per-port scratch for progressive filling (persistent across calls).
-  struct PortFill {
+  // Per-link scratch for progressive filling (persistent across calls).
+  struct LinkFill {
     double cap = 0.0;
     int unfrozen = 0;
   };
@@ -131,8 +204,14 @@ class FlowNetwork {
   // Slot index for a live id, or -1 if the id is stale/unknown.
   [[nodiscard]] std::ptrdiff_t find_slot(FlowId id) const;
 
-  Port& port(NodeId id, Direction dir);
-  [[nodiscard]] const Port& port(NodeId id, Direction dir) const;
+  LinkId add_link(std::string name, Bandwidth cap);
+  Link& link(LinkId id);
+  [[nodiscard]] const Link& link(LinkId id) const;
+  Link& access_link(NodeId id, Direction dir);
+  [[nodiscard]] const Link& access_link(NodeId id, Direction dir) const;
+  // Writes the current path into `out`, returns its length.
+  std::uint8_t compute_path(NodeId src, NodeId dst,
+                            std::array<LinkId, kMaxPathLinks>& out) const;
 
   // Credits drained bytes / busy time for [last_update_, now] at current
   // rates, then sets last_update_ = now. Must precede any rate change.
@@ -145,6 +224,8 @@ class FlowNetwork {
   sim::Simulator& sim_;
   TcpCostModel cost_model_;
   std::vector<Node> nodes_;
+  std::vector<Rack> racks_;
+  std::vector<Link> links_;
   std::vector<FlowSlot> slots_;
   std::vector<std::uint32_t> free_slots_;
   // Slots of admitted flows, in admission order (completion removes in
@@ -153,14 +234,11 @@ class FlowNetwork {
   std::vector<std::uint32_t> active_;
   TimePoint last_update_{};
 
-  // Persistent scratch (sized to the node/flow counts, reused every call).
-  std::vector<PortFill> fill_tx_;
-  std::vector<PortFill> fill_rx_;
+  // Persistent scratch (sized to the link/flow counts, reused every call).
+  std::vector<LinkFill> fill_;
   std::vector<std::uint32_t> unfrozen_;
-  std::vector<NodeId> active_tx_ports_;
-  std::vector<NodeId> active_rx_ports_;
-  std::vector<char> busy_tx_;
-  std::vector<char> busy_rx_;
+  std::vector<LinkId> active_links_;
+  std::vector<char> busy_links_;
 };
 
 }  // namespace prophet::net

@@ -1,13 +1,11 @@
 #include "ps/cluster.hpp"
 
-#include <algorithm>
-#include <memory>
+#include <utility>
 
-#include "audit/bsp_auditor.hpp"
 #include "common/check.hpp"
 #include "net/flow_network.hpp"
-#include "ps/server.hpp"
-#include "ps/worker.hpp"
+#include "net/topology.hpp"
+#include "ps/job_runtime.hpp"
 #include "sim/simulator.hpp"
 
 namespace prophet::ps {
@@ -35,223 +33,26 @@ ClusterResult Cluster::run(std::optional<std::size_t> measure_first) {
   sim::Simulator sim;
   const net::TcpCostModel cost{cfg.tcp};
   net::FlowNetwork network{sim, cost};
+  net::BuiltTopology topology{network, cfg.resolved_topology()};
 
-  const net::NodeId ps_node =
-      network.add_node("ps", cfg.ps_bandwidth, cfg.ps_bandwidth);
-  std::vector<net::NodeId> worker_nodes;
-  for (std::size_t w = 0; w < cfg.num_workers; ++w) {
-    const Bandwidth bw = cfg.bandwidth_of_worker(w);
-    worker_nodes.push_back(
-        network.add_node("worker" + std::to_string(w), bw, bw));
-  }
-
-  // Per-worker throughput series, attached before any traffic flows.
-  std::vector<BinnedSeries> tx_series(cfg.num_workers,
-                                      BinnedSeries{cfg.metrics_bin, cfg.metrics_horizon});
-  std::vector<BinnedSeries> rx_series(cfg.num_workers,
-                                      BinnedSeries{cfg.metrics_bin, cfg.metrics_horizon});
-  for (std::size_t w = 0; w < cfg.num_workers; ++w) {
-    network.attach_tracker(worker_nodes[w], net::Direction::kTx, &tx_series[w]);
-    network.attach_tracker(worker_nodes[w], net::Direction::kRx, &rx_series[w]);
-  }
-
-  const dnn::IterationModel iteration_model{cfg.model, cfg.gpu, cfg.batch,
-                                            cfg.kvstore, cfg.jitter_sigma};
-
-  // BSP invariant auditor: passive mirror of the push/pull/round protocol,
-  // always on under BSP. Aborts with a diagnostic on the first violated
-  // invariant (lost or double-counted gradient, broken barrier, ...).
-  std::unique_ptr<audit::BspAuditor> auditor;
-  if (cfg.sync == SyncMode::kBsp) {
-    std::vector<Bytes> key_sizes;
-    for (std::size_t k = 0; k < cfg.model.tensor_count(); ++k) {
-      key_sizes.push_back(cfg.model.tensor(k).bytes);
-    }
-    auditor = std::make_unique<audit::BspAuditor>(cfg.num_workers,
-                                                  std::move(key_sizes));
-  }
-
-  std::vector<std::unique_ptr<Worker>> workers;
-  Server server{sim,
-                cfg.model,
-                cfg.num_workers,
-                cfg.sync == SyncMode::kAsp,
-                cfg.update_fixed,
-                cfg.update_bytes_per_sec,
-                [&workers](std::size_t w, std::size_t key) {
-                  workers[w]->on_param_updated(key);
-                },
-                cfg.serialize_ps_cpu};
-  server.set_auditor(auditor.get());
-  if (cfg.dynamics.has_ps_crash()) server.enable_failover(cfg.checkpoint_period);
-
-  Rng root{cfg.seed};
-  for (std::size_t w = 0; w < cfg.num_workers; ++w) {
-    Worker::Params params;
-    params.id = w;
-    params.node = worker_nodes[w];
-    params.ps_node = ps_node;
-    params.iterations = cfg.iterations;
-    params.iteration_model = &iteration_model;
-    params.server = &server;
-    params.strategy = cfg.strategy;
-    params.cost = cost;
-    params.monitor = cfg.monitor;
-    params.metrics_bin = cfg.metrics_bin;
-    params.metrics_horizon = cfg.metrics_horizon;
-    params.batch = cfg.batch;
-    params.reliability = cfg.reliability;
-    params.auditor = auditor.get();
-    workers.push_back(
-        std::make_unique<Worker>(sim, network, params, root.fork(w)));
-  }
-  for (auto& worker : workers) worker->start();
-
-  // Arm the dynamics plan: every event fires at its offset and mutates the
-  // live network / workers / server. Bandwidth scales apply to the
-  // *configured* rates, so repeated events never compound.
-  auto node_of = [&](const net::DynamicsEvent& ev, std::size_t w) {
-    return ev.target_ps ? ps_node : worker_nodes[w];
-  };
-  auto for_each_target = [&](const net::DynamicsEvent& ev, auto&& fn) {
-    if (ev.target_ps) {
-      fn(std::size_t{0});
-    } else if (ev.worker.has_value()) {
-      fn(*ev.worker);
-    } else {
-      for (std::size_t w = 0; w < cfg.num_workers; ++w) fn(w);
-    }
-  };
-  // Fault events (crashes, recoveries, loss changes) only make sense while
-  // training runs; stragglers of a plan that extends past the finish line
-  // are dropped instead of perturbing drained state.
-  bool faults_live = true;
-  auto apply_event = [&, node_of, for_each_target](const net::DynamicsEvent& ev) {
-    using Type = net::DynamicsEvent::Type;
-    switch (ev.type) {
-      case Type::kBandwidthScale:
-      case Type::kBandwidthSet:
-        for_each_target(ev, [&](std::size_t w) {
-          const Bandwidth base =
-              ev.target_ps ? cfg.ps_bandwidth : cfg.bandwidth_of_worker(w);
-          const Bandwidth cap = ev.type == Type::kBandwidthSet
-                                    ? ev.bandwidth
-                                    : base * ev.factor;
-          network.set_capacity(node_of(ev, w), net::Direction::kTx, cap);
-          network.set_capacity(node_of(ev, w), net::Direction::kRx, cap);
-        });
-        break;
-      case Type::kOutageStart:
-      case Type::kOutageEnd:
-        for_each_target(ev, [&](std::size_t w) {
-          network.set_link_up(node_of(ev, w), ev.type == Type::kOutageEnd);
-        });
-        break;
-      case Type::kComputeScale:
-        for_each_target(ev, [&](std::size_t w) {
-          workers[w]->set_compute_factor(ev.factor);
-        });
-        break;
-      case Type::kPsComputeScale:
-        server.set_cpu_factor(ev.factor);
-        break;
-      case Type::kWorkerCrash:
-        if (faults_live) workers[*ev.worker]->crash();
-        break;
-      case Type::kWorkerRecover:
-        if (faults_live) workers[*ev.worker]->recover();
-        break;
-      case Type::kPsCrash:
-        if (faults_live) {
-          server.crash();
-          network.set_link_up(ps_node, false);
-          for (auto& worker : workers) worker->on_ps_crash();
-        }
-        break;
-      case Type::kPsRecover:
-        if (faults_live) {
-          network.set_link_up(ps_node, true);
-          const std::vector<std::size_t> snapshot = server.recover();
-          for (auto& worker : workers) worker->rollback(snapshot);
-        }
-        break;
-      case Type::kLossRate:
-        if (faults_live) {
-          for (auto& worker : workers) worker->set_loss_rate(ev.factor);
-        }
-        break;
-    }
-  };
-  for (const auto& ev : cfg.dynamics.events) {
-    sim.schedule_at(TimePoint::origin() + ev.at,
-                    [apply_event, ev] { apply_event(ev); });
-  }
+  JobRuntime job{sim, network, topology, cfg};
+  job.start();
 
   // Run until every worker crossed its final iteration boundary (residual
   // pulls may still be in flight), bounded by the metrics horizon.
   const TimePoint horizon = TimePoint::origin() + cfg.metrics_horizon;
-  auto all_done = [&] {
-    return std::all_of(workers.begin(), workers.end(),
-                       [](const auto& w) { return w->done(); });
-  };
-  while (!all_done() && sim.now() < horizon) {
+  while (!job.done() && sim.now() < horizon) {
     if (!sim.step()) break;
   }
-  PROPHET_CHECK_MSG(all_done(), "training did not finish within the metrics horizon");
-  // Training can finish while an already-done worker is still down (its
-  // recover event lands past the finish line, where it will be dropped);
-  // bring it back now so the audit sees a whole cluster.
-  for (auto& worker : workers) {
-    if (worker->crashed()) worker->recover();
-  }
-  faults_live = false;
-  const Duration training_span = sim.now() - TimePoint::origin();
-  for (auto& worker : workers) worker->finish();
+  PROPHET_CHECK_MSG(job.done(), "training did not finish within the metrics horizon");
+  job.recover_crashed();
+  job.disarm_faults();
+  job.finish_training(sim.now());
   // Drain residual network traffic (monitors are stopped, so this converges).
   sim.run_until(horizon);
-  if (auditor != nullptr) auditor->finish(cfg.iterations);
+  job.finish_audit();
 
-  // Default window: past Prophet's profiling phase so strategies compare at
-  // steady state; the same window is applied to every strategy.
-  std::size_t first = measure_first.value_or(0);
-  if (!measure_first.has_value()) {
-    std::size_t warmup = 3;
-    if (cfg.strategy.kind == StrategyConfig::Kind::kProphet) {
-      warmup = cfg.strategy.prophet_config.profile_iterations + 3;
-    }
-    PROPHET_CHECK_MSG(warmup + 1 < cfg.iterations,
-                      "not enough iterations to measure past warmup");
-    first = warmup;
-  }
-  const std::size_t last = cfg.iterations;
-
-  ClusterResult result;
-  result.measure_first = first;
-  result.measure_last = last;
-  result.simulated_time = training_span;
-  result.events_fired = sim.events_fired();
-  result.audit_checks = auditor != nullptr ? auditor->checks_run() : 0;
-  for (std::size_t w = 0; w < cfg.num_workers; ++w) {
-    const Worker& worker = *workers[w];
-    WorkerResult wr{.id = w,
-                    .rate_samples_per_sec = 0.0,
-                    .gpu_utilization = 0.0,
-                    .iterations_completed = worker.current_iteration(),
-                    .prophet_activated_at = worker.prophet_activated_at(),
-                    .prophet_replans = worker.prophet_replans(),
-                    .training = worker.training_metrics(),
-                    .transfers = worker.transfers(),
-                    .gpu_series = worker.gpu().series(),
-                    .gpu_intervals = worker.gpu().intervals(),
-                    .tx_series = tx_series[w],
-                    .rx_series = rx_series[w]};
-    const auto& tm = worker.training_metrics();
-    wr.rate_samples_per_sec = tm.rate_samples_per_sec(first, last);
-    wr.gpu_utilization =
-        worker.gpu().utilization(tm.iteration_start(first), tm.iteration_start(last));
-    result.workers.push_back(std::move(wr));
-  }
-  return result;
+  return job.collect(measure_first, sim.events_fired());
 }
 
 ClusterResult run_cluster(const ClusterConfig& config,

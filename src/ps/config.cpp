@@ -10,11 +10,23 @@ void ClusterConfig::validate() const {
   PROPHET_CHECK_MSG(batch > 0, "ClusterConfig: batch must be > 0");
   PROPHET_CHECK_MSG(model.tensor_count() > 0, "ClusterConfig: model has no tensors");
   PROPHET_CHECK_MSG(jitter_sigma >= 0.0, "ClusterConfig: jitter_sigma must be >= 0");
-  PROPHET_CHECK_MSG(!worker_bandwidth.is_zero(),
-                    "ClusterConfig: worker_bandwidth must be > 0");
-  PROPHET_CHECK_MSG(!ps_bandwidth.is_zero(), "ClusterConfig: ps_bandwidth must be > 0");
-  PROPHET_CHECK_MSG(worker_bandwidth_override.size() <= num_workers,
-                    "ClusterConfig: worker_bandwidth_override longer than num_workers");
+  const net::TopologySpec topo = resolved_topology();
+  topo.validate();
+  if (topo.kind == net::TopologySpec::Kind::kStar) {
+    PROPHET_CHECK_MSG(topo.worker_bandwidth_override.size() <= num_workers,
+                      "ClusterConfig: worker_bandwidth_override longer than num_workers");
+  } else {
+    // An explicit non-star fabric has uniform host NICs; per-worker override
+    // entries would silently lose against it, so the ambiguity is rejected.
+    PROPHET_CHECK_MSG(worker_bandwidth_override.empty(),
+                      "ClusterConfig: worker_bandwidth_override is ambiguous "
+                      "with a non-star TopologySpec; set host_bandwidth on the "
+                      "topology instead");
+    // The fabric must seat every worker plus the PS.
+    PROPHET_CHECK_MSG(topo.host_capacity() >= num_workers + 1,
+                      "ClusterConfig: topology rack capacity cannot hold "
+                      "num_workers + PS");
+  }
   PROPHET_CHECK_MSG(update_bytes_per_sec > 0.0,
                     "ClusterConfig: update_bytes_per_sec must be > 0");
   PROPHET_CHECK_MSG(update_fixed >= Duration::zero(),

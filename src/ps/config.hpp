@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/time.hpp"
@@ -14,6 +15,7 @@
 #include "net/dynamics.hpp"
 #include "net/monitor.hpp"
 #include "net/reliability.hpp"
+#include "net/topology.hpp"
 #include "ps/strategy.hpp"
 
 namespace prophet::ps {
@@ -55,8 +57,17 @@ struct ClusterConfig {
   // plan contains a ps_crash event.
   Duration checkpoint_period = Duration::seconds(2);
 
-  // Uniform worker NIC rate; entries in `worker_bandwidth_override`
-  // (indexed by worker) replace it for heterogeneous clusters (Sec. 5.3).
+  // Network fabric the cluster runs on. When unset, the three legacy
+  // bandwidth fields below are folded into a TopologySpec::star — today's
+  // semantics, bit for bit. Set it explicitly for leaf-spine fabrics (and
+  // for new star configs: the flat fields are the deprecated spelling, kept
+  // as shims the same way StrategyConfig keeps its make_* factories).
+  std::optional<net::TopologySpec> topology;
+
+  // DEPRECATED: use `topology` (TopologySpec::star(...)). Consulted only
+  // when `topology` is unset. Uniform worker NIC rate; entries in
+  // `worker_bandwidth_override` (indexed by worker) replace it for
+  // heterogeneous clusters (Sec. 5.3).
   Bandwidth worker_bandwidth = Bandwidth::gbps(10);
   std::vector<Bandwidth> worker_bandwidth_override;
   Bandwidth ps_bandwidth = Bandwidth::gbps(10);
@@ -74,12 +85,22 @@ struct ClusterConfig {
   Duration metrics_bin = Duration::millis(250);
   Duration metrics_horizon = Duration::seconds(900);
 
+  // The fabric actually in effect: `topology` when set, else a star built
+  // from the deprecated flat fields.
+  [[nodiscard]] net::TopologySpec resolved_topology() const {
+    if (topology.has_value()) return *topology;
+    return net::TopologySpec::star(worker_bandwidth, ps_bandwidth,
+                                   worker_bandwidth_override);
+  }
+
   [[nodiscard]] Bandwidth bandwidth_of_worker(std::size_t w) const {
-    if (w < worker_bandwidth_override.size() &&
-        !worker_bandwidth_override[w].is_zero()) {
-      return worker_bandwidth_override[w];
+    const net::TopologySpec t = resolved_topology();
+    if (t.kind == net::TopologySpec::Kind::kLeafSpine) return t.host_bandwidth;
+    if (w < t.worker_bandwidth_override.size() &&
+        !t.worker_bandwidth_override[w].is_zero()) {
+      return t.worker_bandwidth_override[w];
     }
-    return worker_bandwidth;
+    return t.worker_bandwidth;
   }
 
   // Single validation entry point, called by Cluster's constructor: aborts

@@ -1,0 +1,279 @@
+#include "ps/job_runtime.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace prophet::ps {
+
+JobRuntime::JobRuntime(sim::Simulator& sim, net::FlowNetwork& network,
+                       net::BuiltTopology& topology, ClusterConfig config,
+                       JobOptions options)
+    : sim_{sim},
+      network_{network},
+      config_{std::move(config)},
+      options_{std::move(options)},
+      cost_{config_.tcp} {
+  const ClusterConfig& cfg = config_;
+  // Offset jobs still record metrics against the shared origin-based clock,
+  // so their series horizon shifts with them.
+  const Duration metrics_horizon = cfg.metrics_horizon + options_.start_offset;
+
+  ps_node_ = topology.add_host(options_.name_prefix + "ps",
+                               node_base_bandwidth(/*is_ps=*/true, 0),
+                               options_.ps_rack);
+  for (std::size_t w = 0; w < cfg.num_workers; ++w) {
+    std::optional<std::size_t> rack;
+    if (w < options_.worker_racks.size()) rack = options_.worker_racks[w];
+    worker_nodes_.push_back(
+        topology.add_host(options_.name_prefix + "worker" + std::to_string(w),
+                          cfg.bandwidth_of_worker(w), rack));
+  }
+
+  // Per-worker throughput series, attached before any traffic flows.
+  tx_series_.assign(cfg.num_workers, BinnedSeries{cfg.metrics_bin, metrics_horizon});
+  rx_series_.assign(cfg.num_workers, BinnedSeries{cfg.metrics_bin, metrics_horizon});
+  for (std::size_t w = 0; w < cfg.num_workers; ++w) {
+    network_.attach_tracker(worker_nodes_[w], net::Direction::kTx, &tx_series_[w]);
+    network_.attach_tracker(worker_nodes_[w], net::Direction::kRx, &rx_series_[w]);
+  }
+
+  iteration_model_ = std::make_unique<dnn::IterationModel>(
+      cfg.model, cfg.gpu, cfg.batch, cfg.kvstore, cfg.jitter_sigma);
+
+  // BSP invariant auditor: passive mirror of the push/pull/round protocol,
+  // always on under BSP. Aborts with a diagnostic on the first violated
+  // invariant (lost or double-counted gradient, broken barrier, ...).
+  if (cfg.sync == SyncMode::kBsp) {
+    std::vector<Bytes> key_sizes;
+    for (std::size_t k = 0; k < cfg.model.tensor_count(); ++k) {
+      key_sizes.push_back(cfg.model.tensor(k).bytes);
+    }
+    auditor_ = std::make_unique<audit::BspAuditor>(cfg.num_workers,
+                                                   std::move(key_sizes));
+  }
+
+  server_ = std::make_unique<Server>(
+      sim_, cfg.model, cfg.num_workers, cfg.sync == SyncMode::kAsp,
+      cfg.update_fixed, cfg.update_bytes_per_sec,
+      [this](std::size_t w, std::size_t key) {
+        workers_[w]->on_param_updated(key);
+      },
+      cfg.serialize_ps_cpu);
+  server_->set_auditor(auditor_.get());
+  if (cfg.dynamics.has_ps_crash()) server_->enable_failover(cfg.checkpoint_period);
+
+  Rng root{cfg.seed};
+  for (std::size_t w = 0; w < cfg.num_workers; ++w) {
+    Worker::Params params;
+    params.id = w;
+    params.node = worker_nodes_[w];
+    params.ps_node = ps_node_;
+    params.iterations = cfg.iterations;
+    params.iteration_model = iteration_model_.get();
+    params.server = server_.get();
+    params.strategy = cfg.strategy;
+    params.cost = cost_;
+    params.monitor = cfg.monitor;
+    params.metrics_bin = cfg.metrics_bin;
+    params.metrics_horizon = metrics_horizon;
+    params.batch = cfg.batch;
+    params.reliability = cfg.reliability;
+    params.auditor = auditor_.get();
+    workers_.push_back(
+        std::make_unique<Worker>(sim_, network_, params, root.fork(w)));
+  }
+}
+
+Bandwidth JobRuntime::node_base_bandwidth(bool is_ps, std::size_t w) const {
+  const net::TopologySpec spec = config_.resolved_topology();
+  if (spec.kind == net::TopologySpec::Kind::kLeafSpine) return spec.host_bandwidth;
+  return is_ps ? spec.ps_bandwidth : config_.bandwidth_of_worker(w);
+}
+
+void JobRuntime::start() {
+  // Zero offset starts workers synchronously — no extra scheduled event, so
+  // a solo job replays the pre-JobRuntime event sequence exactly.
+  if (options_.start_offset == Duration::zero()) {
+    for (auto& worker : workers_) worker->start();
+  } else {
+    sim_.schedule_at(start_time(), [this] {
+      for (auto& worker : workers_) worker->start();
+    });
+  }
+
+  // Arm the dynamics plan: every event fires at its offset (relative to the
+  // job's start) and mutates the live network / workers / server. Bandwidth
+  // scales apply to the *configured* rates, so repeated events never
+  // compound; link-targeted events snapshot those rates here, at arm time.
+  for (const auto& ev : config_.dynamics.events) {
+    if (ev.targets_link()) {
+      for (const net::LinkId id : net::resolve_link_target(network_, ev.link)) {
+        link_base_caps_.emplace(id, network_.link_capacity(id));
+      }
+    }
+    sim_.schedule_at(start_time() + ev.at, [this, ev] { apply_event(ev); });
+  }
+}
+
+void JobRuntime::apply_event(const net::DynamicsEvent& ev) {
+  using Type = net::DynamicsEvent::Type;
+  const ClusterConfig& cfg = config_;
+  auto node_of = [&](std::size_t w) {
+    return ev.target_ps ? ps_node_ : worker_nodes_[w];
+  };
+  auto for_each_target = [&](auto&& fn) {
+    if (ev.target_ps) {
+      fn(std::size_t{0});
+    } else if (ev.worker.has_value()) {
+      fn(*ev.worker);
+    } else {
+      for (std::size_t w = 0; w < cfg.num_workers; ++w) fn(w);
+    }
+  };
+  // A link-targeted bandwidth/outage event bypasses the per-node fan-out and
+  // hits the named links directly (they may be shared rack uplinks).
+  if (ev.targets_link()) {
+    const std::vector<net::LinkId> links =
+        net::resolve_link_target(network_, ev.link);
+    PROPHET_CHECK_MSG(!links.empty(),
+                      "dynamics event targets an unknown link name");
+    for (const net::LinkId id : links) {
+      switch (ev.type) {
+        case Type::kBandwidthScale:
+          network_.set_link_capacity(id, link_base_caps_.at(id) * ev.factor);
+          break;
+        case Type::kBandwidthSet:
+          network_.set_link_capacity(id, ev.bandwidth);
+          break;
+        case Type::kOutageStart:
+        case Type::kOutageEnd:
+          network_.set_link_state(id, ev.type == Type::kOutageEnd);
+          break;
+        default:
+          break;  // rejected by DynamicsPlan::validate()
+      }
+    }
+    return;
+  }
+  switch (ev.type) {
+    case Type::kBandwidthScale:
+    case Type::kBandwidthSet:
+      for_each_target([&](std::size_t w) {
+        const Bandwidth base = node_base_bandwidth(ev.target_ps, w);
+        const Bandwidth cap =
+            ev.type == Type::kBandwidthSet ? ev.bandwidth : base * ev.factor;
+        network_.set_capacity(node_of(w), net::Direction::kTx, cap);
+        network_.set_capacity(node_of(w), net::Direction::kRx, cap);
+      });
+      break;
+    case Type::kOutageStart:
+    case Type::kOutageEnd:
+      for_each_target([&](std::size_t w) {
+        network_.set_link_up(node_of(w), ev.type == Type::kOutageEnd);
+      });
+      break;
+    case Type::kComputeScale:
+      for_each_target([&](std::size_t w) {
+        workers_[w]->set_compute_factor(ev.factor);
+      });
+      break;
+    case Type::kPsComputeScale:
+      server_->set_cpu_factor(ev.factor);
+      break;
+    case Type::kWorkerCrash:
+      if (faults_live_) workers_[*ev.worker]->crash();
+      break;
+    case Type::kWorkerRecover:
+      if (faults_live_) workers_[*ev.worker]->recover();
+      break;
+    case Type::kPsCrash:
+      if (faults_live_) {
+        server_->crash();
+        network_.set_link_up(ps_node_, false);
+        for (auto& worker : workers_) worker->on_ps_crash();
+      }
+      break;
+    case Type::kPsRecover:
+      if (faults_live_) {
+        network_.set_link_up(ps_node_, true);
+        const std::vector<std::size_t> snapshot = server_->recover();
+        for (auto& worker : workers_) worker->rollback(snapshot);
+      }
+      break;
+    case Type::kLossRate:
+      if (faults_live_) {
+        for (auto& worker : workers_) worker->set_loss_rate(ev.factor);
+      }
+      break;
+  }
+}
+
+bool JobRuntime::done() const {
+  return std::all_of(workers_.begin(), workers_.end(),
+                     [](const auto& w) { return w->done(); });
+}
+
+void JobRuntime::recover_crashed() {
+  for (auto& worker : workers_) {
+    if (worker->crashed()) worker->recover();
+  }
+}
+
+void JobRuntime::finish_training(TimePoint now) {
+  training_span_ = now - start_time();
+  for (auto& worker : workers_) worker->finish();
+}
+
+void JobRuntime::finish_audit() {
+  if (auditor_ != nullptr) auditor_->finish(config_.iterations);
+}
+
+ClusterResult JobRuntime::collect(std::optional<std::size_t> measure_first,
+                                  std::uint64_t events_fired) const {
+  const ClusterConfig& cfg = config_;
+  // Default window: past Prophet's profiling phase so strategies compare at
+  // steady state; the same window is applied to every strategy.
+  std::size_t first = measure_first.value_or(0);
+  if (!measure_first.has_value()) {
+    std::size_t warmup = 3;
+    if (cfg.strategy.kind == StrategyConfig::Kind::kProphet) {
+      warmup = cfg.strategy.prophet_config.profile_iterations + 3;
+    }
+    PROPHET_CHECK_MSG(warmup + 1 < cfg.iterations,
+                      "not enough iterations to measure past warmup");
+    first = warmup;
+  }
+  const std::size_t last = cfg.iterations;
+
+  ClusterResult result;
+  result.measure_first = first;
+  result.measure_last = last;
+  result.simulated_time = training_span_;
+  result.events_fired = events_fired;
+  result.audit_checks = auditor_ != nullptr ? auditor_->checks_run() : 0;
+  for (std::size_t w = 0; w < cfg.num_workers; ++w) {
+    const Worker& worker = *workers_[w];
+    WorkerResult wr{.id = w,
+                    .rate_samples_per_sec = 0.0,
+                    .gpu_utilization = 0.0,
+                    .iterations_completed = worker.current_iteration(),
+                    .prophet_activated_at = worker.prophet_activated_at(),
+                    .prophet_replans = worker.prophet_replans(),
+                    .training = worker.training_metrics(),
+                    .transfers = worker.transfers(),
+                    .gpu_series = worker.gpu().series(),
+                    .gpu_intervals = worker.gpu().intervals(),
+                    .tx_series = tx_series_[w],
+                    .rx_series = rx_series_[w]};
+    const auto& tm = worker.training_metrics();
+    wr.rate_samples_per_sec = tm.rate_samples_per_sec(first, last);
+    wr.gpu_utilization =
+        worker.gpu().utilization(tm.iteration_start(first), tm.iteration_start(last));
+    result.workers.push_back(std::move(wr));
+  }
+  return result;
+}
+
+}  // namespace prophet::ps

@@ -1,0 +1,123 @@
+// One training job wired into a (possibly shared) simulator and network:
+// the PS, its workers, the BSP auditor and the armed dynamics plan — i.e.
+// everything Cluster::run used to build inline, extracted so several jobs
+// can coexist in one event loop on one fabric.
+//
+// Lifecycle (the cluster driver owns the event loop):
+//   construct      — places hosts on the topology, builds server/workers;
+//   start()        — kicks off iteration 0 (immediately, or at the
+//                    scheduler-chosen start offset) and arms dynamics;
+//   ... sim steps ...
+//   when done(): recover_crashed(); disarm_faults(); finish_training(now);
+//   ... drain ...  finish_audit(); collect(...).
+//
+// A single job with default JobOptions on a star topology reproduces the
+// original Cluster::run event sequence bit for bit: zero-offset start() calls
+// Worker::start directly (no extra scheduled event) and dynamics arming
+// happens in the same order at the same instants.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "audit/bsp_auditor.hpp"
+#include "common/rng.hpp"
+#include "common/time_series.hpp"
+#include "dnn/iteration_model.hpp"
+#include "net/flow_network.hpp"
+#include "net/topology.hpp"
+#include "ps/cluster.hpp"
+#include "ps/config.hpp"
+#include "ps/server.hpp"
+#include "ps/worker.hpp"
+#include "sim/simulator.hpp"
+
+namespace prophet::ps {
+
+// Per-job placement and pacing decisions, made by the cluster scheduler.
+struct JobOptions {
+  // Prepended to node names so jobs sharing one network stay distinguishable
+  // ("job0." -> "job0.ps", "job0.worker1").
+  std::string name_prefix;
+  // Delay before iteration 0 (CASSINI-style communication-phase
+  // interleaving staggers jobs sharing an oversubscribed uplink).
+  Duration start_offset{};
+  // Leaf-spine placement: rack index for the PS / each worker. Unset entries
+  // fall back to sequential first-fit; ignored on a star.
+  std::optional<std::size_t> ps_rack;
+  std::vector<std::size_t> worker_racks;
+};
+
+class JobRuntime {
+ public:
+  JobRuntime(sim::Simulator& sim, net::FlowNetwork& network,
+             net::BuiltTopology& topology, ClusterConfig config,
+             JobOptions options = {});
+  // Scheduled dynamics callbacks capture `this`.
+  JobRuntime(const JobRuntime&) = delete;
+  JobRuntime& operator=(const JobRuntime&) = delete;
+
+  // Starts every worker (synchronously for a zero offset) and arms the
+  // job's dynamics plan, offset along with the job.
+  void start();
+
+  // Every worker crossed its final iteration boundary (residual pulls may
+  // still be in flight).
+  [[nodiscard]] bool done() const;
+
+  // Training can finish while an already-done worker is still down (its
+  // recover event lands past the finish line, where it will be dropped);
+  // brings it back so the audit sees a whole cluster.
+  void recover_crashed();
+  // Stops crash/recovery/loss events of a plan that extends past the finish
+  // line from perturbing drained state.
+  void disarm_faults() { faults_live_ = false; }
+  // Records the training span ending at `now` and closes worker metrics.
+  void finish_training(TimePoint now);
+  // Final BSP audit over the full run; call after the network drained.
+  void finish_audit();
+
+  [[nodiscard]] TimePoint start_time() const {
+    return TimePoint::origin() + options_.start_offset;
+  }
+  [[nodiscard]] Duration training_span() const { return training_span_; }
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+  [[nodiscard]] net::NodeId ps_node() const { return ps_node_; }
+  [[nodiscard]] const std::vector<net::NodeId>& worker_nodes() const {
+    return worker_nodes_;
+  }
+
+  // Gathers per-worker results over [measure_first, iterations) — the same
+  // warmup default Cluster::run always used. `events_fired` is the
+  // simulator-wide count (jobs sharing a loop share it).
+  [[nodiscard]] ClusterResult collect(std::optional<std::size_t> measure_first,
+                                      std::uint64_t events_fired) const;
+
+ private:
+  void apply_event(const net::DynamicsEvent& ev);
+  [[nodiscard]] Bandwidth node_base_bandwidth(bool is_ps, std::size_t w) const;
+
+  sim::Simulator& sim_;
+  net::FlowNetwork& network_;
+  ClusterConfig config_;
+  JobOptions options_;
+  net::TcpCostModel cost_;
+  net::NodeId ps_node_{};
+  std::vector<net::NodeId> worker_nodes_;
+  std::vector<BinnedSeries> tx_series_;
+  std::vector<BinnedSeries> rx_series_;
+  std::unique_ptr<dnn::IterationModel> iteration_model_;
+  std::unique_ptr<audit::BspAuditor> auditor_;
+  std::unique_ptr<Server> server_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  // Configured capacities of link-targeted dynamics, snapshotted at arm time
+  // so repeated scale events never compound.
+  std::map<net::LinkId, Bandwidth> link_base_caps_;
+  bool faults_live_ = true;
+  Duration training_span_{};
+};
+
+}  // namespace prophet::ps

@@ -7,7 +7,9 @@
 // Exit status is the contract: 0 means every run finished all iterations,
 // no BSP invariant tripped (the auditor aborts the process on violation),
 // every run observed its injected faults, and every replay fingerprint
-// matched. Wired into ctest under the `chaos` label.
+// matched. A second block of cells runs two jobs on one shared
+// oversubscribed leaf-spine fabric and holds the combined run to the same
+// replay-fingerprint bar. Wired into ctest under the `chaos` label.
 //
 // Usage: chaos_run [--seeds N] [--iterations N] [--verbose]
 #include <cstdint>
@@ -15,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/multi_job.hpp"
 #include "common/flags.hpp"
 #include "common/rng.hpp"
 #include "dnn/model_zoo.hpp"
@@ -190,6 +193,70 @@ int run_matrix(std::size_t seeds, std::size_t iterations, bool verbose) {
   return 0;
 }
 
+// Multi-job cell: two toy_cnn jobs sharing one oversubscribed leaf-spine
+// spine inside a single event loop, run twice per seed and fingerprint-
+// compared — cross-job contention through the shared fabric must replay
+// bit-identically just like the single-job faults above.
+std::uint64_t multijob_fingerprint(const cluster::MultiJobResult& result) {
+  std::uint64_t h = kFnvSeed;
+  h = fnv1a(h, static_cast<std::uint64_t>(result.makespan.count_nanos()));
+  h = fnv1a(h, result.events_fired);
+  h = fnv1a(h, static_cast<std::uint64_t>(result.spine_bytes));
+  for (const auto& job : result.jobs) {
+    h = fnv1a(h, static_cast<std::uint64_t>(job.finish_time.count_nanos()));
+    h = fnv1a(h, static_cast<std::uint64_t>(job.start_offset.count_nanos()));
+    h = fnv1a(h, fingerprint(job.result));
+  }
+  return h;
+}
+
+int run_multijob_cells(std::size_t seeds, std::size_t iterations, bool verbose) {
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    cluster::MultiJobConfig cfg;
+    cfg.topology = net::TopologySpec::leaf_spine(
+        /*racks=*/2, /*hosts_per_rack=*/2, Bandwidth::gbps(1),
+        /*oversubscription=*/4.0);
+    // FIFO striping forces both jobs across the 500 Mbps spine: the cell
+    // exercises cross-job link contention, not placement quality.
+    cfg.placement = cluster::PlacementPolicy::kFifoStripe;
+    cfg.interleave = cluster::InterleavePolicy::kNone;
+    for (std::size_t j = 0; j < 2; ++j) {
+      cluster::JobSpec job;
+      job.config.model = dnn::toy_cnn();
+      job.config.num_workers = 1;
+      job.config.batch = 32;
+      job.config.iterations = iterations;
+      job.config.seed = seed + j;
+      job.config.strategy = ps::StrategyConfig::fifo();
+      cfg.jobs.push_back(std::move(job));
+    }
+    const auto first = cluster::run_multi_job(cfg);
+    const auto replay = cluster::run_multi_job(cfg);
+    const std::uint64_t fp = multijob_fingerprint(first);
+    if (fp != multijob_fingerprint(replay)) {
+      std::fprintf(stderr, "chaos_run: MULTIJOB REPLAY DIVERGED seed=%llu\n",
+                   static_cast<unsigned long long>(seed));
+      return 1;
+    }
+    if (first.spine_bytes == 0) {
+      std::fprintf(stderr,
+                   "chaos_run: MULTIJOB cell put no traffic on the spine "
+                   "seed=%llu\n",
+                   static_cast<unsigned long long>(seed));
+      return 1;
+    }
+    if (verbose) {
+      std::printf("multijob       seed=%-3llu makespan=%.3fs spine=%lld fp=%016llx\n",
+                  static_cast<unsigned long long>(seed),
+                  first.makespan.to_seconds(),
+                  static_cast<long long>(first.spine_bytes),
+                  static_cast<unsigned long long>(fp));
+    }
+  }
+  std::printf("chaos_run: %zu multijob cells x2 replays clean\n", seeds);
+  return 0;
+}
+
 }  // namespace
 }  // namespace prophet
 
@@ -204,5 +271,8 @@ int main(int argc, char** argv) {
   const auto iterations =
       static_cast<std::size_t>(flags->get("iterations", std::int64_t{14}));
   const bool verbose = flags->get("verbose", false);
-  return prophet::run_matrix(seeds, iterations, verbose);
+  if (const int rc = prophet::run_matrix(seeds, iterations, verbose); rc != 0) {
+    return rc;
+  }
+  return prophet::run_multijob_cells(seeds, iterations, verbose);
 }
