@@ -7,7 +7,7 @@
 #include <fstream>
 #include <sstream>
 
-#include "metrics/sweep.hpp"
+#include "exec/executor.hpp"
 
 namespace prophet::bench {
 
@@ -143,7 +143,7 @@ double measure_rate(const ps::ClusterConfig& config) {
 std::vector<ps::ClusterResult> run_all(const std::vector<ps::ClusterConfig>& configs) {
   const std::function<ps::ClusterResult(const ps::ClusterConfig&)> runner =
       [](const ps::ClusterConfig& cfg) { return ps::run_cluster(cfg); };
-  return metrics::parallel_map<ps::ClusterConfig, ps::ClusterResult>(configs, runner);
+  return exec::parallel_map<ps::ClusterConfig, ps::ClusterResult>(configs, runner);
 }
 
 }  // namespace prophet::bench

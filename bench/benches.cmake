@@ -8,15 +8,15 @@
 
 add_library(prophet_bench_common OBJECT bench/bench_common.cpp)
 target_include_directories(prophet_bench_common PUBLIC ${CMAKE_SOURCE_DIR}/src ${CMAKE_SOURCE_DIR}/bench)
-target_link_libraries(prophet_bench_common PUBLIC prophet_ps)
+target_link_libraries(prophet_bench_common PUBLIC prophet_ps prophet_exec)
 
 function(prophet_bench name)
   add_executable(${name} bench/${name}.cpp $<TARGET_OBJECTS:prophet_bench_common>)
   target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR}/src ${CMAKE_SOURCE_DIR}/bench)
   target_link_libraries(${name} PRIVATE
     prophet_allreduce prophet_cluster prophet_ps prophet_core prophet_sched
-    prophet_metrics prophet_dnn prophet_net prophet_sim prophet_common
-    prophet_warnings Threads::Threads)
+    prophet_metrics prophet_dnn prophet_net prophet_sim prophet_exec
+    prophet_common prophet_warnings Threads::Threads)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endfunction()
@@ -41,6 +41,7 @@ prophet_bench(extended_comparison)
 prophet_bench(allreduce_comparison)
 prophet_bench(fault_recovery)
 prophet_bench(multijob)
+prophet_bench(scale)
 
 # Microbenchmarks (google-benchmark): engine and Algorithm 1 costs. Uses a
 # custom main (not benchmark_main) so timings also land in BENCH_engine.json.
@@ -48,7 +49,7 @@ add_executable(micro_benchmarks bench/micro_benchmarks.cpp $<TARGET_OBJECTS:prop
 target_include_directories(micro_benchmarks PRIVATE ${CMAKE_SOURCE_DIR}/src ${CMAKE_SOURCE_DIR}/bench)
 target_link_libraries(micro_benchmarks PRIVATE
   prophet_ps prophet_core prophet_sched prophet_metrics prophet_dnn
-  prophet_net prophet_sim prophet_common prophet_warnings
+  prophet_net prophet_sim prophet_exec prophet_common prophet_warnings
   benchmark::benchmark Threads::Threads)
 set_target_properties(micro_benchmarks PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
@@ -59,3 +60,11 @@ set_target_properties(micro_benchmarks PROPERTIES
 # test without letting CI timing noise churn the committed artifact.
 add_test(NAME bench_perf_engine_smoke
          COMMAND perf_engine --smoke --out ${CMAKE_BINARY_DIR}/BENCH_engine_smoke.json)
+
+# Engine-scaling smoke: shrunk cells, verifies both rebalance modes finish
+# and that the sweep executor's merged output is thread-count-independent.
+# Same artifact policy as above: the tracked BENCH_scale.json is only
+# rewritten by a full `scale` run.
+add_test(NAME bench_scale_smoke
+         COMMAND scale --smoke --out ${CMAKE_BINARY_DIR}/BENCH_scale_smoke.json)
+set_tests_properties(bench_scale_smoke PROPERTIES TIMEOUT 600)

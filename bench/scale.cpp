@@ -1,0 +1,292 @@
+// Large-cluster engine scaling bench: the gate for the two scaling axes the
+// ROADMAP asks for, recorded in bench_results/BENCH_scale.json so
+// regressions are visible PR over PR.
+//
+//   1. Incremental max-min recomputation. Every cell (star PS incast at
+//      64/256 workers; 2/4 packed jobs on a leaf-spine fabric) is simulated
+//      twice — RebalanceMode::kFull (the original whole-network progressive
+//      filling on every flow event) vs kIncremental (component-local
+//      rebalance) — and the end-to-end wall-time ratio is the speedup. The
+//      modes may order same-instant completions differently, so the cells
+//      compare *iteration completion* rather than event-stream fingerprints;
+//      rate-level bit-identity is proved by tests/test_incremental_rates.
+//
+//   2. The deterministic parallel sweep executor. A block of independent
+//      seed runs executes through exec::run_sweep at 1 thread and at
+//      hardware concurrency; the merged outputs (per-run fingerprints) must
+//      be byte-identical and the wall-time ratio against ideal scaling is
+//      recorded as `efficiency`.
+//
+// The bench fails only on correctness (a run that does not finish, or a
+// thread-count-dependent byte stream); speedups are recorded, not asserted,
+// so CI timing noise cannot flake the suite. Run with --smoke for the CI
+// smoke (shrunk cells, separate output file); --big adds a 1024-worker star
+// cell to the full run.
+//
+// Usage: scale [--smoke] [--big] [--out PATH]
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/multi_job.hpp"
+#include "common/flags.hpp"
+#include "dnn/model_zoo.hpp"
+#include "exec/executor.hpp"
+#include "ps/cluster.hpp"
+
+namespace prophet::bench {
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Star fabric: one PS, `workers` hosts pushing/pulling toy_cnn through a
+// 10 Gbps PS NIC — the incast regime where every arrival used to trigger a
+// whole-network refill.
+ps::ClusterConfig star_config(std::size_t workers, std::size_t iterations,
+                              std::uint64_t seed, net::RebalanceMode mode) {
+  ps::ClusterConfig cfg;
+  cfg.model = dnn::toy_cnn();
+  cfg.num_workers = workers;
+  cfg.batch = 32;
+  cfg.iterations = iterations;
+  cfg.seed = seed;
+  cfg.worker_bandwidth = Bandwidth::gbps(1);
+  cfg.ps_bandwidth = Bandwidth::gbps(10);
+  cfg.strategy = ps::StrategyConfig::fifo();
+  cfg.rate_rebalance = mode;
+  cfg.metrics_horizon = Duration::seconds(3600);
+  return cfg;
+}
+
+// Leaf-spine fabric: `jobs` independent toy_cnn jobs, each packed into its
+// own rack by network-aware placement. Contention is per-job, so the
+// contention graph splits into one component per job — the regime where
+// component-local rebalance pays off most.
+cluster::MultiJobConfig spine_config(std::size_t jobs,
+                                     std::size_t workers_per_job,
+                                     std::size_t iterations,
+                                     net::RebalanceMode mode) {
+  cluster::MultiJobConfig cfg;
+  cfg.topology = net::TopologySpec::leaf_spine(
+      /*racks=*/jobs, /*hosts_per_rack=*/workers_per_job + 1,
+      Bandwidth::gbps(1), /*oversubscription=*/4.0);
+  cfg.placement = cluster::PlacementPolicy::kNetworkAware;
+  cfg.interleave = cluster::InterleavePolicy::kNone;
+  cfg.rate_rebalance = mode;
+  cfg.horizon = Duration::seconds(3600);
+  for (std::size_t j = 0; j < jobs; ++j) {
+    cluster::JobSpec job;
+    job.name = "job" + std::to_string(j);
+    job.config.model = dnn::toy_cnn();
+    job.config.num_workers = workers_per_job;
+    job.config.batch = 32;
+    job.config.iterations = iterations;
+    job.config.seed = 42 + j;
+    job.config.strategy = ps::StrategyConfig::fifo();
+    cfg.jobs.push_back(std::move(job));
+  }
+  return cfg;
+}
+
+struct RunStats {
+  double wall_ms = 0.0;
+  std::uint64_t events = 0;
+  bool finished = false;
+};
+
+struct Cell {
+  std::string label;
+  std::size_t total_workers;
+  std::function<RunStats(net::RebalanceMode)> run;
+};
+
+RunStats run_star(std::size_t workers, std::size_t iterations,
+                  net::RebalanceMode mode) {
+  const auto cfg = star_config(workers, iterations, 42, mode);
+  const double t0 = now_ms();
+  const auto result = ps::run_cluster(cfg, 1);
+  RunStats stats;
+  stats.wall_ms = now_ms() - t0;
+  stats.events = result.events_fired;
+  stats.finished = true;
+  for (const auto& w : result.workers) {
+    if (w.iterations_completed != iterations) stats.finished = false;
+  }
+  return stats;
+}
+
+RunStats run_spine(std::size_t jobs, std::size_t workers_per_job,
+                   std::size_t iterations, net::RebalanceMode mode) {
+  const auto cfg = spine_config(jobs, workers_per_job, iterations, mode);
+  const double t0 = now_ms();
+  const auto result = cluster::run_multi_job(cfg);
+  RunStats stats;
+  stats.wall_ms = now_ms() - t0;
+  stats.events = result.events_fired;
+  stats.finished = result.jobs.size() == jobs;
+  for (const auto& job : result.jobs) {
+    for (const auto& w : job.result.workers) {
+      if (w.iterations_completed != iterations) stats.finished = false;
+    }
+  }
+  return stats;
+}
+
+// FNV-1a over the observables a sweep cell reports; what must not depend on
+// the executor's thread count.
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+}  // namespace prophet::bench
+
+int main(int argc, char** argv) {
+  using namespace prophet;
+  using namespace prophet::bench;
+
+  std::string error;
+  const auto flags = Flags::parse(argc, argv, &error);
+  if (!flags) {
+    std::fprintf(stderr, "scale: %s\n", error.c_str());
+    return 2;
+  }
+  const bool smoke = flags->get("smoke", false);
+  const bool big = flags->get("big", false);
+  const std::string out_path =
+      flags->get("out", artifact_dir() + "/BENCH_scale.json");
+
+  banner("scale",
+         "engine scaling: incremental vs full rate rebalance, parallel sweep "
+         "executor");
+
+  // run_cluster's metrics need warmup + 2 iterations: the star cells pass an
+  // explicit measure window, but multi-job collection uses the default
+  // 3-iteration warmup, so spine cells need at least 5.
+  const std::size_t iters = 3;
+  const std::size_t spine_iters = 5;
+  std::vector<Cell> cells;
+  if (smoke) {
+    cells.push_back({"star_16", 16, [&](net::RebalanceMode m) {
+                       return run_star(16, iters, m);
+                     }});
+    cells.push_back({"spine_2x8", 16, [&](net::RebalanceMode m) {
+                       return run_spine(2, 8, spine_iters, m);
+                     }});
+  } else {
+    cells.push_back({"star_64", 64, [&](net::RebalanceMode m) {
+                       return run_star(64, iters, m);
+                     }});
+    cells.push_back({"star_256", 256, [&](net::RebalanceMode m) {
+                       return run_star(256, iters, m);
+                     }});
+    cells.push_back({"spine_2x64_128", 128, [&](net::RebalanceMode m) {
+                       return run_spine(2, 64, spine_iters, m);
+                     }});
+    // The 256-worker headline cell: 4 jobs x 64 workers, one rack each.
+    cells.push_back({"spine_4x64_256", 256, [&](net::RebalanceMode m) {
+                       return run_spine(4, 64, spine_iters, m);
+                     }});
+    if (big) {
+      cells.push_back({"star_1024", 1024, [&](net::RebalanceMode m) {
+                         return run_star(1024, 3, m);
+                       }});
+    }
+  }
+
+  BenchJson json{out_path};
+  bool ok = true;
+
+  std::printf("  %-16s %10s %12s %12s %9s\n", "cell", "workers", "full_ms",
+              "incr_ms", "speedup");
+  for (const Cell& cell : cells) {
+    const RunStats full = cell.run(net::RebalanceMode::kFull);
+    const RunStats incr = cell.run(net::RebalanceMode::kIncremental);
+    const double speedup = full.wall_ms / incr.wall_ms;
+    std::printf("  %-16s %10zu %12.1f %12.1f %8.2fx\n", cell.label.c_str(),
+                cell.total_workers, full.wall_ms, incr.wall_ms, speedup);
+    json.clear_section(cell.label);
+    json.set(cell.label, "workers", static_cast<double>(cell.total_workers));
+    json.set(cell.label, "full_ms", full.wall_ms);
+    json.set(cell.label, "incremental_ms", incr.wall_ms);
+    json.set(cell.label, "speedup", speedup);
+    json.set(cell.label, "events", static_cast<double>(incr.events));
+    if (!full.finished || !incr.finished) {
+      std::fprintf(stderr, "FAIL: cell %s did not finish all iterations\n",
+                   cell.label.c_str());
+      ok = false;
+    }
+  }
+
+  // --- multi-run scaling through the sweep executor -----------------------
+  const std::size_t n_runs = smoke ? 4 : 8;
+  const std::size_t star_workers = smoke ? 8 : 16;
+  const auto sweep_cell = [&](std::size_t i) {
+    const auto cfg = star_config(star_workers, iters, /*seed=*/1 + i,
+                                 net::RebalanceMode::kIncremental);
+    const auto result = ps::run_cluster(cfg, 1);
+    std::uint64_t fp = 14695981039346656037ull;
+    fp = fnv1a(fp, static_cast<std::uint64_t>(result.simulated_time.count_nanos()));
+    fp = fnv1a(fp, result.events_fired);
+    char line[96];
+    std::snprintf(line, sizeof line, "run %zu fp=%016llx\n", i,
+                  static_cast<unsigned long long>(fp));
+    return exec::CellResult{.output = line, .ok = true};
+  };
+
+  unsigned cores = std::thread::hardware_concurrency();
+  if (cores == 0) cores = 1;
+  const unsigned threads = std::min<unsigned>(cores, static_cast<unsigned>(n_runs));
+
+  std::ostringstream serial_out;
+  double t0 = now_ms();
+  exec::run_sweep(n_runs, sweep_cell, serial_out, 1);
+  const double serial_ms = now_ms() - t0;
+
+  std::ostringstream parallel_out;
+  t0 = now_ms();
+  exec::run_sweep(n_runs, sweep_cell, parallel_out, threads);
+  const double parallel_ms = now_ms() - t0;
+
+  const bool identical = serial_out.str() == parallel_out.str();
+  const double speedup = serial_ms / parallel_ms;
+  const double efficiency = speedup / static_cast<double>(threads);
+  std::printf(
+      "\n  sweep: %zu runs, %u thread(s): serial %.1f ms, parallel %.1f ms "
+      "(%.2fx, %.0f%% of ideal), outputs %s\n",
+      n_runs, threads, serial_ms, parallel_ms, speedup, efficiency * 100.0,
+      identical ? "identical" : "DIVERGED");
+  json.clear_section("sweep");
+  json.set("sweep", "runs", static_cast<double>(n_runs));
+  json.set("sweep", "threads", static_cast<double>(threads));
+  json.set("sweep", "cores", static_cast<double>(cores));
+  json.set("sweep", "serial_ms", serial_ms);
+  json.set("sweep", "parallel_ms", parallel_ms);
+  json.set("sweep", "speedup", speedup);
+  json.set("sweep", "efficiency", efficiency);
+  json.set("sweep", "identical", identical ? 1.0 : 0.0);
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: sweep output depends on thread count (%zu runs, %u "
+                 "threads)\n",
+                 n_runs, threads);
+    ok = false;
+  }
+
+  json.save();
+  std::printf("JSON: %s\n", out_path.c_str());
+  return ok ? 0 : 1;
+}

@@ -9,7 +9,7 @@
 #include <string>
 
 #include "common/table.hpp"
-#include "metrics/sweep.hpp"
+#include "exec/executor.hpp"
 #include "ps/cluster.hpp"
 
 int main(int argc, char** argv) {
@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
   const std::function<ps::ClusterResult(const ps::ClusterConfig&)> runner =
       [](const ps::ClusterConfig& cfg) { return ps::run_cluster(cfg); };
   const auto results =
-      metrics::parallel_map<ps::ClusterConfig, ps::ClusterResult>(configs, runner);
+      exec::parallel_map<ps::ClusterConfig, ps::ClusterResult>(configs, runner);
 
   std::printf("%s, batch %d, %zu workers, %.1f Gbps worker NICs:\n",
               model_name.c_str(), batch, workers, gbps);

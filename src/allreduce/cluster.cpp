@@ -32,7 +32,8 @@ AllReduceResult run_allreduce(const ps::ClusterConfig& cfg,
   PROPHET_CHECK(cfg.num_workers >= 2);
   sim::Simulator sim;
   const net::TcpCostModel cost{cfg.tcp};
-  net::FlowNetwork network{sim, cost};
+  net::FlowNetwork network{sim, cost, cfg.rate_rebalance};
+  network.set_verify_rates(cfg.verify_rates);
 
   std::vector<net::NodeId> nodes;
   for (std::size_t w = 0; w < cfg.num_workers; ++w) {

@@ -21,7 +21,8 @@ MultiJobResult run_multi_job(const MultiJobConfig& config) {
 
   sim::Simulator sim;
   const net::TcpCostModel cost{config.jobs.front().config.tcp};
-  net::FlowNetwork network{sim, cost};
+  net::FlowNetwork network{sim, cost, config.rate_rebalance};
+  network.set_verify_rates(config.verify_rates);
   net::BuiltTopology topology{network, config.topology};
 
   std::vector<std::unique_ptr<ps::JobRuntime>> jobs;

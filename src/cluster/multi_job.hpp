@@ -26,6 +26,9 @@ struct MultiJobConfig {
   InterleavePolicy interleave = InterleavePolicy::kCassini;
   // Shared event-loop bound; every job must finish training within it.
   Duration horizon = Duration::seconds(900);
+  // Rate-rebalance engine for the shared fabric (see ClusterConfig).
+  net::RebalanceMode rate_rebalance = net::RebalanceMode::kIncremental;
+  bool verify_rates = false;
 };
 
 struct JobOutcome {

@@ -1,0 +1,58 @@
+#include "exec/executor.hpp"
+
+#include <atomic>
+#include <ostream>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace prophet::exec {
+
+void parallel_for_index(std::size_t count,
+                        const std::function<void(std::size_t)>& fn,
+                        unsigned max_threads) {
+  PROPHET_CHECK(fn != nullptr);
+  if (count == 0) return;
+  unsigned n_threads =
+      max_threads != 0 ? max_threads : std::thread::hardware_concurrency();
+  if (n_threads == 0) n_threads = 4;
+  n_threads = static_cast<unsigned>(std::min<std::size_t>(n_threads, count));
+
+  if (n_threads == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // Dynamic work distribution: each idle worker claims the next unclaimed
+  // index. Claim order is nondeterministic; nothing downstream may depend on
+  // it — cells write only to their own slot.
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(n_threads);
+  for (unsigned t = 0; t < n_threads; ++t) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        fn(i);
+      }
+    });
+  }
+  for (auto& thread : pool) thread.join();
+}
+
+std::size_t run_sweep(std::size_t count,
+                      const std::function<CellResult(std::size_t)>& fn,
+                      std::ostream& out, unsigned max_threads) {
+  std::vector<CellResult> cells(count);
+  parallel_for_index(
+      count, [&](std::size_t i) { cells[i] = fn(i); }, max_threads);
+  std::size_t failures = 0;
+  for (const CellResult& cell : cells) {
+    out << cell.output;
+    if (!cell.ok) ++failures;
+  }
+  return failures;
+}
+
+}  // namespace prophet::exec

@@ -1,0 +1,61 @@
+// Deterministic parallel sweep executor: the one threading primitive in the
+// tree. Every simulation in this repo is single-threaded and bit-deterministic;
+// sweeps over independent (seed × cell) configurations are embarrassingly
+// parallel. The executor fans cells across hardware threads with dynamic
+// work stealing (idle workers claim the next unclaimed cell), and makes the
+// parallelism invisible in the results: each cell writes into its own
+// pre-assigned slot and produces its human-readable output into a private
+// buffer, which the driver emits in canonical cell order after the barrier.
+// Output, fingerprints and JSON artifacts are therefore byte-identical at
+// 1, 2 or N threads — the chaos harness and the bench drivers rely on this.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace prophet::exec {
+
+// Applies `fn(index)` for every index in [0, count) using up to
+// `max_threads` worker threads (0 = hardware concurrency). Work is stolen
+// off a shared atomic cursor, so long cells don't serialize behind short
+// ones. Results are written by `fn` into caller-owned, pre-sized storage;
+// indices never overlap, so no synchronization is required inside `fn`.
+// With one thread (or count == 1) cells run inline, in index order.
+void parallel_for_index(std::size_t count,
+                        const std::function<void(std::size_t)>& fn,
+                        unsigned max_threads = 0);
+
+// Convenience: maps configs -> results in parallel, preserving order.
+template <typename Config, typename Result>
+std::vector<Result> parallel_map(const std::vector<Config>& configs,
+                                 const std::function<Result(const Config&)>& fn,
+                                 unsigned max_threads = 0) {
+  std::vector<Result> results(configs.size());
+  parallel_for_index(
+      configs.size(),
+      [&](std::size_t i) { results[i] = fn(configs[i]); }, max_threads);
+  return results;
+}
+
+// One sweep cell's artifacts. `output` is everything the cell would have
+// printed had it run serially — the executor emits it verbatim, in cell
+// order, after all cells finish. A cell that detects a failure reports it
+// here instead of exiting, so the sweep always runs to completion and the
+// summary counts every failure.
+struct CellResult {
+  std::string output;
+  bool ok = true;
+};
+
+// Runs `fn(i)` for every cell index in [0, count) across `max_threads`
+// threads, then streams each cell's output to `out` in canonical index
+// order. Returns the number of failed cells. The byte stream written to
+// `out` is identical for every thread count.
+std::size_t run_sweep(std::size_t count,
+                      const std::function<CellResult(std::size_t)>& fn,
+                      std::ostream& out, unsigned max_threads = 0);
+
+}  // namespace prophet::exec

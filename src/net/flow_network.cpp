@@ -14,14 +14,16 @@ namespace {
 constexpr double kDrainEpsilon = 1e-6;
 }  // namespace
 
-FlowNetwork::FlowNetwork(sim::Simulator& sim, TcpCostModel cost_model)
-    : sim_{sim}, cost_model_{cost_model} {}
+FlowNetwork::FlowNetwork(sim::Simulator& sim, TcpCostModel cost_model,
+                         RebalanceMode mode)
+    : sim_{sim}, cost_model_{cost_model}, mode_{mode} {}
 
 LinkId FlowNetwork::add_link(std::string name, Bandwidth cap) {
   PROPHET_CHECK(!cap.is_zero());
   links_.push_back(Link{std::move(name), cap});
   fill_.emplace_back();
-  busy_links_.push_back(0);
+  link_flows_.emplace_back();
+  link_epoch_.push_back(0);
   return static_cast<LinkId>(links_.size() - 1);
 }
 
@@ -112,29 +114,60 @@ std::ptrdiff_t FlowNetwork::find_slot(FlowId id) const {
 
 void FlowNetwork::set_link_capacity(LinkId id, Bandwidth cap) {
   PROPHET_CHECK(!cap.is_zero());
-  advance_to_now();
+  if (mode_ == RebalanceMode::kFull) {
+    advance_to_now();
+    link(id).cap = cap;
+    reassign_rates();
+    return;
+  }
+  // Settlement credits bytes at the rates in force before the change, which
+  // are stored per flow — safe to mutate the capacity first.
   link(id).cap = cap;
-  reassign_rates();
+  const LinkId seeds[1] = {id};
+  rebalance_from(seeds, 1);
 }
 
 Bandwidth FlowNetwork::link_capacity(LinkId id) const { return link(id).cap; }
 
 void FlowNetwork::set_link_state(LinkId id, bool up) {
   if (link(id).up == up) return;
-  advance_to_now();
+  if (mode_ == RebalanceMode::kFull) {
+    advance_to_now();
+    link(id).up = up;
+    reassign_rates();
+    return;
+  }
   link(id).up = up;
-  reassign_rates();
+  const LinkId seeds[1] = {id};
+  rebalance_from(seeds, 1);
 }
 
 bool FlowNetwork::link_state(LinkId id) const { return link(id).up; }
 
 std::int64_t FlowNetwork::link_total_bytes(LinkId id) {
-  advance_to_now();
+  if (mode_ == RebalanceMode::kFull) {
+    advance_to_now();
+    return static_cast<std::int64_t>(link(id).total_bytes);
+  }
+  const TimePoint now = sim_.now();
+  // Settling only this link's flows suffices for its byte/busy counters (the
+  // rest of the component keeps draining at unchanged rates).
+  comp_flows_.assign(link_flows_[id].begin(), link_flows_[id].end());
+  std::sort(comp_flows_.begin(), comp_flows_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return slots_[a].flow.admission < slots_[b].flow.admission;
+            });
+  for (const std::uint32_t slot : comp_flows_) settle_flow(slot, now);
+  settle_link_busy(id, now);
   return static_cast<std::int64_t>(link(id).total_bytes);
 }
 
 Duration FlowNetwork::link_busy_time(LinkId id) {
-  advance_to_now();
+  if (mode_ == RebalanceMode::kFull) {
+    advance_to_now();
+  } else {
+    settle_link_busy(id, sim_.now());
+  }
   return link(id).busy;
 }
 
@@ -144,9 +177,7 @@ void FlowNetwork::attach_link_tracker(LinkId id, BinnedSeries* series) {
 
 void FlowNetwork::set_capacity(NodeId id, Direction dir, Bandwidth cap) {
   PROPHET_CHECK(!cap.is_zero());
-  advance_to_now();
-  access_link(id, dir).cap = cap;
-  reassign_rates();
+  set_link_capacity(node_link(id, dir), cap);
 }
 
 Bandwidth FlowNetwork::capacity(NodeId id, Direction dir) const {
@@ -156,10 +187,19 @@ Bandwidth FlowNetwork::capacity(NodeId id, Direction dir) const {
 void FlowNetwork::set_link_up(NodeId id, bool up) {
   PROPHET_CHECK(id < nodes_.size());
   if (links_[nodes_[id].tx].up == up && links_[nodes_[id].rx].up == up) return;
-  advance_to_now();
+  if (mode_ == RebalanceMode::kFull) {
+    advance_to_now();
+    links_[nodes_[id].tx].up = up;
+    links_[nodes_[id].rx].up = up;
+    reassign_rates();
+    return;
+  }
+  // Both access links flip at once: one rebalance over the union of their
+  // components (they are usually disjoint — tx carries sends, rx receives).
   links_[nodes_[id].tx].up = up;
   links_[nodes_[id].rx].up = up;
-  reassign_rates();
+  const LinkId seeds[2] = {nodes_[id].tx, nodes_[id].rx};
+  rebalance_from(seeds, 2);
 }
 
 bool FlowNetwork::link_up(NodeId id) const {
@@ -204,6 +244,7 @@ FlowId FlowNetwork::start_flow(NodeId src, NodeId dst, Bytes size,
   } else {
     slot = static_cast<std::uint32_t>(slots_.size());
     slots_.emplace_back();
+    slot_epoch_.push_back(0);
   }
   FlowSlot& s = slots_[slot];
   s.occupied = true;
@@ -213,8 +254,11 @@ FlowId FlowNetwork::start_flow(NodeId src, NodeId dst, Bytes size,
   s.flow.draining = false;
   s.flow.rate = 0.0;
   s.flow.path_len = compute_path(src, dst, s.flow.path);
+  s.flow.admission = next_admission_++;
+  s.flow.last_settled = sim_.now();
   s.flow.on_complete = std::move(on_complete);
   s.flow.completion = sim::EventHandle{};
+  s.active_pos = static_cast<std::uint32_t>(active_.size());
   active_.push_back(slot);
   const FlowId id = make_id(s.generation, slot);
 
@@ -240,50 +284,129 @@ void FlowNetwork::attach_tracker(NodeId id, Direction dir, BinnedSeries* series)
 }
 
 std::int64_t FlowNetwork::total_bytes(NodeId id, Direction dir) {
-  advance_to_now();
-  return static_cast<std::int64_t>(access_link(id, dir).total_bytes);
+  return link_total_bytes(node_link(id, dir));
 }
 
 Duration FlowNetwork::busy_time(NodeId id, Direction dir) {
-  advance_to_now();
-  return access_link(id, dir).busy;
+  return link_busy_time(node_link(id, dir));
 }
 
-void FlowNetwork::advance_to_now() {
-  const TimePoint now = sim_.now();
-  if (now == last_update_) return;
-  const double elapsed_s = (now - last_update_).to_seconds();
-  std::fill(busy_links_.begin(), busy_links_.end(), 0);
-  for (const std::uint32_t slot : active_) {
-    Flow& flow = slots_[slot].flow;
-    if (!flow.draining || flow.rate <= 0.0) continue;
-    const double drained = std::min(flow.remaining, flow.rate * elapsed_s);
-    flow.remaining -= drained;
-    for (std::uint8_t i = 0; i < flow.path_len; ++i) {
-      Link& l = links_[flow.path[i]];
-      l.total_bytes += drained;
-      if (l.tracker != nullptr) l.tracker->add_amount_spread(last_update_, now, drained);
-      busy_links_[flow.path[i]] = 1;
+// --- incremental engine -----------------------------------------------------
+
+void FlowNetwork::graph_insert(std::uint32_t slot) {
+  Flow& f = slots_[slot].flow;
+  for (std::uint8_t i = 0; i < f.path_len; ++i) {
+    std::vector<std::uint32_t>& flows = link_flows_[f.path[i]];
+    f.link_pos[i] = static_cast<std::uint32_t>(flows.size());
+    flows.push_back(slot);
+  }
+}
+
+void FlowNetwork::graph_remove(std::uint32_t slot) {
+  Flow& f = slots_[slot].flow;
+  for (std::uint8_t i = 0; i < f.path_len; ++i) {
+    const LinkId l = f.path[i];
+    std::vector<std::uint32_t>& flows = link_flows_[l];
+    const std::uint32_t pos = f.link_pos[i];
+    const std::uint32_t moved = flows.back();
+    flows[pos] = moved;
+    flows.pop_back();
+    if (moved != slot) {
+      Flow& mf = slots_[moved].flow;
+      for (std::uint8_t j = 0; j < mf.path_len; ++j) {
+        if (mf.path[j] == l) {
+          mf.link_pos[j] = pos;
+          break;
+        }
+      }
     }
   }
-  const Duration elapsed = now - last_update_;
-  for (std::size_t l = 0; l < links_.size(); ++l) {
-    if (busy_links_[l] != 0) links_[l].busy += elapsed;
-  }
-  last_update_ = now;
 }
 
-void FlowNetwork::reassign_rates() {
+void FlowNetwork::collect_component(const LinkId* seeds, std::size_t n_seeds) {
+  ++epoch_;
+  comp_links_.clear();
+  comp_flows_.clear();
+  for (std::size_t i = 0; i < n_seeds; ++i) {
+    const LinkId l = seeds[i];
+    if (link_epoch_[l] == epoch_) continue;
+    link_epoch_[l] = epoch_;
+    comp_links_.push_back(l);
+  }
+  // Frontier expansion: a link pulls in its draining flows, a flow pulls in
+  // every link on its path.
+  for (std::size_t i = 0; i < comp_links_.size(); ++i) {
+    const LinkId l = comp_links_[i];
+    for (const std::uint32_t slot : link_flows_[l]) {
+      if (slot_epoch_[slot] == epoch_) continue;
+      slot_epoch_[slot] = epoch_;
+      comp_flows_.push_back(slot);
+      const Flow& f = slots_[slot].flow;
+      for (std::uint8_t p = 0; p < f.path_len; ++p) {
+        const LinkId pl = f.path[p];
+        if (link_epoch_[pl] == epoch_) continue;
+        link_epoch_[pl] = epoch_;
+        comp_links_.push_back(pl);
+      }
+    }
+  }
+  // Admission order is the deterministic walk order everywhere (it is what
+  // the full algorithm uses), independent of discovery order.
+  std::sort(comp_flows_.begin(), comp_flows_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return slots_[a].flow.admission < slots_[b].flow.admission;
+            });
+}
+
+void FlowNetwork::settle_flow(std::uint32_t slot, TimePoint now) {
+  Flow& f = slots_[slot].flow;
+  if (f.last_settled == now) return;
+  if (f.draining && f.rate > 0.0) {
+    const double elapsed_s = (now - f.last_settled).to_seconds();
+    const double drained = std::min(f.remaining, f.rate * elapsed_s);
+    f.remaining -= drained;
+    for (std::uint8_t i = 0; i < f.path_len; ++i) {
+      Link& l = links_[f.path[i]];
+      l.total_bytes += drained;
+      if (l.tracker != nullptr) {
+        // The rate is constant over [last_settled, now] (rate changes always
+        // settle first), so one uniform spread is exact.
+        l.tracker->add_amount_spread(f.last_settled, now, drained);
+      }
+    }
+  }
+  f.last_settled = now;
+}
+
+void FlowNetwork::settle_link_busy(LinkId id, TimePoint now) {
+  Link& l = links_[id];
+  if (l.busy_active) l.busy += now - l.busy_mark;
+  l.busy_mark = now;
+}
+
+void FlowNetwork::settle_component(TimePoint now) {
+  for (const std::uint32_t slot : comp_flows_) settle_flow(slot, now);
+  for (const LinkId l : comp_links_) settle_link_busy(l, now);
+}
+
+void FlowNetwork::rebalance_from(const LinkId* seeds, std::size_t n_seeds) {
+  collect_component(seeds, n_seeds);
+  settle_component(sim_.now());
+  refill_component();
+}
+
+template <typename SetRate>
+void FlowNetwork::progressive_fill(const std::vector<std::uint32_t>& flow_slots,
+                                   SetRate&& set_rate) {
   // Progressive filling: repeatedly saturate the link with the smallest fair
   // share, freeze its flows at that rate, remove the consumed capacity. Only
   // links that carry a draining flow participate; everything runs out of
   // persistent scratch, so steady-state reassignment allocates nothing.
   unfrozen_.clear();
   active_links_.clear();
-  for (const std::uint32_t slot : active_) {
-    Flow& flow = slots_[slot].flow;
-    if (!flow.draining) continue;
-    flow.rate = 0.0;
+  for (const std::uint32_t slot : flow_slots) {
+    const Flow& flow = slots_[slot].flow;
+    set_rate(slot, 0.0);
     unfrozen_.push_back(slot);
     for (std::uint8_t i = 0; i < flow.path_len; ++i) {
       const LinkId l = flow.path[i];
@@ -322,75 +445,234 @@ void FlowNetwork::reassign_rates() {
     bool froze_any = false;
     std::size_t kept = 0;
     for (std::size_t i = 0; i < remaining; ++i) {
-      Flow& f = slots_[unfrozen_[i]].flow;
+      const std::uint32_t slot = unfrozen_[i];
+      const Flow& f = slots_[slot].flow;
       if (is_tight(f)) {
-        f.rate = min_share;
+        set_rate(slot, min_share);
         for (std::uint8_t p = 0; p < f.path_len; ++p) {
           fill_[f.path[p]].cap -= min_share;
           --fill_[f.path[p]].unfrozen;
         }
         froze_any = true;
       } else {
-        unfrozen_[kept++] = unfrozen_[i];
+        unfrozen_[kept++] = slot;
       }
     }
     remaining = kept;
     PROPHET_CHECK_MSG(froze_any, "progressive filling made no progress");
   }
+}
 
-  // Reschedule completions at the new rates.
-  for (const std::uint32_t slot : active_) {
-    Flow& flow = slots_[slot].flow;
-    if (!flow.draining) continue;
-    flow.completion.cancel();
-    const FlowId fid = make_id(slots_[slot].generation, slot);
-    if (flow.remaining <= kDrainEpsilon) {
-      flow.completion =
-          sim_.schedule_after(Duration::zero(), [this, fid] { complete_flow(fid); });
-    } else if (flow.rate > 0.0) {
-      const Duration eta = Duration::from_seconds(flow.remaining / flow.rate);
-      flow.completion = sim_.schedule_after(eta, [this, fid] { complete_flow(fid); });
+void FlowNetwork::reschedule_completion(std::uint32_t slot) {
+  Flow& flow = slots_[slot].flow;
+  flow.completion.cancel();
+  const FlowId fid = make_id(slots_[slot].generation, slot);
+  if (flow.remaining <= kDrainEpsilon) {
+    flow.completion =
+        sim_.schedule_after(Duration::zero(), [this, fid] { complete_flow(fid); });
+  } else if (flow.rate > 0.0) {
+    const Duration eta = Duration::from_seconds(flow.remaining / flow.rate);
+    flow.completion = sim_.schedule_after(eta, [this, fid] { complete_flow(fid); });
+  }
+  // rate == 0 (fully starved link) leaves the flow parked until the next
+  // rebalance; set_capacity / flow departures will wake it.
+}
+
+void FlowNetwork::refill_component() {
+  // A departure between collect and refill leaves a freed (or no longer
+  // draining) slot in the buffer; compact it out before filling.
+  std::size_t kept = 0;
+  for (const std::uint32_t slot : comp_flows_) {
+    if (slots_[slot].occupied && slots_[slot].flow.draining) {
+      comp_flows_[kept++] = slot;
     }
-    // rate == 0 (fully starved link) leaves the flow parked until the next
-    // reassignment; set_capacity / flow departures will wake it.
+  }
+  comp_flows_.resize(kept);
+
+  progressive_fill(comp_flows_,
+                   [&](std::uint32_t slot, double r) { slots_[slot].flow.rate = r; });
+
+  // Busy flags: a component link is busy while any of its draining flows has
+  // a positive rate (marks were just settled to now by settle_component).
+  for (const LinkId l : comp_links_) {
+    bool active = false;
+    for (const std::uint32_t slot : link_flows_[l]) {
+      if (slots_[slot].flow.rate > 0.0) {
+        active = true;
+        break;
+      }
+    }
+    links_[l].busy_active = active;
+  }
+
+  // Reschedule completions at the new rates (admission order, so same-instant
+  // completions keep their deterministic tie-break).
+  for (const std::uint32_t slot : comp_flows_) reschedule_completion(slot);
+
+  if (verify_rates_) verify_against_full();
+}
+
+void FlowNetwork::gather_draining_by_admission(std::vector<std::uint32_t>& out) const {
+  out.clear();
+  for (const std::uint32_t slot : active_) {
+    if (slots_[slot].flow.draining) out.push_back(slot);
+  }
+  std::sort(out.begin(), out.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return slots_[a].flow.admission < slots_[b].flow.admission;
+  });
+}
+
+void FlowNetwork::verify_against_full() {
+  gather_draining_by_admission(all_draining_);
+  verify_rate_.assign(slots_.size(), 0.0);
+  progressive_fill(all_draining_,
+                   [&](std::uint32_t slot, double r) { verify_rate_[slot] = r; });
+  for (const std::uint32_t slot : all_draining_) {
+    const Flow& f = slots_[slot].flow;
+    PROPHET_CHECK_MSG(f.rate == verify_rate_[slot],
+                      "incremental rebalance diverged from full recompute");
   }
 }
 
+void FlowNetwork::remove_active(std::uint32_t slot) {
+  const std::uint32_t pos = slots_[slot].active_pos;
+  const std::uint32_t moved = active_.back();
+  active_[pos] = moved;
+  active_.pop_back();
+  if (moved != slot) slots_[moved].active_pos = pos;
+}
+
+void FlowNetwork::release_slot(std::uint32_t slot) {
+  FlowSlot& s = slots_[slot];
+  s.flow.on_complete = nullptr;
+  s.flow.completion = sim::EventHandle{};
+  s.flow.draining = false;
+  s.occupied = false;
+  ++s.generation;
+  free_slots_.push_back(slot);
+  remove_active(slot);
+}
+
+// --- original full-recompute path -------------------------------------------
+
+void FlowNetwork::advance_to_now() {
+  const TimePoint now = sim_.now();
+  if (now == last_update_) return;
+  const double elapsed_s = (now - last_update_).to_seconds();
+  gather_draining_by_admission(all_draining_);
+  for (const std::uint32_t slot : all_draining_) {
+    Flow& flow = slots_[slot].flow;
+    flow.last_settled = now;
+    if (flow.rate <= 0.0) continue;
+    const double drained = std::min(flow.remaining, flow.rate * elapsed_s);
+    flow.remaining -= drained;
+    for (std::uint8_t i = 0; i < flow.path_len; ++i) {
+      Link& l = links_[flow.path[i]];
+      l.total_bytes += drained;
+      if (l.tracker != nullptr) l.tracker->add_amount_spread(last_update_, now, drained);
+    }
+  }
+  const Duration elapsed = now - last_update_;
+  for (Link& l : links_) {
+    if (l.busy_active) l.busy += elapsed;
+    l.busy_mark = now;
+  }
+  last_update_ = now;
+}
+
+void FlowNetwork::reassign_rates() {
+  gather_draining_by_admission(all_draining_);
+  progressive_fill(all_draining_,
+                   [&](std::uint32_t slot, double r) { slots_[slot].flow.rate = r; });
+  for (Link& l : links_) l.busy_active = false;
+  for (const std::uint32_t slot : all_draining_) {
+    const Flow& flow = slots_[slot].flow;
+    if (flow.rate <= 0.0) continue;
+    for (std::uint8_t i = 0; i < flow.path_len; ++i) {
+      links_[flow.path[i]].busy_active = true;
+    }
+  }
+  // Reschedule completions at the new rates.
+  for (const std::uint32_t slot : all_draining_) reschedule_completion(slot);
+}
+
 void FlowNetwork::enter_drain(FlowId id) {
-  const std::ptrdiff_t slot = find_slot(id);
+  const std::ptrdiff_t found = find_slot(id);
   // The flow may have been cancelled while still in setup; its ramp event
   // then fires against a stale id and must be inert.
-  if (slot < 0) return;
-  advance_to_now();
-  slots_[static_cast<std::size_t>(slot)].flow.draining = true;
-  reassign_rates();
+  if (found < 0) return;
+  const auto slot = static_cast<std::uint32_t>(found);
+  if (mode_ == RebalanceMode::kFull) {
+    advance_to_now();
+    slots_[slot].flow.draining = true;
+    graph_insert(slot);
+    reassign_rates();
+    return;
+  }
+  const TimePoint now = sim_.now();
+  Flow& f = slots_[slot].flow;
+  // The arrival may bridge previously independent components; its whole path
+  // seeds the frontier.
+  std::array<LinkId, kMaxPathLinks> seeds = f.path;
+  collect_component(seeds.data(), f.path_len);
+  settle_component(now);
+  f.draining = true;
+  f.last_settled = now;
+  graph_insert(slot);
+  comp_flows_.push_back(slot);
+  std::sort(comp_flows_.begin(), comp_flows_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return slots_[a].flow.admission < slots_[b].flow.admission;
+            });
+  refill_component();
 }
 
 Bytes FlowNetwork::cancel_flow(FlowId id) {
   const std::ptrdiff_t found = find_slot(id);
   if (found < 0) return Bytes::zero();
   const auto slot = static_cast<std::uint32_t>(found);
-  advance_to_now();
+  if (mode_ == RebalanceMode::kFull) {
+    advance_to_now();
+    FlowSlot& s = slots_[slot];
+    const auto remaining =
+        static_cast<std::int64_t>(std::ceil(s.flow.remaining - kDrainEpsilon));
+    s.flow.completion.cancel();
+    if (s.flow.draining) graph_remove(slot);
+    release_slot(slot);
+    reassign_rates();
+    return Bytes::of(std::max<std::int64_t>(remaining, 0));
+  }
+  const TimePoint now = sim_.now();
   FlowSlot& s = slots_[slot];
-  // Round the fractional residue up: a resuming retry must cover every byte
-  // the drain did not fully deliver.
+  if (s.flow.draining) {
+    std::array<LinkId, kMaxPathLinks> seeds = s.flow.path;
+    const std::uint8_t n_seeds = s.flow.path_len;
+    collect_component(seeds.data(), n_seeds);
+    settle_component(now);
+    const auto remaining =
+        static_cast<std::int64_t>(std::ceil(s.flow.remaining - kDrainEpsilon));
+    s.flow.completion.cancel();
+    graph_remove(slot);
+    release_slot(slot);
+    refill_component();
+    return Bytes::of(std::max<std::int64_t>(remaining, 0));
+  }
+  // Still in setup: the flow held no capacity, so no rates change.
   const auto remaining =
       static_cast<std::int64_t>(std::ceil(s.flow.remaining - kDrainEpsilon));
   s.flow.completion.cancel();
-  s.flow.on_complete = nullptr;
-  s.flow.completion = sim::EventHandle{};
-  s.occupied = false;
-  ++s.generation;
-  free_slots_.push_back(slot);
-  active_.erase(std::find(active_.begin(), active_.end(), slot));
-  reassign_rates();
+  release_slot(slot);
   return Bytes::of(std::max<std::int64_t>(remaining, 0));
 }
 
 double FlowNetwork::flow_remaining_bytes(FlowId id) {
   const std::ptrdiff_t slot = find_slot(id);
   if (slot < 0) return 0.0;
-  advance_to_now();
+  if (mode_ == RebalanceMode::kFull) {
+    advance_to_now();
+  } else {
+    settle_flow(static_cast<std::uint32_t>(slot), sim_.now());
+  }
   return slots_[static_cast<std::size_t>(slot)].flow.remaining;
 }
 
@@ -398,18 +680,30 @@ void FlowNetwork::complete_flow(FlowId id) {
   const std::ptrdiff_t found = find_slot(id);
   if (found < 0) return;
   const auto slot = static_cast<std::uint32_t>(found);
-  advance_to_now();
+  if (mode_ == RebalanceMode::kFull) {
+    advance_to_now();
+    FlowSlot& s = slots_[slot];
+    PROPHET_CHECK_MSG(s.flow.remaining <= 1.0,
+                      "flow completion fired with bytes still pending");
+    auto on_complete = std::move(s.flow.on_complete);
+    if (s.flow.draining) graph_remove(slot);
+    release_slot(slot);
+    reassign_rates();
+    if (on_complete) on_complete(id);
+    return;
+  }
+  const TimePoint now = sim_.now();
   FlowSlot& s = slots_[slot];
+  std::array<LinkId, kMaxPathLinks> seeds = s.flow.path;
+  const std::uint8_t n_seeds = s.flow.path_len;
+  collect_component(seeds.data(), n_seeds);
+  settle_component(now);
   PROPHET_CHECK_MSG(s.flow.remaining <= 1.0,
                     "flow completion fired with bytes still pending");
   auto on_complete = std::move(s.flow.on_complete);
-  s.flow.on_complete = nullptr;
-  s.flow.completion = sim::EventHandle{};
-  s.occupied = false;
-  ++s.generation;
-  free_slots_.push_back(slot);
-  active_.erase(std::find(active_.begin(), active_.end(), slot));
-  reassign_rates();
+  graph_remove(slot);
+  release_slot(slot);
+  refill_component();
   if (on_complete) on_complete(id);
 }
 

@@ -32,9 +32,20 @@
 //
 // Flows live in a slab: each admitted flow occupies a reusable slot and its
 // FlowId encodes {generation, slot}, so admission allocates nothing in
-// steady state and stale ids are recognized cheaply. Rate reassignment works
-// from persistent scratch buffers and only walks the links that currently
-// carry draining flows.
+// steady state and stale ids are recognized cheaply.
+//
+// Rate maintenance is *incremental*: the network keeps the flow<->link
+// contention graph explicit (per-link lists of draining flows), and a flow
+// arrival/departure or a link capacity/state change rebalances only the
+// connected component of that graph reachable from the dirty links. Flows in
+// other components keep their rates, their byte accounting (settled lazily,
+// per flow, against piecewise-constant rates) and their already-scheduled
+// completion events. Max-min allocations are component-local, so the rates
+// are the ones a full recompute would produce — a property the differential
+// verification mode (`set_verify_rates`) checks bit-for-bit against the
+// retained full algorithm after every rebalance. `RebalanceMode::kFull`
+// keeps the original whole-network path alive as the reference baseline
+// (bench/scale measures incremental speedup against it).
 #pragma once
 
 #include <array>
@@ -63,14 +74,27 @@ inline constexpr RackId kNoRack = 0xffffffffu;
 
 enum class Direction { kTx, kRx };
 
+// How rate reassignment reacts to a contention change. kIncremental walks
+// only the affected connected component of the flow<->link graph;
+// kFull re-runs progressive filling over the whole network on every change
+// (the original algorithm, kept as the reference/bench baseline).
+enum class RebalanceMode { kIncremental, kFull };
+
 class FlowNetwork {
  public:
   // Longest possible path: access tx, rack uplink, rack downlink, access rx.
   static constexpr std::size_t kMaxPathLinks = 4;
 
-  FlowNetwork(sim::Simulator& sim, TcpCostModel cost_model);
+  FlowNetwork(sim::Simulator& sim, TcpCostModel cost_model,
+              RebalanceMode mode = RebalanceMode::kIncremental);
   FlowNetwork(const FlowNetwork&) = delete;
   FlowNetwork& operator=(const FlowNetwork&) = delete;
+
+  [[nodiscard]] RebalanceMode rebalance_mode() const { return mode_; }
+  // When enabled (tests), every incremental rebalance is followed by a full
+  // progressive-filling recompute over the whole network and each draining
+  // flow's rate is checked bit-identical against it; aborts on divergence.
+  void set_verify_rates(bool on) { verify_rates_ = on; }
 
   NodeId add_node(std::string name, Bandwidth egress, Bandwidth ingress);
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
@@ -153,13 +177,17 @@ class FlowNetwork {
  private:
   // The unit of capacity and contention (an access port or a shared rack
   // uplink). `up` is per-link so a rack uplink can fail independently of the
-  // hosts behind it.
+  // hosts behind it. `busy_active`/`busy_mark` accrue busy time exactly
+  // between contention changes (a link is busy while it carries at least one
+  // positive-rate draining flow).
   struct Link {
     std::string name;
     Bandwidth cap;
     bool up = true;
+    bool busy_active = false;
     double total_bytes = 0.0;
     Duration busy{};
+    TimePoint busy_mark{};
     BinnedSeries* tracker = nullptr;
   };
   struct Node {
@@ -176,20 +204,30 @@ class FlowNetwork {
   struct Flow {
     NodeId src;
     NodeId dst;
-    double remaining;  // bytes left to drain
+    double remaining;  // bytes left to drain, settled to `last_settled`
     bool draining = false;
     double rate = 0.0;  // bytes/s, valid while draining
     // The link path, fixed at admission (src.tx first, dst.rx last).
     std::array<LinkId, kMaxPathLinks> path;
     std::uint8_t path_len = 0;
+    // This flow's index inside link_flows_[path[i]] while draining, so the
+    // contention graph supports O(1) swap-and-pop removal.
+    std::array<std::uint32_t, kMaxPathLinks> link_pos;
+    // Admission order, the deterministic tie-break every walk uses.
+    std::uint64_t admission = 0;
+    // Byte accounting is lazy: remaining/link totals are settled per flow
+    // from its piecewise-constant rate when its component is next touched.
+    TimePoint last_settled{};
     std::function<void(FlowId)> on_complete;
     sim::EventHandle completion;
   };
   // One slab entry; `generation` advances when the slot is recycled so stale
-  // FlowIds stop resolving.
+  // FlowIds stop resolving. `active_pos` is the slot's index in active_
+  // (swap-and-pop slot->index map).
   struct FlowSlot {
     Flow flow;
     std::uint32_t generation = 1;
+    std::uint32_t active_pos = 0;
     bool occupied = false;
   };
   // Per-link scratch for progressive filling (persistent across calls).
@@ -213,32 +251,83 @@ class FlowNetwork {
   std::uint8_t compute_path(NodeId src, NodeId dst,
                             std::array<LinkId, kMaxPathLinks>& out) const;
 
+  // --- incremental engine --------------------------------------------------
+  // Contention-graph maintenance (draining flows only).
+  void graph_insert(std::uint32_t slot);
+  void graph_remove(std::uint32_t slot);
+  // BFS over the contention graph from `seeds` into comp_links_/comp_flows_
+  // (flows sorted by admission). Seeds are always included in comp_links_.
+  void collect_component(const LinkId* seeds, std::size_t n_seeds);
+  // Credits the flow's drained bytes to its links for [last_settled, now].
+  void settle_flow(std::uint32_t slot, TimePoint now);
+  // Accrues the link's busy time to `now`.
+  void settle_link_busy(LinkId id, TimePoint now);
+  // Settles every flow and link of the component already in comp_* buffers.
+  void settle_component(TimePoint now);
+  // Settles + re-runs progressive filling + reschedules completions for the
+  // component reachable from `seeds` (call after mutating caps/link state;
+  // for arrivals/departures, mutate the graph between collect and fill — see
+  // enter_drain / complete_flow).
+  void rebalance_from(const LinkId* seeds, std::size_t n_seeds);
+  // Progressive filling over `flow_slots` (admission-sorted, draining);
+  // set_rate(slot, rate) receives every assignment. Uses fill_/scratch.
+  template <typename SetRate>
+  void progressive_fill(const std::vector<std::uint32_t>& flow_slots,
+                        SetRate&& set_rate);
+  // Filling + busy-flag refresh + completion rescheduling for comp_flows_.
+  void refill_component();
+  // Cancels + reschedules the completion event of one draining flow.
+  void reschedule_completion(std::uint32_t slot);
+  // Asserts every draining flow's rate matches a full recompute bit-for-bit.
+  void verify_against_full();
+  // All draining flow slots, in admission order (full/verify paths).
+  void gather_draining_by_admission(std::vector<std::uint32_t>& out) const;
+  void remove_active(std::uint32_t slot);
+
+  // --- original full-recompute path (RebalanceMode::kFull) -----------------
   // Credits drained bytes / busy time for [last_update_, now] at current
-  // rates, then sets last_update_ = now. Must precede any rate change.
+  // rates for every flow, then sets last_update_ = now.
   void advance_to_now();
-  // Recomputes max-min fair rates and reschedules completion events.
+  // Recomputes max-min fair rates and reschedules completion events for the
+  // whole network.
   void reassign_rates();
+
   void enter_drain(FlowId id);
   void complete_flow(FlowId id);
+  void release_slot(std::uint32_t slot);
 
   sim::Simulator& sim_;
   TcpCostModel cost_model_;
+  RebalanceMode mode_;
+  bool verify_rates_ = false;
   std::vector<Node> nodes_;
   std::vector<Rack> racks_;
   std::vector<Link> links_;
   std::vector<FlowSlot> slots_;
   std::vector<std::uint32_t> free_slots_;
-  // Slots of admitted flows, in admission order (completion removes in
-  // place, preserving order — rate reassignment and byte crediting walk
-  // flows in this deterministic order).
+  // Slots of admitted flows, unordered (swap-and-pop via FlowSlot::active_pos;
+  // deterministic walks sort by Flow::admission instead).
   std::vector<std::uint32_t> active_;
+  std::uint64_t next_admission_ = 0;
+  // Full-recompute mode's global settlement clock.
   TimePoint last_update_{};
+
+  // The explicit contention graph: draining flows on each link.
+  std::vector<std::vector<std::uint32_t>> link_flows_;
 
   // Persistent scratch (sized to the link/flow counts, reused every call).
   std::vector<LinkFill> fill_;
   std::vector<std::uint32_t> unfrozen_;
   std::vector<LinkId> active_links_;
-  std::vector<char> busy_links_;
+  // Component-BFS scratch: visited stamps + the collected component.
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint64_t> link_epoch_;
+  std::vector<std::uint64_t> slot_epoch_;
+  std::vector<LinkId> comp_links_;
+  std::vector<std::uint32_t> comp_flows_;
+  // Full/verify-path scratch.
+  std::vector<std::uint32_t> all_draining_;
+  std::vector<double> verify_rate_;
 };
 
 }  // namespace prophet::net

@@ -32,7 +32,8 @@ ClusterResult Cluster::run(std::optional<std::size_t> measure_first) {
   const ClusterConfig& cfg = config_;
   sim::Simulator sim;
   const net::TcpCostModel cost{cfg.tcp};
-  net::FlowNetwork network{sim, cost};
+  net::FlowNetwork network{sim, cost, cfg.rate_rebalance};
+  network.set_verify_rates(cfg.verify_rates);
   net::BuiltTopology topology{network, cfg.resolved_topology()};
 
   JobRuntime job{sim, network, topology, cfg};

@@ -72,6 +72,15 @@ struct ClusterConfig {
   std::vector<Bandwidth> worker_bandwidth_override;
   Bandwidth ps_bandwidth = Bandwidth::gbps(10);
 
+  // Rate-rebalance engine for the shared FlowNetwork: kIncremental (default)
+  // rebalances only the contention component a change touches; kFull re-runs
+  // the original whole-network recompute (kept as the reference baseline —
+  // bench/scale measures one against the other). `verify_rates` makes every
+  // incremental rebalance differential-check its rates bit-for-bit against a
+  // full recompute; test-only, it aborts on divergence.
+  net::RebalanceMode rate_rebalance = net::RebalanceMode::kIncremental;
+  bool verify_rates = false;
+
   // PS-side aggregation + optimizer step applied per updated key: the PS is
   // CPU-bound (sums W gradient copies and runs the optimizer), a well-known
   // parameter-server bottleneck.

@@ -13,6 +13,14 @@
 // unordered_map hash order. The flow-scenario hash below is therefore the
 // post-change capture; the scenario's completion *times*, byte totals, busy
 // time, and event counts are pinned to the pre-change values.
+//
+// Incremental max-min recomputation (RebalanceMode::kIncremental, now the
+// default) moved NO goldens: component-local rebalance reproduces the full
+// algorithm's rates bit-identically (tests/test_incremental_rates.cpp proves
+// this per-event under verify mode) and, in these scenarios, the identical
+// event trajectories too. The flow and cluster goldens below therefore run
+// under BOTH modes against the same constants — if a future change moves one
+// mode but not the other, the failure pinpoints which engine diverged.
 #include <cstdint>
 #include <vector>
 
@@ -237,9 +245,9 @@ TEST(GoldenSim, MixedCancelAndPeriodicTrace) {
 
 // --- FlowNetwork goldens ----------------------------------------------------
 
-TEST(GoldenFlows, ChurnWithDynamicsTrace) {
+void run_churn_with_dynamics(net::RebalanceMode mode) {
   sim::Simulator sim;
-  net::FlowNetwork net{sim, net::TcpCostModel{}};
+  net::FlowNetwork net{sim, net::TcpCostModel{}, mode};
   const auto ps = net.add_node("ps", Bandwidth::gbps(10), Bandwidth::gbps(10));
   std::vector<net::NodeId> workers;
   for (int i = 0; i < 4; ++i)
@@ -279,9 +287,18 @@ TEST(GoldenFlows, ChurnWithDynamicsTrace) {
   EXPECT_EQ(h, 11853743091979687350ull);
 }
 
+TEST(GoldenFlows, ChurnWithDynamicsTrace) {
+  run_churn_with_dynamics(net::RebalanceMode::kIncremental);
+}
+
+TEST(GoldenFlows, ChurnWithDynamicsTraceFullRebalance) {
+  run_churn_with_dynamics(net::RebalanceMode::kFull);
+}
+
 // --- Full-cluster goldens ---------------------------------------------------
 
-ps::ClusterResult run_golden_cluster(const ps::StrategyConfig& strategy) {
+ps::ClusterResult run_golden_cluster(const ps::StrategyConfig& strategy,
+                                     net::RebalanceMode mode) {
   ps::ClusterConfig cfg;
   cfg.model = dnn::resnet50();
   cfg.num_workers = 3;
@@ -290,21 +307,40 @@ ps::ClusterResult run_golden_cluster(const ps::StrategyConfig& strategy) {
   cfg.worker_bandwidth = Bandwidth::gbps(3);
   cfg.strategy = strategy;
   cfg.strategy.prophet_config.profile_iterations = 4;
+  cfg.rate_rebalance = mode;
   return ps::run_cluster(cfg, 5);
 }
 
-TEST(GoldenCluster, FifoTrace) {
-  const auto result = run_golden_cluster(ps::StrategyConfig::fifo());
+void expect_fifo_golden(const ps::ClusterResult& result) {
   EXPECT_EQ(result.events_fired, 36038u);
   EXPECT_EQ(result.simulated_time.count_nanos(), 11089550816);
   EXPECT_EQ(static_cast<std::int64_t>(result.mean_rate() * 100.0), 5618);
 }
 
-TEST(GoldenCluster, ProphetTrace) {
-  const auto result = run_golden_cluster(ps::StrategyConfig::prophet());
+void expect_prophet_golden(const ps::ClusterResult& result) {
   EXPECT_EQ(result.events_fired, 10838u);
   EXPECT_EQ(result.simulated_time.count_nanos(), 8484657037);
   EXPECT_EQ(static_cast<std::int64_t>(result.mean_rate() * 100.0), 7537);
+}
+
+TEST(GoldenCluster, FifoTrace) {
+  expect_fifo_golden(run_golden_cluster(ps::StrategyConfig::fifo(),
+                                        net::RebalanceMode::kIncremental));
+}
+
+TEST(GoldenCluster, FifoTraceFullRebalance) {
+  expect_fifo_golden(run_golden_cluster(ps::StrategyConfig::fifo(),
+                                        net::RebalanceMode::kFull));
+}
+
+TEST(GoldenCluster, ProphetTrace) {
+  expect_prophet_golden(run_golden_cluster(ps::StrategyConfig::prophet(),
+                                           net::RebalanceMode::kIncremental));
+}
+
+TEST(GoldenCluster, ProphetTraceFullRebalance) {
+  expect_prophet_golden(run_golden_cluster(ps::StrategyConfig::prophet(),
+                                           net::RebalanceMode::kFull));
 }
 
 // --- Event-pool mechanics ---------------------------------------------------

@@ -1,0 +1,107 @@
+// The executor's contract is that parallelism is invisible: every index runs
+// exactly once, and a sweep's merged byte stream is identical at 1, 2 and N
+// threads even when cells finish out of order.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "exec/executor.hpp"
+
+namespace prophet::exec {
+namespace {
+
+TEST(ParallelForIndex, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for_index(100, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForIndex, ZeroCountIsNoop) {
+  parallel_for_index(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelForIndex, SingleThreadFallback) {
+  std::vector<int> order;
+  parallel_for_index(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); },
+                     /*max_threads=*/1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForIndex, MoreThreadsThanWork) {
+  std::atomic<int> total{0};
+  parallel_for_index(3, [&](std::size_t i) { total += static_cast<int>(i); },
+                     /*max_threads=*/16);
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ParallelMap, PreservesOrder) {
+  std::vector<int> configs(50);
+  std::iota(configs.begin(), configs.end(), 0);
+  const std::function<int(const int&)> square = [](const int& x) { return x * x; };
+  const auto results = parallel_map<int, int>(configs, square);
+  ASSERT_EQ(results.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)], i * i);
+  }
+}
+
+// A cell whose runtime varies wildly with its index, so under >1 thread the
+// completion order is effectively guaranteed to differ from index order.
+CellResult jittery_cell(std::size_t i) {
+  // Busy-work proportional to a hash of the index — no clocks involved.
+  std::uint64_t h = (i + 1) * 0x9e3779b97f4a7c15ull;
+  volatile std::uint64_t sink = 0;
+  const std::uint64_t spins = (h >> 48) * 211;
+  for (std::uint64_t k = 0; k < spins; ++k) sink = sink + k * h;
+  CellResult cell;
+  cell.output = "cell " + std::to_string(i) + " value " + std::to_string(h % 997) + "\n";
+  cell.ok = (i % 7) != 3;
+  return cell;
+}
+
+TEST(RunSweep, MergedOutputIdenticalAcrossThreadCounts) {
+  constexpr std::size_t kCells = 40;
+  std::string reference;
+  std::size_t reference_failures = 0;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    std::ostringstream out;
+    const std::size_t failures = run_sweep(kCells, jittery_cell, out, threads);
+    if (threads == 1) {
+      reference = out.str();
+      reference_failures = failures;
+      ASSERT_FALSE(reference.empty());
+    } else {
+      EXPECT_EQ(out.str(), reference) << "thread count " << threads;
+      EXPECT_EQ(failures, reference_failures);
+    }
+  }
+}
+
+TEST(RunSweep, CountsFailedCells) {
+  std::ostringstream out;
+  const std::size_t failures = run_sweep(
+      10,
+      [](std::size_t i) {
+        return CellResult{.output = "", .ok = i % 2 == 0};
+      },
+      out, 4);
+  EXPECT_EQ(failures, 5u);
+}
+
+TEST(RunSweep, OutputInCanonicalOrderEvenWhenParallel) {
+  std::ostringstream out;
+  run_sweep(
+      16,
+      [](std::size_t i) {
+        return CellResult{.output = std::to_string(i) + ";", .ok = true};
+      },
+      out, 8);
+  EXPECT_EQ(out.str(), "0;1;2;3;4;5;6;7;8;9;10;11;12;13;14;15;");
+}
+
+}  // namespace
+}  // namespace prophet::exec
