@@ -1,0 +1,19 @@
+// fixture-path: src/sched/bad_primitives.cpp
+// R6 positive cases: threading primitives outside the sanctioned executor
+// files. Scheduling code must stay single-threaded; parallelism routes
+// through src/exec.
+#include <mutex>   // expect(R6)
+#include <atomic>  // expect(R6)
+
+namespace prophet::sched {
+
+void fixture_threaded_scan() {
+  std::mutex m;                        // expect(R6)
+  std::atomic<int> pending{0};         // expect(R6)
+  std::lock_guard<std::mutex> g(m);    // expect(R6)
+  thread_local int scratch = 0;        // expect(R6)
+  (void)pending;
+  (void)scratch;
+}
+
+}  // namespace prophet::sched

@@ -1,0 +1,20 @@
+// fixture-path: src/exec/fixture_pool.cpp
+// R6 sanctioned: src/exec IS the threading layer (see [r6-sanctioned]); the
+// same primitives that fire elsewhere are legal here. No diagnostics.
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace prophet::exec {
+
+void fixture_worker_pool(int n) {
+  std::atomic<int> next{0};
+  std::vector<std::thread> pool;
+  std::mutex gate;
+  (void)n;
+  (void)next;
+  (void)pool;
+  (void)gate;
+}
+
+}  // namespace prophet::exec

@@ -1,0 +1,15 @@
+// fixture-path: bench/fixture_harness.cpp
+// R6 applies to src/ only: a benchmark harness may time things with its own
+// threads. No diagnostics.
+#include <thread>
+
+namespace prophet_bench {
+
+void fixture_spin() {
+  std::thread t;
+  thread_local int laps = 0;
+  (void)t;
+  (void)laps;
+}
+
+}  // namespace prophet_bench

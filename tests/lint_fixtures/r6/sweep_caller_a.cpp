@@ -1,0 +1,13 @@
+// fixture-path: src/core/sweep_caller_a.cpp
+// Hands cells to the sweep executor, so every file in its include closure is
+// checked for mutable namespace-scope state (the finding lands in
+// sweep_state.hpp, not here).
+#include "core/sweep_state.hpp"
+
+namespace prophet::core {
+
+void fixture_sweep_a(const std::vector<int>& cells) {
+  exec::run_sweep(cells, [](const int& cell) { return cell + 1; });
+}
+
+}  // namespace prophet::core

@@ -1,0 +1,12 @@
+// fixture-path: src/core/sweep_caller_b.cpp
+// Second sweep caller over the same header: the g_cells_completed finding in
+// sweep_state.hpp must still be reported exactly once (dedup across callers).
+#include "core/sweep_state.hpp"
+
+namespace prophet::core {
+
+void fixture_sweep_b(const std::vector<int>& cells) {
+  exec::parallel_map<int, int>(cells, [](const int& cell) { return cell * 2; });
+}
+
+}  // namespace prophet::core

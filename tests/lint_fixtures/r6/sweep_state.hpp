@@ -1,0 +1,20 @@
+// fixture-path: src/core/sweep_state.hpp
+// R6 cross-file half: this header holds mutable namespace-scope state and is
+// included by BOTH sweep-calling fixtures (sweep_caller_a/b). Cells run
+// concurrently, so the global is flagged — exactly once, despite being
+// reachable through two callers (dedup by file:line:rule).
+namespace prophet::core {
+
+int g_cells_completed = 0;  // expect(R6)
+
+// Constants and types at namespace scope are fine: immutable state cannot
+// race, and declarations introduce no storage.
+constexpr int kMaxCells = 4096;
+const char* const kStageName = "fixture";
+inline int fixture_square(int x) { return x * x; }
+
+struct SweepCounters {
+  int attempted = 0;  // member, not namespace scope
+};
+
+}  // namespace prophet::core

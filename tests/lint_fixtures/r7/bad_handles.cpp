@@ -1,0 +1,27 @@
+// fixture-path: src/net/bad_handles.cpp
+// R7 positive cases: slab {slot, generation} handle misuse. FlowId packs a
+// generation tag precisely so a recycled slot cannot be confused with the
+// flow that used to live there; each pattern below defeats that.
+namespace prophet::net {
+
+void fixture_narrowing(FlowNetwork& net) {
+  FlowId flow = net.start_flow(1, 2, 100);
+  const auto raw = static_cast<std::uint32_t>(flow);  // expect(R7)
+  (void)raw;
+}
+
+void fixture_cross_pool(FlowNetwork& fabric_a, FlowNetwork& fabric_b) {
+  FlowId lhs = fabric_a.start_flow(1, 2, 100);
+  FlowId rhs = fabric_b.start_flow(3, 4, 200);
+  if (lhs == rhs) {  // expect(R7)
+    return;
+  }
+}
+
+void fixture_use_after_cancel(FlowNetwork& net) {
+  FlowId flow = net.start_flow(1, 2, 100);
+  net.cancel_flow(flow);
+  net.bytes_remaining(flow);  // expect(R7)
+}
+
+}  // namespace prophet::net

@@ -1,0 +1,36 @@
+// fixture-path: src/net/ok_handles.cpp
+// R7 negative cases: disciplined handle use. Full handles stored and passed,
+// same-pool comparison, re-acquisition after cancel, and cancel scoped out
+// before reuse. No diagnostics.
+namespace prophet::net {
+
+void fixture_full_handle(FlowNetwork& net) {
+  FlowId flow = net.start_flow(1, 2, 100);
+  net.bytes_remaining(flow);  // passing the whole handle keeps the generation
+}
+
+void fixture_same_pool(FlowNetwork& net) {
+  FlowId first = net.start_flow(1, 2, 100);
+  FlowId second = net.start_flow(3, 4, 200);
+  if (first == second) {  // same pool: comparison is well-defined
+    return;
+  }
+}
+
+void fixture_reacquire(FlowNetwork& net) {
+  FlowId flow = net.start_flow(1, 2, 100);
+  net.cancel_flow(flow);
+  flow = net.start_flow(5, 6, 300);  // reassigned: live again
+  net.bytes_remaining(flow);
+}
+
+void fixture_cancel_scoped_out(FlowNetwork& net, bool abort_early) {
+  FlowId flow = net.start_flow(1, 2, 100);
+  if (abort_early) {
+    net.cancel_flow(flow);
+    return;
+  }
+  net.bytes_remaining(flow);  // the cancel happened in a sibling scope
+}
+
+}  // namespace prophet::net

@@ -1,0 +1,14 @@
+// fixture-path: src/net/flow_network.cpp
+// R7 sanctioned: the slab implementation itself is the one place allowed to
+// unpack a handle — it packs FlowId as (generation << 32 | slot) and decodes
+// it behind a liveness check. No diagnostics.
+namespace prophet::net {
+
+std::uint32_t fixture_find_slot(FlowId id) {
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  (void)generation;
+  return slot;
+}
+
+}  // namespace prophet::net

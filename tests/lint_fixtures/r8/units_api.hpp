@@ -1,0 +1,9 @@
+// fixture-path: src/sched/units_api.hpp
+// Declares a unit-tagged signature for the cross-file call-site check: the
+// caller fixture (units_caller.cpp) passes arguments whose tags are compared
+// against these declared parameter names via the project index.
+namespace prophet::sched {
+
+void fixture_arm_timer(std::int64_t fire_at_ns, std::int64_t payload_bytes);
+
+}  // namespace prophet::sched

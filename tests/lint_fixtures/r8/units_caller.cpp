@@ -1,0 +1,16 @@
+// fixture-path: src/sched/units_caller.cpp
+// R8 call-site half: a bare tagged identifier passed where the declared
+// parameter (see units_api.hpp) carries a different tag. The matching-unit
+// and untagged calls below it must stay silent.
+#include "sched/units_api.hpp"
+
+namespace prophet::sched {
+
+void fixture_calls(std::int64_t deadline_ms, std::int64_t chunk_bytes,
+                   std::int64_t wake_ns, std::int64_t chunk_count) {
+  fixture_arm_timer(deadline_ms, chunk_bytes);  // expect(R8)
+  fixture_arm_timer(wake_ns, chunk_bytes);      // units match the declaration
+  fixture_arm_timer(wake_ns, chunk_count);      // untagged arg: nothing to check
+}
+
+}  // namespace prophet::sched

@@ -1,0 +1,19 @@
+// fixture-path: src/core/bad_checks.cpp
+// R9 positive cases: side effects inside PROPHET_CHECK (the checks stay
+// enabled in release builds, so the mutation ships), and discarded must-use
+// status returns from the config/parse APIs in [r9-must-use].
+namespace prophet::core {
+
+void fixture_check_side_effects(int produced, int consumed, int budget) {
+  PROPHET_CHECK(produced++ > 0);                     // expect(R9)
+  PROPHET_CHECK(produced = consumed);                // expect(R9)
+  PROPHET_CHECK_MSG(--budget >= 0, "budget burn");   // expect(R9)
+  PROPHET_CHECK(budget += 2);                        // expect(R9)
+}
+
+void fixture_discarded_status(DynamicsPlan& plan, const std::string& spec) {
+  plan.add_outage_spec(spec);              // expect(R9)
+  DynamicsPlan::from_trace_csv(spec);      // expect(R9)
+}
+
+}  // namespace prophet::core

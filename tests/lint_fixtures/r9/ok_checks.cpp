@@ -1,0 +1,22 @@
+// fixture-path: src/core/ok_checks.cpp
+// R9 negative cases: pure check conditions (comparisons, lambda captures,
+// calls) and must-use returns that are actually consumed — branched on,
+// assigned, or passed along. No diagnostics.
+namespace prophet::core {
+
+void fixture_pure_checks(int produced, int consumed, const std::vector<int>& v) {
+  PROPHET_CHECK(produced == consumed);
+  PROPHET_CHECK(produced <= consumed);
+  PROPHET_CHECK_MSG(produced != 0, "no progress");
+  PROPHET_CHECK(std::all_of(v.begin(), v.end(), [=](int x) { return x >= 0; }));
+}
+
+bool fixture_consumed_status(DynamicsPlan& plan, const std::string& spec) {
+  if (!plan.add_outage_spec(spec)) {
+    return false;
+  }
+  const auto parsed = DynamicsPlan::from_spec(spec);
+  return fixture_uses(DynamicsPlan::from_trace_csv(spec)) && parsed.has_value();
+}
+
+}  // namespace prophet::core

@@ -1,0 +1,9 @@
+// fixture-path: src/core/suppress_stale_r7.cpp
+// A waiver for one of the new rule families that absorbs nothing: same stale
+// treatment as any other dead suppression.
+namespace prophet::core {
+
+// prophet-lint: allow(R7): the narrowing below was removed long ago   expect(lint)
+int fixture_no_handles_here() { return 41; }
+
+}  // namespace prophet::core

@@ -2,7 +2,7 @@
 // Waiving a rule id that does not exist is rejected outright.
 namespace prophet::core {
 
-// prophet-lint: allow(R9): there is no rule nine   expect(lint)
+// prophet-lint: allow(R12): there is no rule twelve   expect(lint)
 int fixture_unknown_rule() { return 9; }
 
 }  // namespace prophet::core

@@ -1,0 +1,28 @@
+// fixture-path: src/core/suppress_new_rules.cpp
+// Waivers against each of the R6–R9 families, in both trailing and own-line
+// form. Every directive below absorbs exactly one finding, so no diagnostics
+// may escape this file.
+namespace prophet::core {
+
+void fixture_waived_primitive(int jobs) {
+  std::mutex gate;  // prophet-lint: allow(R6): fixture — exercises a waived threading primitive
+  (void)gate;
+  (void)jobs;
+}
+
+std::uint32_t fixture_waived_narrowing(FlowNetwork& net) {
+  FlowId flow = net.start_flow(1, 2, 100);
+  // prophet-lint: allow(R7): fixture — exercises a waived handle narrowing
+  return static_cast<std::uint32_t>(flow);
+}
+
+std::int64_t fixture_waived_units(std::int64_t span_ns, std::int64_t pad_ms) {
+  // prophet-lint: allow(R8): fixture — exercises a waived unit mix
+  return span_ns + pad_ms;
+}
+
+void fixture_waived_check(int produced) {
+  PROPHET_CHECK(produced = 3);  // prophet-lint: allow(R9): fixture — exercises a waived impure check
+}
+
+}  // namespace prophet::core

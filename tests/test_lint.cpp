@@ -354,3 +354,249 @@ TEST(LintSuppressions, QuotedDirectiveInProseIsNotADirective) {
   EXPECT_TRUE(r.clean());
   EXPECT_TRUE(r.suppressions.empty());
 }
+
+// --- parallel scanning -------------------------------------------------------
+
+TEST(LintParallel, OutputIsByteIdenticalAtAnyThreadCount) {
+  const FixtureSet fx = load_fixtures();
+  const Config cfg = repo_config();
+
+  const auto render = [](const Result& r) {
+    std::ostringstream ss;
+    for (const Diagnostic& d : r.diagnostics) {
+      ss << d.file << ":" << d.line << ": [" << d.rule << "] " << d.message << "\n";
+    }
+    for (const Suppression& s : r.suppressions) {
+      ss << s.file << ":" << s.line << ": allow(" << s.rule << ") x" << s.uses
+         << " " << s.justification << "\n";
+    }
+    return ss.str();
+  };
+
+  prophet::lint::RunOptions serial;
+  serial.threads = 1;
+  const std::string baseline = render(prophet::lint::run(cfg, fx.files, serial));
+  for (const unsigned threads : {2U, 4U, 8U}) {
+    prophet::lint::RunOptions opt;
+    opt.threads = threads;
+    EXPECT_EQ(baseline, render(prophet::lint::run(cfg, fx.files, opt)))
+        << "diagnostics drifted at threads=" << threads;
+  }
+}
+
+TEST(LintParallel, CrossFileFindingIsDeduplicatedAcrossSweepCallers) {
+  // One header with a mutable global, reached from TWO sweep-calling files:
+  // exactly one R6 diagnostic, keyed by file:line:rule.
+  Config cfg;
+  cfg.layering["core"] = {"core"};
+  const Result r = run_on(
+      cfg,
+      {src("src/core/shared.hpp", "namespace c {\nint g_hits = 0;\n}\n"),
+       src("src/core/drv_a.cpp",
+           "#include \"core/shared.hpp\"\n"
+           "namespace c {\nvoid a(const std::vector<int>& v) {\n"
+           "  exec::run_sweep(v, [](const int& x) { return x; });\n}\n}\n"),
+       src("src/core/drv_b.cpp",
+           "#include \"core/shared.hpp\"\n"
+           "namespace c {\nvoid b(const std::vector<int>& v) {\n"
+           "  exec::parallel_map<int, int>(v, [](const int& x) { return x; });\n}\n}\n")});
+  ASSERT_EQ(r.diagnostics.size(), 1U);
+  EXPECT_EQ(r.diagnostics[0].rule, "R6");
+  EXPECT_EQ(r.diagnostics[0].file, "src/core/shared.hpp");
+  EXPECT_EQ(r.diagnostics[0].line, 2);
+}
+
+// --- diff-aware mode ---------------------------------------------------------
+
+TEST(LintDiffAware, EmitsChangedFilesPlusReverseIncludeClosure) {
+  // a.hpp changed; b.cpp includes it (in the closure), c.cpp is unrelated.
+  // All three carry a violation; only a.hpp's and b.cpp's are emitted.
+  Config cfg;
+  cfg.layering["core"] = {"core"};
+  const std::vector<SourceFile> files = {
+      src("src/core/a.hpp", "// TODO: untagged in the changed header\n"),
+      src("src/core/b.cpp",
+          "#include \"core/a.hpp\"\n// TODO: untagged in the includer\n"),
+      src("src/core/c.cpp", "// TODO: untagged in the unrelated file\n")};
+
+  prophet::lint::RunOptions opt;
+  opt.changed = std::set<std::string>{"src/core/a.hpp"};
+  const Result r = prophet::lint::run(cfg, files, opt);
+
+  ASSERT_EQ(r.diagnostics.size(), 2U);
+  EXPECT_EQ(r.diagnostics[0].file, "src/core/a.hpp");
+  EXPECT_EQ(r.diagnostics[1].file, "src/core/b.cpp");
+
+  // Full-tree run still sees all three.
+  EXPECT_EQ(prophet::lint::run(cfg, files).diagnostics.size(), 3U);
+}
+
+TEST(LintDiffAware, WholeTreeIndexKeepsCrossFileRulesAccurate) {
+  // The changed file is only the sweep CALLER; the global lives in an
+  // unchanged header. The finding must still fire (the index is built over
+  // the full set) and is attributed to the header, which is in the closure
+  // of nothing changed — so it is NOT emitted; the caller has no finding of
+  // its own. This is the documented trade-off: diff-aware mode filters
+  // emission, not analysis.
+  Config cfg;
+  cfg.layering["core"] = {"core"};
+  const std::vector<SourceFile> files = {
+      src("src/core/state.hpp", "namespace c {\nint g_cells = 0;\n}\n"),
+      src("src/core/driver.cpp",
+          "#include \"core/state.hpp\"\n"
+          "namespace c {\nvoid d(const std::vector<int>& v) {\n"
+          "  exec::run_sweep(v, [](const int& x) { return x; });\n}\n}\n")};
+
+  prophet::lint::RunOptions opt;
+  opt.changed = std::set<std::string>{"src/core/state.hpp"};
+  const Result r = prophet::lint::run(cfg, files, opt);
+  // state.hpp changed -> its R6 finding is in scope.
+  ASSERT_EQ(r.diagnostics.size(), 1U);
+  EXPECT_EQ(r.diagnostics[0].file, "src/core/state.hpp");
+  EXPECT_EQ(r.diagnostics[0].rule, "R6");
+}
+
+// --- baseline ----------------------------------------------------------------
+
+TEST(LintBaseline, ParsesTabSeparatedEntriesAndRejectsGarbage) {
+  std::string error;
+  const auto ok = prophet::lint::parse_baseline(
+      "# comment\nsrc/a.cpp\tR6\t2\nsrc/b.cpp\tlint\t1\n", &error);
+  ASSERT_TRUE(ok.has_value()) << error;
+  ASSERT_EQ(ok->size(), 2U);
+  EXPECT_EQ((*ok)[0].file, "src/a.cpp");
+  EXPECT_EQ((*ok)[0].rule, "R6");
+  EXPECT_EQ((*ok)[0].count, 2);
+
+  EXPECT_FALSE(prophet::lint::parse_baseline("src/a.cpp R6 2\n", &error));
+  EXPECT_NE(error.find("<file>"), std::string::npos);
+  EXPECT_FALSE(prophet::lint::parse_baseline("src/a.cpp\tR42\t1\n", &error));
+  EXPECT_NE(error.find("unknown rule"), std::string::npos);
+  EXPECT_FALSE(prophet::lint::parse_baseline("src/a.cpp\tR1\ttwo\n", &error));
+  EXPECT_NE(error.find("number"), std::string::npos);
+}
+
+TEST(LintBaseline, AbsorbsBudgetedFindingsAndFlagsStaleEntries) {
+  Result r;
+  r.diagnostics = {{"src/a.cpp", 3, "R6", "one"},
+                   {"src/a.cpp", 9, "R6", "two"},
+                   {"src/b.cpp", 1, "R7", "other"}};
+  const std::vector<prophet::lint::BaselineEntry> baseline = {
+      {"src/a.cpp", "R6", 2},  // covers both R6 findings
+      {"src/c.cpp", "R9", 1},  // stale: no such finding any more
+  };
+  Result diff_mode = r;
+  prophet::lint::apply_baseline(diff_mode, baseline, /*check_stale=*/false);
+  ASSERT_EQ(diff_mode.diagnostics.size(), 1U);  // only the unbudgeted R7
+  EXPECT_EQ(diff_mode.diagnostics[0].rule, "R7");
+
+  Result full = r;
+  prophet::lint::apply_baseline(full, baseline, /*check_stale=*/true);
+  ASSERT_EQ(full.diagnostics.size(), 2U);  // R7 + the stale-entry report
+  EXPECT_EQ(full.diagnostics[0].rule, "R7");
+  EXPECT_EQ(full.diagnostics[1].file, "src/c.cpp");
+  EXPECT_EQ(full.diagnostics[1].rule, "lint");
+  EXPECT_NE(full.diagnostics[1].message.find("stale baseline"), std::string::npos);
+}
+
+TEST(LintBaseline, FormatRoundTripsThroughParse) {
+  Result r;
+  r.diagnostics = {{"src/a.cpp", 3, "R6", "x"},
+                   {"src/a.cpp", 9, "R6", "y"},
+                   {"src/b.cpp", 1, "R8", "z"}};
+  const std::string text = prophet::lint::format_baseline(r);
+  std::string error;
+  const auto parsed = prophet::lint::parse_baseline(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->size(), 2U);
+  EXPECT_EQ((*parsed)[0].file, "src/a.cpp");
+  EXPECT_EQ((*parsed)[0].count, 2);
+  EXPECT_EQ((*parsed)[1].file, "src/b.cpp");
+  EXPECT_EQ((*parsed)[1].rule, "R8");
+
+  // Round-tripped budget fully absorbs the original diagnostics.
+  Result again = r;
+  prophet::lint::apply_baseline(again, *parsed, /*check_stale=*/true);
+  EXPECT_TRUE(again.clean());
+}
+
+// --- SARIF -------------------------------------------------------------------
+
+TEST(LintSarif, CatalogCoversEveryRuleInStableOrder) {
+  const auto& catalog = prophet::lint::rule_catalog();
+  ASSERT_EQ(catalog.size(), 10U);
+  const std::vector<std::string> ids = {"R1", "R2", "R3", "R4", "R5",
+                                        "R6", "R7", "R8", "R9", "lint"};
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(catalog[i].id, ids[i]);
+    EXPECT_NE(catalog[i].name[0], '\0');
+    EXPECT_NE(catalog[i].short_desc[0], '\0');
+  }
+}
+
+TEST(LintSarif, GoldenSnapshotForAMinimalResult) {
+  // Full-document golden: pins the envelope GitHub code scanning consumes.
+  // The rules array is composed from the catalog (pinned in the test above)
+  // so this snapshot focuses on the envelope and result serialization.
+  Result r;
+  r.diagnostics = {{"src/a.cpp", 3, "R6", "uses std::mutex \"gate\""}};
+  r.diagnostics.push_back({"tools/x.cpp", 0, "lint", "stale baseline entry"});
+
+  std::string rules;
+  const auto& catalog = prophet::lint::rule_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    rules += std::string("            {\"id\": \"") + catalog[i].id +
+             "\", \"name\": \"" + catalog[i].name +
+             "\", \"shortDescription\": {\"text\": \"" + catalog[i].short_desc +
+             "\"}}" + (i + 1 < catalog.size() ? ",\n" : "\n");
+  }
+  const std::string golden =
+      "{\n"
+      "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+      "master/Schemata/sarif-schema-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"prophet_lint\",\n"
+      "          \"informationUri\": \"docs/LINT.md\",\n"
+      "          \"rules\": [\n" +
+      rules +
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n"
+      "        {\n"
+      "          \"ruleId\": \"R6\",\n"
+      "          \"level\": \"error\",\n"
+      "          \"message\": {\"text\": \"uses std::mutex \\\"gate\\\"\"},\n"
+      "          \"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+      "{\"uri\": \"src/a.cpp\", \"uriBaseId\": \"SRCROOT\"}, \"region\": "
+      "{\"startLine\": 3}}}]\n"
+      "        },\n"
+      "        {\n"
+      "          \"ruleId\": \"lint\",\n"
+      "          \"level\": \"error\",\n"
+      "          \"message\": {\"text\": \"stale baseline entry\"},\n"
+      "          \"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+      "{\"uri\": \"tools/x.cpp\", \"uriBaseId\": \"SRCROOT\"}, \"region\": "
+      "{\"startLine\": 1}}}]\n"  // line 0 is clamped: SARIF requires >= 1
+      "        }\n"
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(prophet::lint::to_sarif(r), golden);
+}
+
+TEST(LintSarif, SarifIsDeterministicOverTheFixtureTree) {
+  const FixtureSet fx = load_fixtures();
+  const Config cfg = repo_config();
+  prophet::lint::RunOptions one;
+  one.threads = 1;
+  prophet::lint::RunOptions many;
+  many.threads = 4;
+  EXPECT_EQ(prophet::lint::to_sarif(prophet::lint::run(cfg, fx.files, one)),
+            prophet::lint::to_sarif(prophet::lint::run(cfg, fx.files, many)));
+}

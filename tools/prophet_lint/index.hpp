@@ -1,0 +1,81 @@
+// Pass 1 of the two-pass analyzer: a project-wide symbol/field index built
+// from the token streams alone (no libclang). Pass 2 rules (R4, R6–R8) read
+// it to reason across files: the resolved include graph and its closures,
+// names declared with slab-handle types anywhere in the tree, unit-tagged
+// function signatures for call-site checking, namespace-scope mutable state,
+// and which files hand cells to the parallel sweep executor.
+//
+// Internal to the linter; not part of the public API.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "prophet_lint/lint.hpp"
+#include "prophet_lint/tokenizer.hpp"
+
+namespace prophet::lint::internal {
+
+// A quote-include resolved to a repo-relative path (and, when the target is
+// part of the scanned set, its file index).
+struct ResolvedInclude {
+  int line = 0;
+  std::string target;    // as written in the directive
+  std::string resolved;  // normalized repo-relative path
+  int file_index = -1;   // index into the scanned file list, -1 if absent
+  bool angled = false;
+};
+
+struct GlobalVar {
+  std::string name;
+  int line = 0;
+};
+
+// Declared parameter list of a free/member function, recorded only when at
+// least one parameter name carries a unit suffix (see unit_of). Ambiguous
+// names (two declarations with different unit signatures) are kept but
+// marked, so the call-site check skips them instead of guessing.
+struct FunctionSig {
+  std::string file;
+  int line = 0;
+  std::vector<std::string> params;  // declared names; "" for unnamed
+  bool ambiguous = false;
+};
+
+struct ProjectIndex {
+  // Per scanned file, in file order.
+  std::vector<std::vector<ResolvedInclude>> includes;
+  std::vector<std::vector<std::size_t>> include_edges;  // in-set forward edges
+  std::vector<std::vector<std::size_t>> included_by;    // reverse edges
+  std::vector<std::vector<GlobalVar>> globals;  // namespace-scope mutable state
+  std::vector<bool> calls_sweep;  // uses run_sweep / parallel_map / parallel_for_index
+  // Names declared with an R7 handle type in THIS file. Deliberately not
+  // unioned across the tree: `FlowId id` in flow_network must not taint an
+  // unrelated `worker.id` elsewhere.
+  std::vector<std::set<std::string>> handle_names;
+
+  // Project-wide.
+  std::map<std::string, std::size_t> by_path;    // path -> file index
+  std::map<std::string, FunctionSig> functions;  // unit-tagged signatures
+  std::map<std::string, int> macro_uses;  // ALL_CAPS invocation counts
+};
+
+ProjectIndex build_index(const Config& cfg, const std::vector<SourceFile>& files,
+                         const std::vector<TokenizedFile>& tokenized);
+
+// Canonical unit tag of an identifier ("" when untagged): "ns", "us", "ms",
+// "s", "bytes", "bps"/"mbps"/"gbps". Member accesses should pass the last
+// path component only.
+std::string unit_of(const std::string& ident);
+
+// Files whose translation units see any file in `changed` (the changed files
+// themselves plus everything that transitively includes one of them).
+std::set<std::size_t> reverse_include_closure(const ProjectIndex& index,
+                                              const std::set<std::size_t>& changed);
+
+// Files a sweep-calling file's translation unit pulls in (itself included).
+std::set<std::size_t> forward_include_closure(const ProjectIndex& index, std::size_t root);
+
+}  // namespace prophet::lint::internal

@@ -1,11 +1,12 @@
 // Internal interfaces between the lint driver (lint.cpp) and the rule
-// implementations (rules.cpp). Not part of the public API.
+// implementations (rules.cpp / rules2.cpp). Not part of the public API.
 #pragma once
 
 #include <set>
 #include <string>
 #include <vector>
 
+#include "prophet_lint/index.hpp"
 #include "prophet_lint/lint.hpp"
 #include "prophet_lint/tokenizer.hpp"
 
@@ -20,6 +21,7 @@ bool path_sanctioned(const std::set<std::string>& entries, const std::string& pa
 // names declared via a local `using X = std::unordered_map<...>` alias.
 std::set<std::string> collect_unordered_names(const TokenizedFile& tf);
 
+// --- per-file rules (safe to run in parallel, one file per call) ------------
 void check_float_time(const SourceFile& f, const TokenizedFile& tf, const Config& cfg,
                       std::vector<Diagnostic>& out);
 void check_unordered_iteration(const SourceFile& f, const TokenizedFile& tf, const Config& cfg,
@@ -29,8 +31,32 @@ void check_nondeterminism(const SourceFile& f, const TokenizedFile& tf, const Co
                           std::vector<Diagnostic>& out);
 void check_todo_tags(const SourceFile& f, const TokenizedFile& tf,
                      std::vector<Diagnostic>& out);
-void check_layering(const std::vector<SourceFile>& files,
-                    const std::vector<TokenizedFile>& tokenized, const Config& cfg,
-                    std::vector<Diagnostic>& out);
+// R6 (first half): threading primitives/headers outside the sanctioned files.
+void check_threading_primitives(const SourceFile& f, const TokenizedFile& tf,
+                                const Config& cfg, std::vector<Diagnostic>& out);
+// R7: handle narrowing, cross-pool comparison, use-after-cancel.
+void check_handle_lifetime(const SourceFile& f, const TokenizedFile& tf,
+                           const Config& cfg, const ProjectIndex& index,
+                           std::vector<Diagnostic>& out);
+// R8: cross-unit arithmetic/assignment plus call-site unit mismatches.
+void check_unit_safety(const SourceFile& f, const TokenizedFile& tf, const Config& cfg,
+                       const ProjectIndex& index, std::vector<Diagnostic>& out);
+// R9: side effects inside PROPHET_CHECK, discarded must-use returns.
+void check_check_discipline(const SourceFile& f, const TokenizedFile& tf,
+                            const Config& cfg, std::vector<Diagnostic>& out);
+// R4 (module-edge half): layering violations for this file's includes.
+void check_layering_edges(const SourceFile& f, std::size_t file_index,
+                          const Config& cfg, const ProjectIndex& index,
+                          std::vector<Diagnostic>& out);
+
+// --- whole-project rules (single-threaded, need every file) -----------------
+// R4 (cycle half): include-graph cycles over the scanned set.
+void check_include_cycles(const std::vector<SourceFile>& files,
+                          const ProjectIndex& index, std::vector<Diagnostic>& out);
+// R6 (second half): mutable namespace-scope state in the include closure of
+// any file that hands cells to the sweep executor.
+void check_sweep_shared_state(const std::vector<SourceFile>& files, const Config& cfg,
+                              const ProjectIndex& index,
+                              std::vector<Diagnostic>& out);
 
 }  // namespace prophet::lint::internal

@@ -1,9 +1,17 @@
 // Lint driver: config parsing, suppression handling, rule orchestration.
+//
+// The scan dogfoods the repo's own deterministic executor: tokenization and
+// the per-file rule passes fan out over exec::parallel_map, and the merge
+// walks files in canonical path order — so diagnostics are byte-identical at
+// any --threads value, the same discipline the sweep drivers follow.
 #include "prophet_lint/lint.hpp"
 
 #include <algorithm>
 #include <map>
+#include <numeric>
 
+#include "exec/executor.hpp"
+#include "prophet_lint/index.hpp"
 #include "prophet_lint/internal.hpp"
 #include "prophet_lint/tokenizer.hpp"
 
@@ -11,7 +19,8 @@ namespace prophet::lint {
 
 namespace {
 
-const std::set<std::string> kRuleIds = {"R1", "R2", "R3", "R4", "R5"};
+const std::set<std::string> kRuleIds = {"R1", "R2", "R3", "R4", "R5",
+                                        "R6", "R7", "R8", "R9"};
 
 std::string trim(const std::string& s) {
   std::size_t b = 0;
@@ -34,14 +43,14 @@ std::vector<std::string> split_ws(const std::string& s) {
   return out;
 }
 
-// Parsed suppression comments for one file, plus any misuse diagnostics.
-struct FileSuppressions {
-  // index into Result::suppressions keyed by the line the comment sits on
-  std::map<int, std::vector<std::size_t>> by_line;
+// Everything one file's parallel scan produces; merged in file order.
+struct FileScan {
+  std::vector<Diagnostic> diags;
+  std::vector<Suppression> sups;
+  std::map<int, std::vector<std::size_t>> sups_by_line;  // line -> index in sups
 };
 
-void parse_suppressions(const SourceFile& f, const TokenizedFile& tf, Result& result,
-                        FileSuppressions& out) {
+void parse_suppressions(const SourceFile& f, const TokenizedFile& tf, FileScan& out) {
   static const std::string kMarker = "prophet-lint:";
   for (const Comment& c : tf.comments) {
     for (std::size_t pos = c.text.find(kMarker); pos != std::string::npos;
@@ -60,7 +69,7 @@ void parse_suppressions(const SourceFile& f, const TokenizedFile& tf, Result& re
       while (p < c.text.size() && (c.text[p] == ' ' || c.text[p] == '\t')) ++p;
       const std::string allow = "allow(";
       if (c.text.compare(p, allow.size(), allow) != 0) {
-        result.diagnostics.push_back(
+        out.diags.push_back(
             Diagnostic{f.path, line, "lint",
                        "malformed prophet-lint directive; expected "
                        "'prophet-lint: allow(<rule>): <justification>'"});
@@ -69,13 +78,13 @@ void parse_suppressions(const SourceFile& f, const TokenizedFile& tf, Result& re
       p += allow.size();
       const std::size_t close = c.text.find(')', p);
       if (close == std::string::npos) {
-        result.diagnostics.push_back(Diagnostic{
+        out.diags.push_back(Diagnostic{
             f.path, line, "lint", "unterminated allow(...) in prophet-lint directive"});
         continue;
       }
       const std::string rule = trim(c.text.substr(p, close - p));
       if (kRuleIds.count(rule) == 0) {
-        result.diagnostics.push_back(
+        out.diags.push_back(
             Diagnostic{f.path, line, "lint",
                        "unknown rule '" + rule + "' in prophet-lint suppression"});
         continue;
@@ -89,14 +98,14 @@ void parse_suppressions(const SourceFile& f, const TokenizedFile& tf, Result& re
             q + 1, eol == std::string::npos ? std::string::npos : eol - q - 1));
       }
       if (justification.empty()) {
-        result.diagnostics.push_back(
+        out.diags.push_back(
             Diagnostic{f.path, line, "lint",
                        "suppression of " + rule +
                            " has no justification; write 'prophet-lint: allow(" + rule +
                            "): <why this is sound>'"});
       }
-      result.suppressions.push_back(Suppression{f.path, line, rule, justification, 0});
-      out.by_line[line].push_back(result.suppressions.size() - 1);
+      out.sups.push_back(Suppression{f.path, line, rule, justification, 0});
+      out.sups_by_line[line].push_back(out.sups.size() - 1);
     }
   }
 }
@@ -108,14 +117,27 @@ std::string stem_key(const std::string& path) {
   return path.substr(0, dot);
 }
 
+bool diag_order(const Diagnostic& a, const Diagnostic& b) {
+  return std::tie(a.file, a.line, a.rule, a.message) <
+         std::tie(b.file, b.line, b.rule, b.message);
+}
+
 }  // namespace
 
 std::optional<Config> parse_config(const std::string& text, std::string* error) {
   Config cfg;
   std::string section;
-  bool r1_scope_seen = false;
-  bool r2_scope_seen = false;
-  bool r3_scope_seen = false;
+  // Scope sections replace the built-in default on first entry, then append.
+  std::map<std::string, std::pair<std::vector<std::string>*, bool>> scopes = {
+      {"r1-scope", {&cfg.r1_scope, false}}, {"r2-scope", {&cfg.r2_scope, false}},
+      {"r3-scope", {&cfg.r3_scope, false}}, {"r6-scope", {&cfg.r6_scope, false}},
+      {"r7-scope", {&cfg.r7_scope, false}}, {"r8-scope", {&cfg.r8_scope, false}},
+      {"r9-scope", {&cfg.r9_scope, false}}};
+  const std::map<std::string, std::set<std::string>*> sets = {
+      {"r1-sanctioned", &cfg.r1_sanctioned}, {"r3-sanctioned", &cfg.r3_sanctioned},
+      {"r6-sanctioned", &cfg.r6_sanctioned}, {"r7-sanctioned", &cfg.r7_sanctioned},
+      {"r8-sanctioned", &cfg.r8_sanctioned}, {"r9-sanctioned", &cfg.r9_sanctioned},
+      {"r7-handle-types", &cfg.r7_handle_types}, {"r9-must-use", &cfg.r9_must_use}};
   int lineno = 0;
   std::size_t start = 0;
   while (start <= text.size()) {
@@ -136,22 +158,15 @@ std::optional<Config> parse_config(const std::string& text, std::string* error) 
       section = line.substr(1, line.size() - 2);
       continue;
     }
-    if (section == "r1-sanctioned") {
-      cfg.r1_sanctioned.insert(line);
-    } else if (section == "r3-sanctioned") {
-      cfg.r3_sanctioned.insert(line);
-    } else if (section == "r1-scope" || section == "r2-scope" || section == "r3-scope") {
-      auto& scope = section == "r1-scope"   ? cfg.r1_scope
-                    : section == "r2-scope" ? cfg.r2_scope
-                                            : cfg.r3_scope;
-      auto& seen = section == "r1-scope"   ? r1_scope_seen
-                   : section == "r2-scope" ? r2_scope_seen
-                                           : r3_scope_seen;
+    if (const auto set_it = sets.find(section); set_it != sets.end()) {
+      set_it->second->insert(line);
+    } else if (const auto scope_it = scopes.find(section); scope_it != scopes.end()) {
+      auto& [scope, seen] = scope_it->second;
       if (!seen) {
-        scope.clear();
+        scope->clear();
         seen = true;
       }
-      scope.push_back(line);
+      scope->push_back(line);
     } else if (section == "layering") {
       const std::size_t colon = line.find(':');
       if (colon == std::string::npos) {
@@ -185,20 +200,23 @@ std::optional<Config> parse_config(const std::string& text, std::string* error) 
 }
 
 Result run(const Config& cfg, const std::vector<SourceFile>& files) {
+  return run(cfg, files, RunOptions{});
+}
+
+Result run(const Config& cfg, const std::vector<SourceFile>& files,
+           const RunOptions& options) {
   Result result;
+  const unsigned threads = options.threads;
 
-  std::vector<TokenizedFile> tokenized;
-  tokenized.reserve(files.size());
-  for (const SourceFile& f : files) tokenized.push_back(tokenize(f.content));
+  // Pass 1a: tokenize (parallel; each index writes only its own slot).
+  std::vector<TokenizedFile> tokenized(files.size());
+  exec::parallel_for_index(
+      files.size(), [&](std::size_t i) { tokenized[i] = tokenize(files[i].content); },
+      threads);
 
-  std::vector<FileSuppressions> suppressions(files.size());
-  for (std::size_t i = 0; i < files.size(); ++i) {
-    parse_suppressions(files[i], tokenized[i], result, suppressions[i]);
-  }
-
-  // R2 needs declared-name visibility across a header/impl pair: member
-  // containers are declared in foo.hpp but iterated in foo.cpp. Merge the
-  // collected names per path stem.
+  // Pass 1b: the project-wide index and the R2 header/impl name merge —
+  // member containers are declared in foo.hpp but iterated in foo.cpp.
+  const internal::ProjectIndex index = internal::build_index(cfg, files, tokenized);
   std::map<std::string, std::set<std::string>> names_by_stem;
   for (std::size_t i = 0; i < files.size(); ++i) {
     if (!internal::path_in_scope(cfg.r2_scope, files[i].path)) continue;
@@ -207,33 +225,75 @@ Result run(const Config& cfg, const std::vector<SourceFile>& files) {
     merged.insert(names.begin(), names.end());
   }
 
+  // Pass 2a: per-file rules, fanned out over the sweep executor. Each file's
+  // scan is independent; the merge below walks canonical file order, so the
+  // result is byte-identical at any thread count.
+  std::vector<std::size_t> order(files.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const std::vector<FileScan> scans = exec::parallel_map<std::size_t, FileScan>(
+      order,
+      [&](const std::size_t& i) {
+        FileScan scan;
+        parse_suppressions(files[i], tokenized[i], scan);
+        internal::check_float_time(files[i], tokenized[i], cfg, scan.diags);
+        const auto stem = names_by_stem.find(stem_key(files[i].path));
+        internal::check_unordered_iteration(
+            files[i], tokenized[i], cfg,
+            stem == names_by_stem.end() ? std::set<std::string>{} : stem->second,
+            scan.diags);
+        internal::check_nondeterminism(files[i], tokenized[i], cfg, scan.diags);
+        internal::check_todo_tags(files[i], tokenized[i], scan.diags);
+        internal::check_threading_primitives(files[i], tokenized[i], cfg, scan.diags);
+        internal::check_handle_lifetime(files[i], tokenized[i], cfg, index, scan.diags);
+        internal::check_unit_safety(files[i], tokenized[i], cfg, index, scan.diags);
+        internal::check_check_discipline(files[i], tokenized[i], cfg, scan.diags);
+        internal::check_layering_edges(files[i], i, cfg, index, scan.diags);
+        return scan;
+      },
+      threads);
+
+  // Pass 2b: whole-project rules (cycles, sweep-reachable globals).
   std::vector<Diagnostic> raw;
   for (std::size_t i = 0; i < files.size(); ++i) {
-    internal::check_float_time(files[i], tokenized[i], cfg, raw);
-    const auto stem = names_by_stem.find(stem_key(files[i].path));
-    internal::check_unordered_iteration(
-        files[i], tokenized[i], cfg,
-        stem == names_by_stem.end() ? std::set<std::string>{} : stem->second, raw);
-    internal::check_nondeterminism(files[i], tokenized[i], cfg, raw);
-    internal::check_todo_tags(files[i], tokenized[i], raw);
+    raw.insert(raw.end(), scans[i].diags.begin(), scans[i].diags.end());
   }
-  internal::check_layering(files, tokenized, cfg, raw);
+  internal::check_include_cycles(files, index, raw);
+  internal::check_sweep_shared_state(files, cfg, index, raw);
 
-  // Apply suppressions: a comment on line L absorbs matching diagnostics on
-  // L (trailing form) and L+1 (own-line form above the statement).
+  // Deduplicate by (file, line, rule): a header reached through several
+  // include paths or sweep callers reports each finding once. Sorting first
+  // keeps the surviving message deterministic.
+  std::sort(raw.begin(), raw.end(), diag_order);
+  raw.erase(std::unique(raw.begin(), raw.end(),
+                        [](const Diagnostic& a, const Diagnostic& b) {
+                          return std::tie(a.file, a.line, a.rule) ==
+                                 std::tie(b.file, b.line, b.rule);
+                        }),
+            raw.end());
+
+  // Merge suppressions in file order and apply them: a comment on line L
+  // absorbs matching diagnostics on L (trailing form) and L+1 (own-line form
+  // above the statement).
   std::map<std::string, std::size_t> file_index;
   for (std::size_t i = 0; i < files.size(); ++i) file_index.emplace(files[i].path, i);
+  std::vector<std::size_t> sup_base(files.size(), 0);
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    sup_base[i] = result.suppressions.size();
+    result.suppressions.insert(result.suppressions.end(), scans[i].sups.begin(),
+                               scans[i].sups.end());
+  }
   for (Diagnostic& d : raw) {
     bool absorbed = false;
     const auto fit = file_index.find(d.file);
     if (fit != file_index.end()) {
-      const FileSuppressions& fs = suppressions[fit->second];
+      const FileScan& fs = scans[fit->second];
       for (const int line : {d.line, d.line - 1}) {
-        const auto sit = fs.by_line.find(line);
-        if (sit == fs.by_line.end()) continue;
+        const auto sit = fs.sups_by_line.find(line);
+        if (sit == fs.sups_by_line.end()) continue;
         for (const std::size_t idx : sit->second) {
-          if (result.suppressions[idx].rule == d.rule) {
-            ++result.suppressions[idx].uses;
+          Suppression& s = result.suppressions[sup_base[fit->second] + idx];
+          if (s.rule == d.rule) {
+            ++s.uses;
             absorbed = true;
             break;
           }
@@ -254,12 +314,127 @@ Result run(const Config& cfg, const std::vector<SourceFile>& files) {
     }
   }
 
-  std::sort(result.diagnostics.begin(), result.diagnostics.end(),
-            [](const Diagnostic& a, const Diagnostic& b) {
-              return std::tie(a.file, a.line, a.rule, a.message) <
-                     std::tie(b.file, b.line, b.rule, b.message);
-            });
+  // Diff-aware mode: emit only findings in the changed files and in files
+  // whose translation units reach them (reverse include closure). The rules
+  // above still saw the whole tree, so cross-file findings stay accurate.
+  if (options.changed.has_value()) {
+    std::set<std::size_t> seeds;
+    for (const std::string& path : *options.changed) {
+      const auto it = file_index.find(path);
+      if (it != file_index.end()) seeds.insert(it->second);
+    }
+    std::set<std::string> emit;
+    for (const std::size_t i : internal::reverse_include_closure(index, seeds)) {
+      emit.insert(files[i].path);
+    }
+    const auto outside = [&](const std::string& path) { return emit.count(path) == 0; };
+    result.diagnostics.erase(
+        std::remove_if(result.diagnostics.begin(), result.diagnostics.end(),
+                       [&](const Diagnostic& d) { return outside(d.file); }),
+        result.diagnostics.end());
+    result.suppressions.erase(
+        std::remove_if(result.suppressions.begin(), result.suppressions.end(),
+                       [&](const Suppression& s) { return outside(s.file); }),
+        result.suppressions.end());
+  }
+
+  std::sort(result.diagnostics.begin(), result.diagnostics.end(), diag_order);
   return result;
+}
+
+// --- baseline ----------------------------------------------------------------
+
+std::optional<std::vector<BaselineEntry>> parse_baseline(const std::string& text,
+                                                         std::string* error) {
+  std::vector<BaselineEntry> out;
+  int lineno = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    std::string raw = text.substr(
+        start, nl == std::string::npos ? std::string::npos : nl - start);
+    start = nl == std::string::npos ? text.size() + 1 : nl + 1;
+    ++lineno;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw = raw.substr(0, hash);
+    if (trim(raw).empty()) continue;
+    const std::size_t t1 = raw.find('\t');
+    const std::size_t t2 = t1 == std::string::npos ? std::string::npos
+                                                   : raw.find('\t', t1 + 1);
+    if (t2 == std::string::npos) {
+      if (error) {
+        *error = "line " + std::to_string(lineno) +
+                 ": baseline entry needs '<file>\\t<rule>\\t<count>'";
+      }
+      return std::nullopt;
+    }
+    BaselineEntry e;
+    e.file = trim(raw.substr(0, t1));
+    e.rule = trim(raw.substr(t1 + 1, t2 - t1 - 1));
+    const std::string count = trim(raw.substr(t2 + 1));
+    e.count = 0;
+    for (const char c : count) {
+      if (c < '0' || c > '9') {
+        if (error) {
+          *error = "line " + std::to_string(lineno) + ": baseline count must be a number";
+        }
+        return std::nullopt;
+      }
+      e.count = e.count * 10 + (c - '0');
+    }
+    if (e.file.empty() || (kRuleIds.count(e.rule) == 0 && e.rule != "lint")) {
+      if (error) {
+        *error = "line " + std::to_string(lineno) + ": unknown rule '" + e.rule +
+                 "' in baseline";
+      }
+      return std::nullopt;
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+void apply_baseline(Result& result, const std::vector<BaselineEntry>& baseline,
+                    bool check_stale) {
+  std::map<std::pair<std::string, std::string>, int> budget;
+  for (const BaselineEntry& e : baseline) budget[{e.file, e.rule}] += e.count;
+
+  std::vector<Diagnostic> kept;
+  kept.reserve(result.diagnostics.size());
+  for (Diagnostic& d : result.diagnostics) {
+    const auto it = budget.find({d.file, d.rule});
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+    } else {
+      kept.push_back(std::move(d));
+    }
+  }
+  result.diagnostics = std::move(kept);
+
+  if (check_stale) {
+    for (const auto& [key, remaining] : budget) {
+      if (remaining > 0) {
+        result.diagnostics.push_back(Diagnostic{
+            key.first, 0, "lint",
+            "stale baseline entry: " + std::to_string(remaining) + " budgeted " +
+                key.second + " finding(s) no longer fire; shrink the baseline so "
+                "the debt keeps ratcheting down"});
+      }
+    }
+    std::sort(result.diagnostics.begin(), result.diagnostics.end(), diag_order);
+  }
+}
+
+std::string format_baseline(const Result& result) {
+  std::map<std::pair<std::string, std::string>, int> counts;
+  for (const Diagnostic& d : result.diagnostics) ++counts[{d.file, d.rule}];
+  std::string out =
+      "# prophet_lint baseline — counted known findings, granted per (file, rule).\n"
+      "# Regenerate with --write-baseline; entries must only ever shrink.\n";
+  for (const auto& [key, count] : counts) {
+    out += key.first + "\t" + key.second + "\t" + std::to_string(count) + "\n";
+  }
+  return out;
 }
 
 }  // namespace prophet::lint

@@ -1,15 +1,25 @@
 // prophet_lint CLI.
 //
-//   prophet_lint [--root DIR] [--config FILE] [--quiet] <path>...
+//   prophet_lint [--root DIR] [--config FILE] [--quiet] [--threads N]
+//                [--sarif FILE] [--diff-base REF]
+//                [--baseline FILE | --no-baseline] [--write-baseline FILE]
+//                <path>...
 //
 // Paths are files or directories, repo-relative (run from the repo root, or
 // pass --root). Directories are walked recursively for C++ sources; fixture
-// and build trees are skipped unless a file is named explicitly. Exit status
-// is non-zero iff any diagnostic fires.
+// and build trees are skipped unless a file is named explicitly.
+//
+// --diff-base REF scans the full tree (cross-file rules need it) but emits
+// only diagnostics in files changed since merge-base(REF, HEAD), plus every
+// file whose include closure reaches one of them. --sarif also writes the
+// findings as a SARIF 2.1.0 document for code-scanning upload. The checked-in
+// baseline (tools/prophet_lint/baseline.txt) is applied automatically when it
+// exists. Exit status is non-zero iff any diagnostic survives.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -23,6 +33,7 @@ using prophet::lint::SourceFile;
 namespace {
 
 const char* kDefaultConfig = "tools/prophet_lint/prophet_lint.conf";
+const char* kDefaultBaseline = "tools/prophet_lint/baseline.txt";
 
 bool has_source_extension(const fs::path& p) {
   const std::string ext = p.extension().string();
@@ -49,12 +60,61 @@ std::string read_file(const fs::path& p, bool* ok) {
   return ss.str();
 }
 
+std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (const char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+// Runs a git command, captures stdout. Returns false on spawn/exit failure.
+bool run_git(const std::string& args, const std::string& root, std::string* out) {
+  const std::string cmd = "git -C " + shell_quote(root) + " " + args + " 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return false;
+  char buf[4096];
+  out->clear();
+  std::size_t n = 0;
+  while ((n = fread(buf, 1, sizeof buf, pipe)) > 0) out->append(buf, n);
+  return pclose(pipe) == 0;
+}
+
+// Changed files (committed and working-tree) relative to merge-base(ref, HEAD).
+bool changed_since(const std::string& ref, const std::string& root,
+                   std::set<std::string>* out) {
+  std::string base;
+  if (!run_git("merge-base " + shell_quote(ref) + " HEAD", root, &base)) return false;
+  while (!base.empty() && (base.back() == '\n' || base.back() == '\r')) base.pop_back();
+  std::string names;
+  if (!run_git("diff --name-only " + shell_quote(base), root, &names)) return false;
+  std::size_t start = 0;
+  while (start < names.size()) {
+    std::size_t nl = names.find('\n', start);
+    if (nl == std::string::npos) nl = names.size();
+    if (nl > start) out->insert(names.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root = ".";
   std::string config_path;
+  std::string sarif_path;
+  std::string diff_base;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  bool no_baseline = false;
   bool quiet = false;
+  unsigned threads = 1;
   std::vector<std::string> inputs;
 
   for (int i = 1; i < argc; ++i) {
@@ -63,10 +123,26 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg == "--config" && i + 1 < argc) {
       config_path = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
+    } else if (arg == "--diff-base" && i + 1 < argc) {
+      diff_base = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--write-baseline" && i + 1 < argc) {
+      write_baseline_path = argv[++i];
+    } else if (arg == "--no-baseline") {
+      no_baseline = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::atoi(argv[++i]));
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: prophet_lint [--root DIR] [--config FILE] [--quiet] <path>...\n");
+      std::printf(
+          "usage: prophet_lint [--root DIR] [--config FILE] [--quiet] [--threads N]\n"
+          "                    [--sarif FILE] [--diff-base REF]\n"
+          "                    [--baseline FILE | --no-baseline]\n"
+          "                    [--write-baseline FILE] <path>...\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "prophet_lint: unknown option '%s'\n", arg.c_str());
@@ -147,7 +223,65 @@ int main(int argc, char** argv) {
     files.push_back(SourceFile{rel, std::move(content)});
   }
 
-  const auto result = prophet::lint::run(cfg, files);
+  prophet::lint::RunOptions options;
+  options.threads = threads;
+  if (!diff_base.empty()) {
+    std::set<std::string> changed;
+    if (!changed_since(diff_base, root, &changed)) {
+      std::fprintf(stderr, "prophet_lint: git diff against '%s' failed\n",
+                   diff_base.c_str());
+      return 2;
+    }
+    options.changed = std::move(changed);
+  }
+
+  auto result = prophet::lint::run(cfg, files, options);
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    out << prophet::lint::format_baseline(result);
+    if (!out) {
+      std::fprintf(stderr, "prophet_lint: cannot write %s\n",
+                   write_baseline_path.c_str());
+      return 2;
+    }
+    std::printf("prophet_lint: wrote baseline for %zu diagnostic(s) to %s\n",
+                result.diagnostics.size(), write_baseline_path.c_str());
+    return 0;
+  }
+
+  if (!no_baseline) {
+    const fs::path bl = baseline_path.empty() ? root_path / kDefaultBaseline
+                                              : fs::path{baseline_path};
+    bool ok = false;
+    const std::string text = read_file(bl, &ok);
+    if (ok) {
+      std::string error;
+      const auto parsed = prophet::lint::parse_baseline(text, &error);
+      if (!parsed) {
+        std::fprintf(stderr, "prophet_lint: %s: %s\n", bl.string().c_str(),
+                     error.c_str());
+        return 2;
+      }
+      // Stale-entry enforcement only makes sense when the whole tree was
+      // visible — in diff-aware mode an unused budget usually just means the
+      // file wasn't in the diff.
+      prophet::lint::apply_baseline(result, *parsed, !options.changed.has_value());
+    } else if (!baseline_path.empty()) {
+      std::fprintf(stderr, "prophet_lint: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    out << prophet::lint::to_sarif(result);
+    if (!out) {
+      std::fprintf(stderr, "prophet_lint: cannot write %s\n", sarif_path.c_str());
+      return 2;
+    }
+  }
 
   for (const auto& d : result.diagnostics) {
     std::printf("%s:%d: [%s] %s\n", d.file.c_str(), d.line, d.rule.c_str(),

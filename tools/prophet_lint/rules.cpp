@@ -354,35 +354,6 @@ void check_todo_tags(const SourceFile& f, const TokenizedFile& tf,
 
 namespace {
 
-// Lexically normalize "a/b/../c" and "a/./b".
-std::string normalize_path(const std::string& path) {
-  std::vector<std::string> parts;
-  std::size_t start = 0;
-  while (start <= path.size()) {
-    const std::size_t slash = path.find('/', start);
-    const std::string part = path.substr(
-        start, slash == std::string::npos ? std::string::npos : slash - start);
-    if (part == "..") {
-      if (!parts.empty()) parts.pop_back();
-    } else if (!part.empty() && part != ".") {
-      parts.push_back(part);
-    }
-    if (slash == std::string::npos) break;
-    start = slash + 1;
-  }
-  std::string out;
-  for (const auto& p : parts) {
-    if (!out.empty()) out += '/';
-    out += p;
-  }
-  return out;
-}
-
-std::string dirname_of(const std::string& path) {
-  const std::size_t slash = path.rfind('/');
-  return slash == std::string::npos ? std::string{} : path.substr(0, slash);
-}
-
 // Module of a repo path under src/, or "" if not a src file.
 std::string src_module(const std::string& path) {
   if (path.compare(0, 4, "src/") != 0) return {};
@@ -393,64 +364,37 @@ std::string src_module(const std::string& path) {
 
 }  // namespace
 
-void check_layering(const std::vector<SourceFile>& files,
-                    const std::vector<TokenizedFile>& tokenized, const Config& cfg,
-                    std::vector<Diagnostic>& out) {
-  // Known module names: layering table keys plus whatever is present on disk.
-  std::set<std::string> modules;
-  for (const auto& [m, deps] : cfg.layering) {
-    modules.insert(m);
-    modules.insert(deps.begin(), deps.end());
-  }
-  for (const auto& f : files) {
-    const std::string m = src_module(f.path);
-    if (!m.empty()) modules.insert(m);
-  }
-
-  std::map<std::string, std::size_t> by_path;
-  for (std::size_t i = 0; i < files.size(); ++i) by_path.emplace(files[i].path, i);
-
-  // Resolve a quote-include seen in `from` to a repo-relative path.
-  const auto resolve = [&](const std::string& from, const std::string& target) {
-    const std::size_t slash = target.find('/');
-    if (slash != std::string::npos && modules.count(target.substr(0, slash)) != 0) {
-      return normalize_path("src/" + target);
-    }
-    const std::string dir = dirname_of(from);
-    return normalize_path(dir.empty() ? target : dir + "/" + target);
-  };
-
-  // Module-edge check (only when a layering table is configured).
-  std::vector<std::vector<std::size_t>> edges(files.size());
-  for (std::size_t i = 0; i < files.size(); ++i) {
-    const std::string from_module = src_module(files[i].path);
-    for (const IncludeDirective& inc : tokenized[i].includes) {
-      if (inc.angled) continue;
-      const std::string resolved = resolve(files[i].path, inc.target);
-      const auto it = by_path.find(resolved);
-      if (it != by_path.end()) edges[i].push_back(it->second);
-
-      if (cfg.layering.empty() || from_module.empty()) continue;
-      const std::string to_module = src_module(resolved);
-      if (to_module.empty() || to_module == from_module) continue;
-      if (cfg.sanctioned_edges.count({files[i].path, resolved}) != 0) continue;
-      const auto allowed = cfg.layering.find(from_module);
-      if (allowed == cfg.layering.end()) {
-        out.push_back(Diagnostic{files[i].path, inc.line, "R4",
-                                 "module 'src/" + from_module +
-                                     "' is not registered in the layering table "
-                                     "(tools/prophet_lint/prophet_lint.conf)"});
-      } else if (allowed->second.count(to_module) == 0) {
-        out.push_back(Diagnostic{files[i].path, inc.line, "R4",
-                                 "layering violation: src/" + from_module +
-                                     " may not include src/" + to_module + " (" +
-                                     inc.target + "); add a sanctioned edge to the "
-                                     "allowlist only with a design justification"});
-      }
+void check_layering_edges(const SourceFile& f, std::size_t file_index,
+                          const Config& cfg, const ProjectIndex& index,
+                          std::vector<Diagnostic>& out) {
+  if (cfg.layering.empty()) return;
+  const std::string from_module = src_module(f.path);
+  if (from_module.empty()) return;
+  for (const ResolvedInclude& inc : index.includes[file_index]) {
+    if (inc.angled) continue;
+    const std::string to_module = src_module(inc.resolved);
+    if (to_module.empty() || to_module == from_module) continue;
+    if (cfg.sanctioned_edges.count({f.path, inc.resolved}) != 0) continue;
+    const auto allowed = cfg.layering.find(from_module);
+    if (allowed == cfg.layering.end()) {
+      out.push_back(Diagnostic{f.path, inc.line, "R4",
+                               "module 'src/" + from_module +
+                                   "' is not registered in the layering table "
+                                   "(tools/prophet_lint/prophet_lint.conf)"});
+    } else if (allowed->second.count(to_module) == 0) {
+      out.push_back(Diagnostic{f.path, inc.line, "R4",
+                               "layering violation: src/" + from_module +
+                                   " may not include src/" + to_module + " (" +
+                                   inc.target + "); add a sanctioned edge to the "
+                                   "allowlist only with a design justification"});
     }
   }
+}
 
-  // Include-cycle check over the scanned-file graph (iterative DFS, 3-color).
+void check_include_cycles(const std::vector<SourceFile>& files,
+                          const ProjectIndex& index, std::vector<Diagnostic>& out) {
+  // Iterative DFS, 3-color, over the resolved in-set include graph.
+  const auto& edges = index.include_edges;
   enum class Color { White, Grey, Black };
   std::vector<Color> color(files.size(), Color::White);
   std::vector<std::size_t> stack_path;
@@ -484,8 +428,8 @@ void check_layering(const std::vector<SourceFile>& files,
           chain += files[next].path;
           if (reported.insert(chain).second) {
             int line = 1;
-            for (const IncludeDirective& inc : tokenized[fr.node].includes) {
-              if (resolve(files[fr.node].path, inc.target) == files[next].path) {
+            for (const ResolvedInclude& inc : index.includes[fr.node]) {
+              if (!inc.angled && inc.resolved == files[next].path) {
                 line = inc.line;
                 break;
               }

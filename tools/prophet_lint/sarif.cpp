@@ -1,0 +1,120 @@
+// SARIF 2.1.0 serialization for GitHub code scanning.
+//
+// Hand-rolled writer: the subset of SARIF we emit is small and fixed, and the
+// output must be deterministic (golden-snapshot tested), so a full JSON
+// library would buy nothing. Every container iterated here is already sorted.
+#include <string>
+#include <vector>
+
+#include "prophet_lint/lint.hpp"
+
+namespace prophet::lint {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> kCatalog = {
+      {"R1", "FloatTime",
+       "float/double arithmetic on time values outside the sanctioned boundary files"},
+      {"R2", "UnorderedIteration",
+       "range-iteration over an unordered container in a scheduling/simulation path"},
+      {"R3", "Nondeterminism",
+       "wall-clock, rand(), random_device or pointer-value ordering outside common/rng"},
+      {"R4", "Layering",
+       "include edge not in the module allowlist, or a cycle in the include graph"},
+      {"R5", "UntrackedTodo", "to-do marker without an issue tag like (#42)"},
+      {"R6", "ThreadingDiscipline",
+       "threading primitive outside the executor, or mutable namespace-scope state "
+       "reachable from a parallel sweep's cell closures"},
+      {"R7", "HandleLifetime",
+       "slab handle narrowed to a raw slot, compared across pools, or reused after "
+       "cancel in the same scope"},
+      {"R8", "UnitSafety",
+       "mixed _ns/_us/_ms/_s/_bytes/_bps units in arithmetic, comparison, assignment "
+       "or a call-site argument"},
+      {"R9", "CheckDiscipline",
+       "side effect inside PROPHET_CHECK, or a discarded must-use status/optional "
+       "return"},
+      {"lint", "LintMeta",
+       "malformed or stale suppression, or stale baseline entry"},
+  };
+  return kCatalog;
+}
+
+std::string to_sarif(const Result& result) {
+  std::string out;
+  out += "{\n";
+  out += "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+         "master/Schemata/sarif-schema-2.1.0.json\",\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out += "  \"runs\": [\n";
+  out += "    {\n";
+  out += "      \"tool\": {\n";
+  out += "        \"driver\": {\n";
+  out += "          \"name\": \"prophet_lint\",\n";
+  out += "          \"informationUri\": \"docs/LINT.md\",\n";
+  out += "          \"rules\": [\n";
+  const auto& catalog = rule_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const RuleInfo& r = catalog[i];
+    out += "            {\"id\": \"";
+    out += r.id;
+    out += "\", \"name\": \"";
+    out += r.name;
+    out += "\", \"shortDescription\": {\"text\": \"";
+    out += json_escape(r.short_desc);
+    out += "\"}}";
+    out += i + 1 < catalog.size() ? ",\n" : "\n";
+  }
+  out += "          ]\n";
+  out += "        }\n";
+  out += "      },\n";
+  out += "      \"results\": [\n";
+  for (std::size_t i = 0; i < result.diagnostics.size(); ++i) {
+    const Diagnostic& d = result.diagnostics[i];
+    out += "        {\n";
+    out += "          \"ruleId\": \"" + json_escape(d.rule) + "\",\n";
+    out += "          \"level\": \"error\",\n";
+    out += "          \"message\": {\"text\": \"" + json_escape(d.message) + "\"},\n";
+    out += "          \"locations\": [{\"physicalLocation\": {"
+           "\"artifactLocation\": {\"uri\": \"" + json_escape(d.file) +
+           "\", \"uriBaseId\": \"SRCROOT\"}, \"region\": {\"startLine\": " +
+           // SARIF requires startLine >= 1; baseline staleness reports carry
+           // line 0 because they have no anchor in the file.
+           std::to_string(d.line > 0 ? d.line : 1) + "}}}]\n";
+    out += i + 1 < result.diagnostics.size() ? "        },\n" : "        }\n";
+  }
+  out += "      ]\n";
+  out += "    }\n";
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace prophet::lint

@@ -1,0 +1,32 @@
+# Smoke-checks the SARIF artifact prophet_lint emits for code scanning:
+# run the linter over src/, then assert the document has the 2.1.0 shape
+# GitHub's upload action requires. Invoked by the lint_sarif_smoke ctest.
+if(NOT DEFINED LINT_BIN OR NOT DEFINED REPO_ROOT OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "sarif_smoke.cmake needs -DLINT_BIN, -DREPO_ROOT, -DOUT_DIR")
+endif()
+
+set(sarif "${OUT_DIR}/lint_smoke.sarif")
+execute_process(
+  COMMAND "${LINT_BIN}" --quiet --sarif "${sarif}" src
+  WORKING_DIRECTORY "${REPO_ROOT}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "prophet_lint exited ${rc} on src/ — tree must lint clean")
+endif()
+
+file(READ "${sarif}" doc)
+foreach(needle
+    "\"version\": \"2.1.0\""
+    "sarif-schema-2.1.0.json"
+    "\"name\": \"prophet_lint\""
+    "\"runs\""
+    "\"results\""
+    "\"id\": \"R1\"" "\"id\": \"R2\"" "\"id\": \"R3\"" "\"id\": \"R4\""
+    "\"id\": \"R5\"" "\"id\": \"R6\"" "\"id\": \"R7\"" "\"id\": \"R8\""
+    "\"id\": \"R9\"")
+  string(FIND "${doc}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "SARIF smoke: missing ${needle} in ${sarif}")
+  endif()
+endforeach()
+message(STATUS "SARIF smoke OK: ${sarif}")
