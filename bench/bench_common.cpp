@@ -65,6 +65,13 @@ double BenchJson::get(const std::string& section, const std::string& key) const 
   return it == sec->second.end() ? std::nan("") : it->second;
 }
 
+std::vector<std::string> BenchJson::section_names() const {
+  std::vector<std::string> names;
+  names.reserve(sections_.size());
+  for (const auto& [section, metrics] : sections_) names.push_back(section);
+  return names;
+}
+
 void BenchJson::clear_section(const std::string& section) { sections_.erase(section); }
 
 void BenchJson::save() const {

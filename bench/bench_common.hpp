@@ -24,6 +24,9 @@ class BenchJson {
   void set(const std::string& section, const std::string& key, double value);
   // Returns NaN when the metric is absent.
   [[nodiscard]] double get(const std::string& section, const std::string& key) const;
+  // Section names in document (sorted) order — lets the scale ratchet walk a
+  // baseline file without hard-coding its cell list.
+  [[nodiscard]] std::vector<std::string> section_names() const;
   // Drops a whole section (used before rewriting it wholesale).
   void clear_section(const std::string& section);
 

@@ -61,10 +61,40 @@ set_target_properties(micro_benchmarks PROPERTIES
 add_test(NAME bench_perf_engine_smoke
          COMMAND perf_engine --smoke --out ${CMAKE_BINARY_DIR}/BENCH_engine_smoke.json)
 
-# Engine-scaling smoke: shrunk cells, verifies both rebalance modes finish
-# and that the sweep executor's merged output is thread-count-independent.
-# Same artifact policy as above: the tracked BENCH_scale.json is only
-# rewritten by a full `scale` run.
+# Engine-scaling smoke: shrunk cells, verifies both rebalance modes finish,
+# that the star cell's incremental arm replays the kFull simulation
+# byte-identically (same final nanosecond + event count), and that the sweep
+# executor's merged output is thread-count-independent. Same artifact policy
+# as above: the tracked BENCH_scale.json is only rewritten by a full `scale`
+# run.
 add_test(NAME bench_scale_smoke
          COMMAND scale --smoke --out ${CMAKE_BINARY_DIR}/BENCH_scale_smoke.json)
-set_tests_properties(bench_scale_smoke PROPERTIES TIMEOUT 600)
+# RUN_SERIAL: the ratchet consumes this test's wall-clock ratios, so it must
+# not share the machine with other tests under `ctest -j`.
+set_tests_properties(bench_scale_smoke PROPERTIES TIMEOUT 600
+  FIXTURES_SETUP scale_smoke_json RUN_SERIAL TRUE)
+
+# Speedup ratchet against the committed smoke baseline: the full/incremental
+# wall-time ratio is machine-paired, so a drop below 0.9x baseline means the
+# incremental engine lost its fast path, not that CI was slow. Lives in
+# tools/ but is registered here because it reuses prophet_bench_common's
+# BenchJson reader.
+add_executable(scale_ratchet tools/scale_ratchet.cpp $<TARGET_OBJECTS:prophet_bench_common>)
+target_include_directories(scale_ratchet PRIVATE ${CMAKE_SOURCE_DIR}/src ${CMAKE_SOURCE_DIR}/bench)
+target_link_libraries(scale_ratchet PRIVATE
+  prophet_allreduce prophet_cluster prophet_ps prophet_core prophet_sched
+  prophet_metrics prophet_dnn prophet_net prophet_sim prophet_exec
+  prophet_common prophet_warnings Threads::Threads)
+set_target_properties(scale_ratchet PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/tools)
+
+# Sanitizer instrumentation inflates the two arms unevenly, so the paired
+# ratio only means something in uninstrumented builds.
+if(NOT PROPHET_SANITIZE AND NOT PROPHET_TSAN)
+  add_test(NAME bench_scale_ratchet
+           COMMAND scale_ratchet
+             ${CMAKE_SOURCE_DIR}/bench_results/BENCH_scale_smoke_baseline.json
+             ${CMAKE_BINARY_DIR}/BENCH_scale_smoke.json 0.9)
+  set_tests_properties(bench_scale_ratchet PROPERTIES
+    FIXTURES_REQUIRED scale_smoke_json)
+endif()

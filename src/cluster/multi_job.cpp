@@ -80,6 +80,7 @@ MultiJobResult run_multi_job(const MultiJobConfig& config) {
   MultiJobResult result;
   result.events_fired = sim.events_fired();
   result.spine_bytes = topology.spine_bytes();
+  result.rebalance = network.rebalance_stats();
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     JobOutcome out;
     out.name = config.jobs[j].name.empty() ? "job" + std::to_string(j)

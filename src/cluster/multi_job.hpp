@@ -50,6 +50,9 @@ struct MultiJobResult {
   // Bytes that crossed any rack uplink/downlink (zero: nothing used the
   // spine, i.e. placement achieved full locality).
   std::int64_t spine_bytes = 0;
+  // Rebalance-engine counters for the shared fabric (one network, so one
+  // snapshot covering every job).
+  net::RebalanceStats rebalance;
 };
 
 // Places, interleaves and runs every job to completion. Aborts if the jobs

@@ -121,8 +121,11 @@ void FlowNetwork::set_link_capacity(LinkId id, Bandwidth cap) {
     return;
   }
   // Settlement credits bytes at the rates in force before the change, which
-  // are stored per flow — safe to mutate the capacity first.
+  // are stored per flow (or in the group's rate history) — safe to mutate
+  // the capacity first.
   link(id).cap = cap;
+  const std::uint32_t gid = group_of_link(id);
+  if (gid != kNoGroup && group_capacity_change(gid, id)) return;
   const LinkId seeds[1] = {id};
   rebalance_from(seeds, 1);
 }
@@ -276,7 +279,11 @@ FlowId FlowNetwork::start_flow(NodeId src, NodeId dst, Bytes size,
 Bandwidth FlowNetwork::flow_rate(FlowId id) const {
   const std::ptrdiff_t slot = find_slot(id);
   PROPHET_CHECK_MSG(slot >= 0, "flow_rate on unknown flow");
-  return Bandwidth::bytes_per_sec(slots_[static_cast<std::size_t>(slot)].flow.rate);
+  const Flow& f = slots_[static_cast<std::size_t>(slot)].flow;
+  // A grouped member's own rate field is lazily maintained; the group holds
+  // the live share.
+  if (f.group != kNoGroup) return Bandwidth::bytes_per_sec(groups_[f.group].rate);
+  return Bandwidth::bytes_per_sec(f.rate);
 }
 
 void FlowNetwork::attach_tracker(NodeId id, Direction dir, BinnedSeries* series) {
@@ -341,6 +348,10 @@ void FlowNetwork::collect_component(const LinkId* seeds, std::size_t n_seeds) {
       if (slot_epoch_[slot] == epoch_) continue;
       slot_epoch_[slot] = epoch_;
       comp_flows_.push_back(slot);
+      // A slow-path walk reaching any member dissolves its whole rate group:
+      // the walk is about to re-derive the component's rates from scratch,
+      // and every member shares this flow's anchor so the BFS covers them.
+      if (slots_[slot].flow.group != kNoGroup) dissolve_group(slots_[slot].flow.group);
       const Flow& f = slots_[slot].flow;
       for (std::uint8_t p = 0; p < f.path_len; ++p) {
         const LinkId pl = f.path[p];
@@ -360,8 +371,13 @@ void FlowNetwork::collect_component(const LinkId* seeds, std::size_t n_seeds) {
 
 void FlowNetwork::settle_flow(std::uint32_t slot, TimePoint now) {
   Flow& f = slots_[slot].flow;
+  if (f.group != kNoGroup) {
+    settle_group_flow(slot, now);
+    return;
+  }
   if (f.last_settled == now) return;
   if (f.draining && f.rate > 0.0) {
+    ++stats_.flows_settled;
     const double elapsed_s = (now - f.last_settled).to_seconds();
     const double drained = std::min(f.remaining, f.rate * elapsed_s);
     f.remaining -= drained;
@@ -488,6 +504,8 @@ void FlowNetwork::refill_component() {
     }
   }
   comp_flows_.resize(kept);
+  ++stats_.rebalances;
+  stats_.component_flows += comp_flows_.size();
 
   progressive_fill(comp_flows_,
                    [&](std::uint32_t slot, double r) { slots_[slot].flow.rate = r; });
@@ -510,6 +528,10 @@ void FlowNetwork::refill_component() {
   for (const std::uint32_t slot : comp_flows_) reschedule_completion(slot);
 
   if (verify_rates_) verify_against_full();
+
+  // If the refreshed component is a single-bottleneck incast, promote it to
+  // a rate group so subsequent events stay off this slow path entirely.
+  maybe_form_group();
 }
 
 void FlowNetwork::gather_draining_by_admission(std::vector<std::uint32_t>& out) const {
@@ -523,15 +545,397 @@ void FlowNetwork::gather_draining_by_admission(std::vector<std::uint32_t>& out) 
 }
 
 void FlowNetwork::verify_against_full() {
+  ++stats_.verify_checks;
   gather_draining_by_admission(all_draining_);
   verify_rate_.assign(slots_.size(), 0.0);
   progressive_fill(all_draining_,
                    [&](std::uint32_t slot, double r) { verify_rate_[slot] = r; });
   for (const std::uint32_t slot : all_draining_) {
     const Flow& f = slots_[slot].flow;
+    if (f.rate != verify_rate_[slot]) ++stats_.verify_mismatches;
     PROPHET_CHECK_MSG(f.rate == verify_rate_[slot],
                       "incremental rebalance diverged from full recompute");
   }
+}
+
+// --- rate-group engine ------------------------------------------------------
+//
+// Exactness contract: a group never invents new floating-point operations.
+// The group rate is the same cap/int-count division progressive filling
+// evaluates; member settlement replays the same per-boundary rate*elapsed
+// chunks (with the same min-clamp, link credits and tracker spreads) the
+// eager engine applied; and the lane is aimed with the same
+// remaining/rate -> Duration::from_seconds rounding as
+// reschedule_completion. That is what keeps verify mode and the cross-mode
+// byte identities bit-for-bit. See DESIGN.md §4d.
+
+namespace {
+// "later" ordering for the next-finisher heap: std:: heap helpers keep the
+// smallest (vfinish, admission) pair at the front.
+constexpr auto kGroupEntryLater = [](const auto& a, const auto& b) {
+  if (a.vfinish != b.vfinish) return a.vfinish > b.vfinish;
+  return a.admission > b.admission;
+};
+}  // namespace
+
+std::uint32_t FlowNetwork::group_of_link(LinkId id) const {
+  // All draining flows on a link belong to one component, and a group always
+  // spans its whole component — any one of them knows the membership.
+  if (link_flows_[id].empty()) return kNoGroup;
+  return slots_[link_flows_[id][0]].flow.group;
+}
+
+void FlowNetwork::group_heap_push(RateGroup& g, const GroupEntry& e) {
+  g.heap.push_back(e);
+  std::push_heap(g.heap.begin(), g.heap.end(), kGroupEntryLater);
+}
+
+void FlowNetwork::group_heap_pop(RateGroup& g) {
+  std::pop_heap(g.heap.begin(), g.heap.end(), kGroupEntryLater);
+  g.heap.pop_back();
+}
+
+std::ptrdiff_t FlowNetwork::group_heap_head(std::uint32_t gid) {
+  RateGroup& g = groups_[gid];
+  while (!g.heap.empty()) {
+    const GroupEntry& top = g.heap.front();
+    const FlowSlot& s = slots_[top.slot];
+    if (s.occupied && s.flow.draining && s.flow.group == gid &&
+        s.flow.admission == top.admission) {
+      return static_cast<std::ptrdiff_t>(top.slot);
+    }
+    group_heap_pop(g);  // lazily deleted (cancelled member / recycled slot)
+  }
+  return -1;
+}
+
+void FlowNetwork::group_advance(RateGroup& g, TimePoint now) {
+  if (now > g.last_boundary) {
+    g.virtual_work += g.rate * (now - g.last_boundary).to_seconds();
+    g.last_boundary = now;
+  }
+}
+
+void FlowNetwork::group_set_rate(RateGroup& g, double rate, TimePoint now) {
+  group_advance(g, now);
+  g.rate = rate;
+  if (g.history.back().start == now) {
+    // A second boundary in the same instant: the zero-length segment
+    // collapses, so replays only ever see rates that were in force.
+    g.history.back().rate = rate;
+  } else {
+    g.history.push_back(GroupSegment{now, rate});
+  }
+}
+
+void FlowNetwork::settle_group_flow(std::uint32_t slot, TimePoint now) {
+  Flow& f = slots_[slot].flow;
+  if (f.last_settled >= now) return;
+  const RateGroup& g = groups_[f.group];
+  ++stats_.flows_settled;
+  // Replay the group's piecewise-constant rate history from the flow's last
+  // settlement point. Each chunk applies the identical rate*elapsed product
+  // (same min-clamp, same link/tracker credits over the same interval) the
+  // eager engine applied at that boundary, so byte accounting stays
+  // bit-identical no matter when settlement actually happens.
+  std::size_t k = f.group_hist;
+  const std::size_t nseg = g.history.size();
+  for (;;) {
+    const TimePoint seg_end = (k + 1 < nseg) ? g.history[k + 1].start : now;
+    const TimePoint end = seg_end < now ? seg_end : now;
+    if (end > f.last_settled) {
+      const double rate = g.history[k].rate;
+      if (rate > 0.0) {
+        const double elapsed_s = (end - f.last_settled).to_seconds();
+        const double drained = std::min(f.remaining, rate * elapsed_s);
+        f.remaining -= drained;
+        for (std::uint8_t i = 0; i < f.path_len; ++i) {
+          Link& l = links_[f.path[i]];
+          l.total_bytes += drained;
+          if (l.tracker != nullptr) {
+            l.tracker->add_amount_spread(f.last_settled, end, drained);
+          }
+        }
+      }
+      f.last_settled = end;
+    }
+    if (seg_end >= now || k + 1 >= nseg) break;
+    ++k;
+  }
+  f.group_hist = static_cast<std::uint32_t>(k);
+  f.last_settled = now;
+}
+
+void FlowNetwork::maybe_form_group() {
+  if (comp_flows_.size() < kMinGroupFlows) return;
+  const double rate = slots_[comp_flows_[0]].flow.rate;
+  if (rate <= 0.0) return;
+  for (const std::uint32_t slot : comp_flows_) {
+    if (slots_[slot].flow.rate != rate) return;
+  }
+  // Anchor: a component link carrying every flow whose fair share is the
+  // common rate bit-for-bit; every other populated link must keep a share
+  // at or above it (true for any max-min allocation, but checked so a
+  // numerically marginal component never gets promoted).
+  const std::size_t n = comp_flows_.size();
+  bool have_anchor = false;
+  LinkId anchor = 0;
+  double min_other = std::numeric_limits<double>::infinity();
+  for (const LinkId l : comp_links_) {
+    const std::size_t cnt = link_flows_[l].size();
+    if (cnt == 0) continue;  // a seed link that carries no draining flow
+    const double share = (links_[l].up ? links_[l].cap.bytes_per_second() : 0.0) /
+                         static_cast<double>(cnt);
+    if (!have_anchor && cnt == n && share == rate) {
+      have_anchor = true;
+      anchor = l;
+    } else {
+      if (share < rate) return;
+      min_other = std::min(min_other, share);
+    }
+  }
+  if (!have_anchor) return;
+
+  const TimePoint now = sim_.now();
+  std::uint32_t gid;
+  if (!free_groups_.empty()) {
+    gid = free_groups_.back();
+    free_groups_.pop_back();
+  } else {
+    gid = static_cast<std::uint32_t>(groups_.size());
+    groups_.emplace_back();
+  }
+  RateGroup& g = groups_[gid];
+  g.anchor = anchor;
+  g.n = static_cast<std::uint32_t>(n);
+  g.rate = rate;
+  g.min_other_share = min_other;
+  g.virtual_work = 0.0;
+  g.last_boundary = now;  // every member was just settled to now
+  g.history.clear();
+  g.history.push_back(GroupSegment{now, rate});
+  g.heap.clear();
+  g.heap.reserve(n);
+  for (const std::uint32_t slot : comp_flows_) {
+    Flow& f = slots_[slot].flow;
+    f.group = gid;
+    f.group_hist = 0;
+    // The lane supersedes per-flow completion events from here on.
+    f.completion.cancel();
+    f.completion = sim::EventHandle{};
+    g.heap.push_back(GroupEntry{f.remaining, f.admission, slot});
+  }
+  std::make_heap(g.heap.begin(), g.heap.end(), kGroupEntryLater);
+  g.live = true;
+  ++groups_live_;
+  g.lane = sim_.lane_create([this, gid] { group_lane_fire(gid); });
+  ++stats_.group_forms;
+  group_rearm(gid, now);
+}
+
+void FlowNetwork::group_rearm(std::uint32_t gid, TimePoint now) {
+  RateGroup& g = groups_[gid];
+  const std::ptrdiff_t head = group_heap_head(gid);
+  if (head < 0) {
+    sim_.lane_disarm(g.lane);
+    return;
+  }
+  const auto slot = static_cast<std::uint32_t>(head);
+  // Settling the head at every boundary keeps the aim below on the identical
+  // remaining/rate floating-point chain reschedule_completion would use.
+  settle_flow(slot, now);
+  const Flow& f = slots_[slot].flow;
+  if (f.remaining <= kDrainEpsilon) {
+    sim_.lane_aim(g.lane, now);
+  } else {
+    sim_.lane_aim(g.lane, now + Duration::from_seconds(f.remaining / g.rate));
+  }
+}
+
+void FlowNetwork::group_lane_fire(std::uint32_t gid) {
+  const TimePoint now = sim_.now();
+  RateGroup& g = groups_[gid];
+  const std::ptrdiff_t head = group_heap_head(gid);
+  PROPHET_CHECK_MSG(head >= 0, "group lane fired with no live member");
+  const auto slot = static_cast<std::uint32_t>(head);
+  settle_flow(slot, now);  // the final chunk drains the member dry
+  FlowSlot& s = slots_[slot];
+  PROPHET_CHECK_MSG(s.flow.remaining <= 1.0,
+                    "flow completion fired with bytes still pending");
+  const FlowId fid = make_id(s.generation, slot);
+  auto on_complete = std::move(s.flow.on_complete);
+  group_heap_pop(g);
+  group_remove_member(gid, slot, now);
+  if (on_complete) on_complete(fid);
+}
+
+void FlowNetwork::group_remove_member(std::uint32_t gid, std::uint32_t slot,
+                                      TimePoint now) {
+  RateGroup& g = groups_[gid];
+  Flow& f = slots_[slot].flow;
+  f.group = kNoGroup;
+  f.group_hist = 0;
+  graph_remove(slot);
+  // A link losing its last draining flow stops accruing busy time; the
+  // anchor (and any link still shared with another member) stays busy.
+  for (std::uint8_t i = 0; i < f.path_len; ++i) {
+    const LinkId l = f.path[i];
+    if (link_flows_[l].empty()) {
+      settle_link_busy(l, now);
+      links_[l].busy_active = false;
+    }
+  }
+  release_slot(slot);
+  PROPHET_CHECK(g.n > 0);
+  g.n -= 1;
+  if (g.n == 0) {
+    ++stats_.group_fast_events;
+    group_advance(g, now);
+    group_destroy(gid);
+    return;
+  }
+  // The survivors' share, via the same cap/int-count division progressive
+  // filling evaluates for the anchor's round.
+  const double new_rate =
+      links_[g.anchor].cap.bytes_per_second() / static_cast<double>(g.n);
+  if (new_rate > g.min_other_share) {
+    // The bottleneck may move off the anchor: dissolve and pay one full
+    // component rebalance (which re-forms a group with a fresh bound when
+    // the shape still qualifies).
+    const LinkId anchor = g.anchor;
+    dissolve_group(gid);
+    const LinkId seeds[1] = {anchor};
+    rebalance_from(seeds, 1);
+    return;
+  }
+  ++stats_.group_fast_events;
+  group_set_rate(g, new_rate, now);
+  group_rearm(gid, now);
+  if (verify_rates_) group_verify(gid);
+}
+
+bool FlowNetwork::group_try_admit(std::uint32_t slot, TimePoint now) {
+  Flow& f = slots_[slot].flow;
+  // The arrival qualifies iff its path touches exactly one group, includes
+  // that group's anchor, crosses only up links, and leaves every non-anchor
+  // path link with a fair share at or above the group's post-arrival rate.
+  std::uint32_t gid = kNoGroup;
+  for (std::uint8_t i = 0; i < f.path_len; ++i) {
+    const LinkId l = f.path[i];
+    if (!links_[l].up) return false;
+    if (link_flows_[l].empty()) continue;
+    const std::uint32_t lg = slots_[link_flows_[l][0]].flow.group;
+    if (lg == kNoGroup) return false;  // touches an ungrouped component
+    if (gid == kNoGroup) {
+      gid = lg;
+    } else if (gid != lg) {
+      return false;  // would merge two groups
+    }
+  }
+  if (gid == kNoGroup) return false;  // isolated arrival — slow path is O(1)
+  RateGroup& g = groups_[gid];
+  bool on_anchor = false;
+  for (std::uint8_t i = 0; i < f.path_len; ++i) on_anchor |= f.path[i] == g.anchor;
+  if (!on_anchor) return false;  // bridges into the group off its bottleneck
+  const double new_rate =
+      links_[g.anchor].cap.bytes_per_second() / static_cast<double>(g.n + 1);
+  double min_other = g.min_other_share;
+  for (std::uint8_t i = 0; i < f.path_len; ++i) {
+    const LinkId l = f.path[i];
+    if (l == g.anchor) continue;
+    const double share = links_[l].cap.bytes_per_second() /
+                         static_cast<double>(link_flows_[l].size() + 1);
+    if (share < new_rate) return false;  // the arrival moves the bottleneck
+    min_other = std::min(min_other, share);
+  }
+  // Commit: one boundary, one heap push, one lane re-aim.
+  group_set_rate(g, new_rate, now);
+  f.draining = true;
+  f.last_settled = now;
+  f.group = gid;
+  f.group_hist = static_cast<std::uint32_t>(g.history.size() - 1);
+  graph_insert(slot);
+  g.n += 1;
+  g.min_other_share = min_other;
+  for (std::uint8_t i = 0; i < f.path_len; ++i) {
+    Link& l = links_[f.path[i]];
+    if (!l.busy_active) {
+      settle_link_busy(f.path[i], now);
+      l.busy_active = true;
+    }
+  }
+  group_heap_push(g, GroupEntry{g.virtual_work + f.remaining, f.admission, slot});
+  ++stats_.group_fast_events;
+  group_rearm(gid, now);
+  if (verify_rates_) group_verify(gid);
+  return true;
+}
+
+bool FlowNetwork::group_capacity_change(std::uint32_t gid, LinkId id) {
+  RateGroup& g = groups_[gid];
+  const TimePoint now = sim_.now();
+  if (id != g.anchor) {
+    // A non-anchor member link: the group survives while the link's new fair
+    // share still clears the group rate. No member's rate changes, so no
+    // boundary is recorded.
+    const double share = links_[id].cap.bytes_per_second() /
+                         static_cast<double>(link_flows_[id].size());
+    if (share < g.rate) return false;
+    g.min_other_share = std::min(g.min_other_share, share);
+    ++stats_.group_fast_events;
+    if (verify_rates_) group_verify(gid);
+    return true;
+  }
+  const double new_rate =
+      links_[id].cap.bytes_per_second() / static_cast<double>(g.n);
+  if (new_rate > g.min_other_share) return false;
+  ++stats_.group_fast_events;
+  group_set_rate(g, new_rate, now);
+  group_rearm(gid, now);
+  if (verify_rates_) group_verify(gid);
+  return true;
+}
+
+void FlowNetwork::dissolve_group(std::uint32_t gid) {
+  RateGroup& g = groups_[gid];
+  const TimePoint now = sim_.now();
+  // Settle every member exactly (they all sit on the anchor), hand its rate
+  // back to the per-flow field, and let the caller's slow-path rebalance
+  // re-rate them and schedule fresh completion events.
+  for (const std::uint32_t slot : link_flows_[g.anchor]) {
+    settle_flow(slot, now);
+    Flow& f = slots_[slot].flow;
+    f.rate = g.rate;
+    f.group = kNoGroup;
+    f.group_hist = 0;
+  }
+  group_advance(g, now);
+  ++stats_.group_dissolves;
+  group_destroy(gid);
+}
+
+void FlowNetwork::group_destroy(std::uint32_t gid) {
+  RateGroup& g = groups_[gid];
+  sim_.lane_destroy(g.lane);
+  g.lane = sim::kNoLane;
+  g.history.clear();
+  g.heap.clear();
+  g.live = false;
+  g.n = 0;
+  PROPHET_CHECK(groups_live_ > 0);
+  --groups_live_;
+  free_groups_.push_back(gid);
+}
+
+void FlowNetwork::group_verify(std::uint32_t gid) {
+  RateGroup& g = groups_[gid];
+  // verify_against_full reads per-flow rate fields; refresh the members'
+  // lazily-maintained copies first. Every group op in verify mode does this,
+  // so the global check always sees current rates everywhere.
+  for (const std::uint32_t slot : link_flows_[g.anchor]) {
+    slots_[slot].flow.rate = g.rate;
+  }
+  verify_against_full();
 }
 
 void FlowNetwork::remove_active(std::uint32_t slot) {
@@ -564,6 +968,7 @@ void FlowNetwork::advance_to_now() {
     Flow& flow = slots_[slot].flow;
     flow.last_settled = now;
     if (flow.rate <= 0.0) continue;
+    ++stats_.flows_settled;
     const double drained = std::min(flow.remaining, flow.rate * elapsed_s);
     flow.remaining -= drained;
     for (std::uint8_t i = 0; i < flow.path_len; ++i) {
@@ -582,6 +987,8 @@ void FlowNetwork::advance_to_now() {
 
 void FlowNetwork::reassign_rates() {
   gather_draining_by_admission(all_draining_);
+  ++stats_.rebalances;
+  stats_.component_flows += all_draining_.size();
   progressive_fill(all_draining_,
                    [&](std::uint32_t slot, double r) { slots_[slot].flow.rate = r; });
   for (Link& l : links_) l.busy_active = false;
@@ -610,6 +1017,9 @@ void FlowNetwork::enter_drain(FlowId id) {
     return;
   }
   const TimePoint now = sim_.now();
+  // An arrival that lands squarely on one rate group's bottleneck joins it
+  // in O(log n) without touching the rest of the component.
+  if (group_try_admit(slot, now)) return;
   Flow& f = slots_[slot].flow;
   // The arrival may bridge previously independent components; its whole path
   // seeds the frontier.
@@ -644,6 +1054,16 @@ Bytes FlowNetwork::cancel_flow(FlowId id) {
   }
   const TimePoint now = sim_.now();
   FlowSlot& s = slots_[slot];
+  if (s.flow.draining && s.flow.group != kNoGroup) {
+    // Fast-path abort of a grouped member (crash teardown mid-incast):
+    // settle it exactly, then detach — the group re-rates in O(log n) or
+    // dissolves if the departure moves the bottleneck.
+    settle_flow(slot, now);
+    const auto remaining =
+        static_cast<std::int64_t>(std::ceil(s.flow.remaining - kDrainEpsilon));
+    group_remove_member(s.flow.group, slot, now);
+    return Bytes::of(std::max<std::int64_t>(remaining, 0));
+  }
   if (s.flow.draining) {
     std::array<LinkId, kMaxPathLinks> seeds = s.flow.path;
     const std::uint8_t n_seeds = s.flow.path_len;

@@ -80,6 +80,32 @@ enum class Direction { kTx, kRx };
 // (the original algorithm, kept as the reference/bench baseline).
 enum class RebalanceMode { kIncremental, kFull };
 
+// Rebalance-engine observability counters, cumulative over the network's
+// lifetime. Cheap enough to maintain unconditionally; surfaced through
+// ClusterResult / MultiJobResult and the BENCH_scale.json writer so perf
+// regressions can be triaged from recorded artifacts instead of reruns.
+struct RebalanceStats {
+  // Slow-path component rebalances (collect + settle + progressive fill).
+  std::uint64_t rebalances = 0;
+  // Flows walked by those slow-path rebalances (settled + re-rated + their
+  // completions rescheduled); rebalances/flows give the mean component size.
+  std::uint64_t component_flows = 0;
+  // Per-flow settlement chunks applied (each one rate*elapsed credit).
+  std::uint64_t flows_settled = 0;
+  // Rate-group lifecycle: formations, dissolutions back to the slow path,
+  // and events (completion/admission/cancel/capacity change) absorbed by a
+  // group in O(log n) without a component rebalance.
+  std::uint64_t group_forms = 0;
+  std::uint64_t group_dissolves = 0;
+  std::uint64_t group_fast_events = 0;
+  // Differential verification (set_verify_rates): full-recompute comparisons
+  // run and rate mismatches observed. A mismatch aborts the run, so a
+  // surviving artifact always records zero — the column exists so a future
+  // soft-fail mode has somewhere to report.
+  std::uint64_t verify_checks = 0;
+  std::uint64_t verify_mismatches = 0;
+};
+
 class FlowNetwork {
  public:
   // Longest possible path: access tx, rack uplink, rack downlink, access rx.
@@ -173,6 +199,9 @@ class FlowNetwork {
   [[nodiscard]] std::int64_t total_bytes(NodeId id, Direction dir);
   // Cumulative time the access link had at least one draining flow, to now().
   [[nodiscard]] Duration busy_time(NodeId id, Direction dir);
+  [[nodiscard]] const RebalanceStats& rebalance_stats() const { return stats_; }
+  // Live rate groups (see the RateGroup comment below); exposed for tests.
+  [[nodiscard]] std::size_t rate_group_count() const { return groups_live_; }
 
  private:
   // The unit of capacity and contention (an access port or a shared rack
@@ -218,6 +247,11 @@ class FlowNetwork {
     // Byte accounting is lazy: remaining/link totals are settled per flow
     // from its piecewise-constant rate when its component is next touched.
     TimePoint last_settled{};
+    // Rate-group membership (kIncremental only): while grouped, `rate` may be
+    // stale — the live rate is the group's — and settlement replays the
+    // group's rate history from segment `group_hist` onward.
+    std::uint32_t group = kNoGroup;
+    std::uint32_t group_hist = 0;
     std::function<void(FlowId)> on_complete;
     sim::EventHandle completion;
   };
@@ -235,6 +269,53 @@ class FlowNetwork {
     double cap = 0.0;
     int unfrozen = 0;
   };
+
+  // --- rate groups (kIncremental fast path) --------------------------------
+  // When one link is the common bottleneck of an entire component — the PS
+  // incast shape — progressive filling gives every flow the identical share
+  // cap/n. Such a component is promoted to a *rate group*: members stop
+  // carrying individual completion events and per-event settlement; instead
+  // the group keeps (a) a next-finisher heap ordered by virtual finish work
+  // (drained work at join + remaining bytes at join), (b) a piecewise-
+  // constant rate history so a member settles lazily by replaying exactly
+  // the per-boundary chunks the eager engine would have applied (bit-
+  // identical byte/tracker accounting), and (c) one simulator lane aimed at
+  // the head's completion. A completion/admission/cancel then costs O(log n)
+  // heap work plus O(1) boundary bookkeeping; anything that can change the
+  // bottleneck structure (a BFS reaching the group, a link going down, the
+  // risen share crossing another link's) dissolves the group back to the
+  // slow path, which re-forms it if the shape still qualifies.
+  struct GroupSegment {
+    TimePoint start;
+    double rate;  // in force from `start` until the next segment's start
+  };
+  // Next-finisher heap entry; lazy deletion (an entry is live while its slot
+  // still holds the same admission and membership).
+  struct GroupEntry {
+    double vfinish;
+    std::uint64_t admission;
+    std::uint32_t slot;
+  };
+  struct RateGroup {
+    LinkId anchor = 0;
+    std::uint32_t n = 0;  // live members
+    double rate = 0.0;    // current per-member share, bit-equal to fill's cap/n
+    // Conservative lower bound on every non-anchor member-link fair share;
+    // the group stays valid while its rate never exceeds this.
+    double min_other_share = 0.0;
+    // Cumulative per-member drained bytes since formation (one product per
+    // boundary); orders the heap, never used for byte accounting.
+    double virtual_work = 0.0;
+    TimePoint last_boundary{};
+    sim::LaneId lane = sim::kNoLane;
+    std::vector<GroupSegment> history;
+    std::vector<GroupEntry> heap;  // binary min-heap on (vfinish, admission)
+    bool live = false;
+  };
+  static constexpr std::uint32_t kNoGroup = 0xffffffffu;
+  // Components below this size stay on the slow path: tiny refills are cheap
+  // and the small pinned-golden scenarios keep their exact event sequences.
+  static constexpr std::size_t kMinGroupFlows = 8;
 
   static constexpr FlowId make_id(std::uint32_t generation, std::uint32_t slot) {
     return (static_cast<FlowId>(generation) << 32) | slot;
@@ -280,6 +361,43 @@ class FlowNetwork {
   void reschedule_completion(std::uint32_t slot);
   // Asserts every draining flow's rate matches a full recompute bit-for-bit.
   void verify_against_full();
+
+  // --- rate-group engine ---------------------------------------------------
+  // The group (if any) owning link `id`'s draining flows.
+  [[nodiscard]] std::uint32_t group_of_link(LinkId id) const;
+  // Promotes comp_flows_/comp_links_ to a rate group when the shape
+  // qualifies; called at the end of every slow-path refill.
+  void maybe_form_group();
+  // Settles a grouped flow by replaying the group's rate history (the exact
+  // chunk sequence the eager engine would have applied).
+  void settle_group_flow(std::uint32_t slot, TimePoint now);
+  // Advances the group's virtual-work clock to `now`.
+  void group_advance(RateGroup& g, TimePoint now);
+  // Boundary: advance virtual work, then switch the group to `rate`.
+  void group_set_rate(RateGroup& g, double rate, TimePoint now);
+  void group_heap_push(RateGroup& g, const GroupEntry& e);
+  void group_heap_pop(RateGroup& g);
+  // Drops stale heap entries; returns the live head slot or -1 if empty.
+  std::ptrdiff_t group_heap_head(std::uint32_t gid);
+  // Settles the head to `now` and re-aims the group's lane at its finish.
+  void group_rearm(std::uint32_t gid, TimePoint now);
+  // Fast-path admission of a settled, not-yet-draining flow; returns false
+  // (leaving all state untouched) when the arrival must take the slow path.
+  bool group_try_admit(std::uint32_t slot, TimePoint now);
+  // Fast-path member removal (completion and cancellation): detaches the
+  // member, then re-rates, dissolves, or destroys the group as needed.
+  void group_remove_member(std::uint32_t gid, std::uint32_t slot, TimePoint now);
+  // Fast-path capacity change on a group link; false -> caller rebalances.
+  bool group_capacity_change(std::uint32_t gid, LinkId id);
+  // Settles every member to now, restores per-flow rates/completions being
+  // managed eagerly again, and frees the group (members keep draining; the
+  // caller must follow with a slow-path rebalance covering them).
+  void dissolve_group(std::uint32_t gid);
+  void group_destroy(std::uint32_t gid);
+  // Verify mode: refresh member rates, then run the full differential check.
+  void group_verify(std::uint32_t gid);
+  // Lane callback: the group head finished.
+  void group_lane_fire(std::uint32_t gid);
   // All draining flow slots, in admission order (full/verify paths).
   void gather_draining_by_admission(std::vector<std::uint32_t>& out) const;
   void remove_active(std::uint32_t slot);
@@ -328,6 +446,11 @@ class FlowNetwork {
   // Full/verify-path scratch.
   std::vector<std::uint32_t> all_draining_;
   std::vector<double> verify_rate_;
+  // Rate-group slab (freed groups keep their vector capacity for reuse).
+  std::vector<RateGroup> groups_;
+  std::vector<std::uint32_t> free_groups_;
+  std::size_t groups_live_ = 0;
+  RebalanceStats stats_;
 };
 
 }  // namespace prophet::net

@@ -12,6 +12,7 @@
 #include "metrics/gpu_tracker.hpp"
 #include "metrics/training_metrics.hpp"
 #include "metrics/transfer_log.hpp"
+#include "net/flow_network.hpp"
 #include "ps/config.hpp"
 
 namespace prophet::ps {
@@ -44,6 +45,11 @@ struct ClusterResult {
   std::uint64_t events_fired = 0;
   // BSP invariant checks evaluated by the auditor (0 under ASP).
   std::size_t audit_checks = 0;
+  // Rebalance-engine counters (settlements, component walks, rate-group
+  // lifecycle, verify checks) for the network this job ran on. Under
+  // multi-job sharing the fabric is common, so every job reports the same
+  // shared snapshot.
+  net::RebalanceStats rebalance;
 
   // Mean per-worker training rate (samples/s) over the window.
   [[nodiscard]] double mean_rate() const;

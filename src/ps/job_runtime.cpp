@@ -253,6 +253,7 @@ ClusterResult JobRuntime::collect(std::optional<std::size_t> measure_first,
   result.simulated_time = training_span_;
   result.events_fired = events_fired;
   result.audit_checks = auditor_ != nullptr ? auditor_->checks_run() : 0;
+  result.rebalance = network_.rebalance_stats();
   for (std::size_t w = 0; w < cfg.num_workers; ++w) {
     const Worker& worker = *workers_[w];
     WorkerResult wr{.id = w,

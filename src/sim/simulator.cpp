@@ -17,6 +17,7 @@ EventHandle Simulator::schedule_at(TimePoint at, Callback cb) {
   PROPHET_CHECK_MSG(at >= now_, "scheduling into the past");
   PROPHET_CHECK(cb != nullptr);
   const std::uint32_t slot = pool_->acquire(/*counts_live=*/true);
+  PROPHET_CHECK_MSG(slot < kLaneTag, "event pool exhausted the slot space");
   const std::uint32_t generation = pool_->slots[slot].generation;
   pool_->slots[slot].cb = std::move(cb);
   PROPHET_CHECK_MSG(next_seq_ != std::numeric_limits<std::uint32_t>::max(),
@@ -66,6 +67,67 @@ void Simulator::periodic_tick(std::uint32_t slot, std::uint32_t generation) {
               [this, slot, generation] { periodic_tick(slot, generation); });
 }
 
+LaneId Simulator::lane_create(Callback cb) {
+  PROPHET_CHECK(cb != nullptr);
+  LaneId id;
+  if (!lane_free_.empty()) {
+    id = lane_free_.back();
+    lane_free_.pop_back();
+  } else {
+    id = static_cast<LaneId>(lanes_.size());
+    PROPHET_CHECK_MSG(id < kLaneTag, "lane slab exhausted the slot space");
+    lanes_.emplace_back();
+  }
+  Lane& ln = lanes_[id];
+  ln.cb = std::move(cb);
+  ln.armed = false;
+  ln.alive = true;
+  ++lanes_live_;
+  return id;
+}
+
+void Simulator::lane_destroy(LaneId id) {
+  PROPHET_CHECK(id < lanes_.size() && lanes_[id].alive);
+  Lane& ln = lanes_[id];
+  if (ln.armed) {
+    ln.armed = false;
+    --lanes_armed_;
+  }
+  ln.alive = false;
+  ln.cb = nullptr;  // no-op if destroyed mid-fire: dispatch() holds the cb
+  --lanes_live_;
+  lane_free_.push_back(id);
+}
+
+void Simulator::lane_aim(LaneId id, TimePoint at) {
+  PROPHET_CHECK(id < lanes_.size() && lanes_[id].alive);
+  PROPHET_CHECK_MSG(at >= now_, "aiming a lane into the past");
+  PROPHET_CHECK_MSG(next_seq_ != std::numeric_limits<std::uint32_t>::max(),
+                    "event sequence counter exhausted");
+  Lane& ln = lanes_[id];
+  const std::uint32_t seq = next_seq_++;
+  ln.aim_seq = seq;  // supersedes any queued record for this lane
+  if (!ln.armed) {
+    ln.armed = true;
+    ++lanes_armed_;
+  }
+  heap_push(Record{at, seq, id | kLaneTag});
+}
+
+void Simulator::lane_disarm(LaneId id) {
+  PROPHET_CHECK(id < lanes_.size() && lanes_[id].alive);
+  Lane& ln = lanes_[id];
+  if (ln.armed) {
+    ln.armed = false;
+    --lanes_armed_;
+  }
+}
+
+bool Simulator::lane_armed(LaneId id) const {
+  PROPHET_CHECK(id < lanes_.size() && lanes_[id].alive);
+  return lanes_[id].armed;
+}
+
 void Simulator::heap_push(const Record& rec) {
   heap_.push_back(rec);
   std::size_t i = heap_.size() - 1;
@@ -100,8 +162,8 @@ Simulator::Record Simulator::pop_front() {
     heap_[i] = last;
     // Warm the next event's pool slot while the popped event's callback
     // runs — the slot access pattern is random, and this hides most of the
-    // resulting cache miss.
-    __builtin_prefetch(&pool_->slots[heap_[0].slot]);
+    // resulting cache miss. (Lane records live in lanes_, not the pool.)
+    if ((heap_[0].slot & kLaneTag) == 0) __builtin_prefetch(&pool_->slots[heap_[0].slot]);
   }
   return top;
 }
@@ -118,16 +180,37 @@ void Simulator::fire(Record rec) {
   cb();
 }
 
+bool Simulator::dispatch(const Record& rec) {
+  if ((rec.slot & kLaneTag) != 0) {
+    const LaneId id = rec.slot & ~kLaneTag;
+    Lane& ln = lanes_[id];
+    if (!ln.alive || !ln.armed || ln.aim_seq != rec.seq) return false;  // superseded
+    PROPHET_CHECK(rec.at >= now_);
+    now_ = rec.at;
+    ln.armed = false;
+    --lanes_armed_;
+    ++fired_;
+    // Run the callback from a local: it may re-aim this lane, destroy it, or
+    // even recycle the id for a fresh lane — destroying the std::function we
+    // are executing would be UB. Restore it only if the slot still wants it.
+    Callback cb = std::move(ln.cb);
+    cb();
+    Lane& after = lanes_[id];
+    if (after.alive && !after.cb) after.cb = std::move(cb);
+    return true;
+  }
+  if (pool_->slots[rec.slot].done) {  // cancelled while queued
+    pool_->release(rec.slot);
+    return false;
+  }
+  fire(rec);
+  return true;
+}
+
 std::uint64_t Simulator::run() {
   std::uint64_t fired = 0;
   while (!heap_.empty()) {
-    const Record rec = pop_front();
-    if (pool_->slots[rec.slot].done) {  // cancelled while queued
-      pool_->release(rec.slot);
-      continue;
-    }
-    fire(rec);
-    ++fired;
+    if (dispatch(pop_front())) ++fired;
   }
   return fired;
 }
@@ -135,26 +218,14 @@ std::uint64_t Simulator::run() {
 std::uint64_t Simulator::run_until(TimePoint deadline) {
   std::uint64_t fired = 0;
   while (!heap_.empty() && heap_.front().at <= deadline) {
-    const Record rec = pop_front();
-    if (pool_->slots[rec.slot].done) {
-      pool_->release(rec.slot);
-      continue;
-    }
-    fire(rec);
-    ++fired;
+    if (dispatch(pop_front())) ++fired;
   }
   return fired;
 }
 
 bool Simulator::step() {
   while (!heap_.empty()) {
-    const Record rec = pop_front();
-    if (pool_->slots[rec.slot].done) {
-      pool_->release(rec.slot);
-      continue;
-    }
-    fire(rec);
-    return true;
+    if (dispatch(pop_front())) return true;
   }
   return false;
 }

@@ -32,6 +32,15 @@ namespace prophet::sim {
 
 class Simulator;
 
+// Identifier of an event *lane*: a persistent, re-aimable sentinel event.
+// Where a plain scheduled event is one-shot (slot acquired, fired, released),
+// a lane keeps its callback and identity across arbitrarily many re-aims, so
+// a subsystem that repeatedly reschedules "the next interesting instant" for
+// some aggregate (e.g. a FlowNetwork rate group's next finisher) pays one
+// heap push per re-aim and nothing else — no slot churn, no callback moves.
+using LaneId = std::uint32_t;
+inline constexpr LaneId kNoLane = 0xffffffffu;
+
 namespace detail {
 
 // Slab of per-event lifecycle slots. `done` flips when the event fires or is
@@ -147,9 +156,27 @@ class Simulator {
   // Fires exactly one event if any is pending. Returns false on empty queue.
   bool step();
 
-  [[nodiscard]] bool empty() const { return pool_->live == 0; }
-  // Scheduled, not-yet-fired, not-cancelled events.
-  [[nodiscard]] std::size_t pending_events() const { return pool_->live; }
+  // --- event lanes ---------------------------------------------------------
+  // Creates a lane owning `cb`. The lane starts disarmed; `lane_aim` arms it
+  // (or moves an armed lane's target). When the lane's target instant is
+  // reached it disarms itself and runs `cb` — the callback may re-aim the
+  // lane, schedule events, or destroy the lane. Superseded aims are skipped
+  // without firing (lazy deletion in the heap, like cancelled events).
+  LaneId lane_create(Callback cb);
+  // Destroys the lane: pending aims become inert and the id may be recycled.
+  // Safe to call from inside the lane's own callback.
+  void lane_destroy(LaneId id);
+  // Arms the lane to fire at `at` (>= now), superseding any previous aim.
+  void lane_aim(LaneId id, TimePoint at);
+  // Un-arms the lane without destroying it; a later lane_aim re-arms.
+  void lane_disarm(LaneId id);
+  [[nodiscard]] bool lane_armed(LaneId id) const;
+  // Live (created, not destroyed) lanes; exposed for the slab-reuse tests.
+  [[nodiscard]] std::size_t lane_count() const { return lanes_live_; }
+
+  [[nodiscard]] bool empty() const { return pool_->live == 0 && lanes_armed_ == 0; }
+  // Scheduled, not-yet-fired, not-cancelled events (armed lanes included).
+  [[nodiscard]] std::size_t pending_events() const { return pool_->live + lanes_armed_; }
   [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
   // Pool capacity (high-water mark of concurrently tracked events); exposed
   // for the slab-reuse tests.
@@ -167,6 +194,11 @@ class Simulator {
     std::uint32_t seq;
     std::uint32_t slot;
   };
+  // Heap records for lanes reuse the Record layout with the top bit of `slot`
+  // set (the pool would need 2^31 concurrent events to collide, checked at
+  // acquire). A lane record is live iff the lane is still armed with exactly
+  // this seq — seqs are unique, so a superseded aim can never false-match.
+  static constexpr std::uint32_t kLaneTag = 0x80000000u;
   static bool earlier(const Record& a, const Record& b) {
     if (a.at != b.at) return a.at < b.at;
     return a.seq < b.seq;
@@ -175,12 +207,21 @@ class Simulator {
     Duration period;
     std::function<void(TimePoint)> cb;
   };
+  struct Lane {
+    Callback cb;
+    std::uint32_t aim_seq = 0;
+    bool armed = false;
+    bool alive = false;
+  };
 
   // Inserts into / pops the earliest record off heap_.
   void heap_push(const Record& rec);
   Record pop_front();
   // Fires `rec`; assumes it is live.
   void fire(Record rec);
+  // Routes a popped record (event or lane) to its callback; returns whether
+  // anything fired (false for cancelled events and superseded lane aims).
+  bool dispatch(const Record& rec);
   void periodic_tick(std::uint32_t slot, std::uint32_t generation);
 
   std::shared_ptr<detail::EventPool> pool_;
@@ -190,6 +231,12 @@ class Simulator {
   std::vector<Record> heap_;
   // Periodic-chain state, keyed by the chain's pool slot.
   std::unordered_map<std::uint32_t, PeriodicChain> chains_;
+  // Lane slab (ids recycled through the free list; staleness is resolved by
+  // aim seq, so no generation counter is needed).
+  std::vector<Lane> lanes_;
+  std::vector<std::uint32_t> lane_free_;
+  std::size_t lanes_live_ = 0;
+  std::size_t lanes_armed_ = 0;
   TimePoint now_{};
   std::uint32_t next_seq_{0};
   std::uint64_t fired_{0};

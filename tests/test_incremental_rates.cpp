@@ -298,6 +298,129 @@ TEST(IncrementalRates, ClusterFaultPlanVerified) {
   }
 }
 
+// --- Rate-group cells -------------------------------------------------------
+// Bottleneck-homogeneous incasts (>= kMinGroupFlows flows at one common rate
+// over one common bottleneck) are promoted to rate groups and complete via
+// the O(log n) lane fast path. Verify mode still re-runs the full progressive
+// filling at every group boundary (form/admit/remove/capacity change), so
+// finishing under set_verify_rates proves the fast path bit-identical.
+
+// Staggered admissions into one PS NIC: the group forms at the 8th flow,
+// later arrivals join through the O(log n) admit path, and completions pop
+// off the group heap without a component rebalance.
+TEST(RateGroups, StaggeredIncastFormsGroupAndVerifies) {
+  Fixture f;
+  f.net.set_verify_rates(true);
+  const NodeId ps = f.net.add_node("ps", Bandwidth::gbps(1), Bandwidth::gbps(1));
+  int completed = 0;
+  bool saw_group = false;
+  for (int i = 0; i < 12; ++i) {
+    const NodeId w = f.net.add_node("w" + std::to_string(i), Bandwidth::gbps(1),
+                                    Bandwidth::gbps(1));
+    f.sim.schedule_after(Duration::millis(i), [&f, &completed, w, ps] {
+      f.net.start_flow(w, ps, Bytes::of(8'000'000),
+                       [&completed](FlowId) { ++completed; });
+    });
+  }
+  f.sim.schedule_after(30_ms, [&f, &saw_group] {
+    saw_group = f.net.rate_group_count() > 0;
+  });
+  f.sim.run();
+  EXPECT_EQ(completed, 12);
+  EXPECT_TRUE(saw_group);
+  const RebalanceStats& stats = f.net.rebalance_stats();
+  EXPECT_GE(stats.group_forms, 1u);
+  EXPECT_GT(stats.group_fast_events, 0u);
+  EXPECT_GT(stats.verify_checks, 0u);
+  EXPECT_EQ(stats.verify_mismatches, 0u);
+}
+
+// Mid-incast dynamics on the bottleneck itself: capacity scale down and up
+// re-rates the group in place (one boundary, no rebalance); an outage parks
+// the whole incast at zero (slow path dissolves the group) and recovery
+// re-forms it. All of it bit-checked against the full recompute.
+TEST(RateGroups, MidIncastBottleneckDynamicsVerified) {
+  Fixture f;
+  f.net.set_verify_rates(true);
+  const NodeId ps = f.net.add_node("ps", Bandwidth::gbps(1), Bandwidth::gbps(1));
+  int completed = 0;
+  for (int i = 0; i < 12; ++i) {
+    const NodeId w = f.net.add_node("w" + std::to_string(i), Bandwidth::gbps(1),
+                                    Bandwidth::gbps(1));
+    f.net.start_flow(w, ps, Bytes::of(16'000'000),
+                     [&completed](FlowId) { ++completed; });
+  }
+  f.sim.schedule_after(100_ms, [&f, ps] {
+    f.net.set_capacity(ps, Direction::kRx, Bandwidth::mbps(400));
+  });
+  f.sim.schedule_after(250_ms, [&f, ps] {
+    f.net.set_capacity(ps, Direction::kRx, Bandwidth::gbps(1));
+  });
+  f.sim.schedule_after(400_ms, [&f, ps] { f.net.set_link_up(ps, false); });
+  f.sim.schedule_after(550_ms, [&f, ps] {
+    // Parked: the outage dissolved the group and froze every flow at zero.
+    EXPECT_EQ(f.net.rate_group_count(), 0u);
+    f.net.set_link_up(ps, true);
+  });
+  f.sim.run();
+  EXPECT_EQ(completed, 12);
+  const RebalanceStats& stats = f.net.rebalance_stats();
+  EXPECT_GE(stats.group_forms, 2u);  // re-formed after the outage cleared
+  EXPECT_GE(stats.group_dissolves, 1u);
+  EXPECT_EQ(stats.verify_mismatches, 0u);
+}
+
+// Fault-style mass abort: half the group's flows are cancelled mid-incast
+// (what a worker crash's abort_all does), each removal re-rating the
+// surviving group members without dissolving the group.
+TEST(RateGroups, AbortingHalfTheGroupKeepsRatesVerified) {
+  Fixture f;
+  f.net.set_verify_rates(true);
+  const NodeId ps = f.net.add_node("ps", Bandwidth::gbps(1), Bandwidth::gbps(1));
+  std::vector<FlowId> ids;
+  int completed = 0;
+  for (int i = 0; i < 12; ++i) {
+    const NodeId w = f.net.add_node("w" + std::to_string(i), Bandwidth::gbps(1),
+                                    Bandwidth::gbps(1));
+    ids.push_back(f.net.start_flow(w, ps, Bytes::of(16'000'000),
+                                   [&completed](FlowId) { ++completed; }));
+  }
+  f.sim.schedule_after(50_ms, [&f, &ids] {
+    ASSERT_GT(f.net.rate_group_count(), 0u);
+    for (std::size_t i = 0; i < ids.size(); i += 2) f.net.cancel_flow(ids[i]);
+  });
+  f.sim.run();
+  EXPECT_EQ(completed, 6);
+  EXPECT_EQ(f.net.rebalance_stats().verify_mismatches, 0u);
+}
+
+// Cluster-level crash plan on an 8-worker incast: the crashes abort the
+// crashed workers' in-flight push flows out of live rate groups, recovery
+// re-pushes, and every rebalance across the run is verified bit-identical.
+TEST(RateGroups, ClusterCrashPlanAbortsGroupedFlowsVerified) {
+  ps::ClusterConfig cfg;
+  cfg.model = dnn::toy_cnn();
+  cfg.num_workers = 8;
+  cfg.batch = 32;
+  cfg.iterations = 6;
+  cfg.seed = 13;
+  cfg.worker_bandwidth = Bandwidth::gbps(1);
+  cfg.ps_bandwidth = Bandwidth::gbps(1);
+  cfg.strategy = ps::StrategyConfig::fifo();
+  cfg.reliability.retry_budget = 64;
+  for (std::size_t w = 0; w < 4; ++w) {
+    cfg.dynamics.worker_crash(
+        Duration::millis(static_cast<std::int64_t>(40 + 5 * w)), 20_ms, w);
+  }
+  cfg.dynamics.sort();  // crash/recover pairs interleave across workers
+  cfg.verify_rates = true;
+  const auto result = ps::run_cluster(cfg, 1);
+  for (const auto& w : result.workers) {
+    EXPECT_EQ(w.iterations_completed, cfg.iterations);
+  }
+  EXPECT_EQ(result.rebalance.verify_mismatches, 0u);
+}
+
 // Two jobs contending across a shared oversubscribed spine, verified: job
 // arrivals/departures dirty only their own component unless the spine
 // couples them, and either way the rates must match the full recompute.
