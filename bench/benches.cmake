@@ -98,3 +98,30 @@ if(NOT PROPHET_SANITIZE AND NOT PROPHET_TSAN)
   set_tests_properties(bench_scale_ratchet PROPERTIES
     FIXTURES_REQUIRED scale_smoke_json)
 endif()
+
+# Fault-recovery smoke + ratchet: shrunk toy cells (including a 2-shard PS
+# failover with partial rollback) write BENCH_fault_smoke.json, then the
+# ratchet holds per-strategy recovery overheads and the schedule-repair
+# advantage to the committed baseline. Every compared metric is *simulated*
+# milliseconds — deterministic on any runner (and under sanitizers), so no
+# RUN_SERIAL and no instrumentation guard.
+add_test(NAME bench_fault_smoke
+         COMMAND fault_recovery --smoke --out ${CMAKE_BINARY_DIR}/BENCH_fault_smoke.json)
+set_tests_properties(bench_fault_smoke PROPERTIES TIMEOUT 600
+  FIXTURES_SETUP fault_smoke_json)
+
+add_executable(fault_ratchet tools/fault_ratchet.cpp $<TARGET_OBJECTS:prophet_bench_common>)
+target_include_directories(fault_ratchet PRIVATE ${CMAKE_SOURCE_DIR}/src ${CMAKE_SOURCE_DIR}/bench)
+target_link_libraries(fault_ratchet PRIVATE
+  prophet_allreduce prophet_cluster prophet_ps prophet_core prophet_sched
+  prophet_metrics prophet_dnn prophet_net prophet_sim prophet_exec
+  prophet_common prophet_warnings Threads::Threads)
+set_target_properties(fault_ratchet PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/tools)
+
+add_test(NAME bench_fault_ratchet
+         COMMAND fault_ratchet
+           ${CMAKE_SOURCE_DIR}/bench_results/BENCH_fault_smoke_baseline.json
+           ${CMAKE_BINARY_DIR}/BENCH_fault_smoke.json 5)
+set_tests_properties(bench_fault_ratchet PROPERTIES
+  FIXTURES_REQUIRED fault_smoke_json)

@@ -56,6 +56,10 @@ void usage() {
       "  --topology SPEC    star | leaf-spine[:RACKS[:HOSTS_PER_RACK]]\n"
       "                     (default star; leaf-spine defaults to 2 racks x 4)\n"
       "  --oversub X        leaf-spine oversubscription ratio (default 4)\n"
+      "\nsharded parameter server (PS only):\n"
+      "  --ps-shards N      stripe the key space over N PS hosts (key k on\n"
+      "                     shard k%%N); each shard is an independent failure\n"
+      "                     domain with its own checkpoints (default 1)\n"
       "\nmulti-job cluster scheduling (PS only):\n"
       "  --jobs N           run N copies of the configured job through one\n"
       "                     event loop on the shared fabric (default 1)\n"
@@ -71,8 +75,10 @@ void usage() {
       "\ncrash & reliable-transport faults (PS only, BSP only):\n"
       "  --worker-crash SPEC T_S:DUR_S:WORKER  — kill one worker, restart it\n"
       "                     DUR_S later\n"
-      "  --ps-crash SPEC    T_S:DUR_S  — kill the PS; failover restores the\n"
-      "                     last checkpoint DUR_S later\n"
+      "  --ps-crash SPEC    T_S:DUR_S[:shard:K]  — kill the PS (or only its\n"
+      "                     shard K); failover restores the last checkpoint\n"
+      "                     DUR_S later, rolling back only the crashed\n"
+      "                     shard's keys while survivors keep serving\n"
       "  --checkpoint-s X   PS checkpoint period in seconds (default 2)\n"
       "  --loss SPEC        RATE[:T_S]  — transport loss probability per\n"
       "                     attempt, from T_S on (default from the start)\n"
@@ -124,6 +130,7 @@ int main(int argc, char** argv) {
     }
     cfg.topology = *spec;
   }
+  cfg.ps_shards = static_cast<std::size_t>(flags->get("ps-shards", std::int64_t{1}));
   cfg.iterations = static_cast<std::size_t>(flags->get("iterations", std::int64_t{40}));
   cfg.seed = static_cast<std::uint64_t>(flags->get("seed", std::int64_t{42}));
   cfg.strategy = *strategy;

@@ -8,10 +8,14 @@
 
 namespace prophet::audit {
 
-BspAuditor::BspAuditor(std::size_t num_workers, std::vector<Bytes> key_sizes)
-    : num_workers_{num_workers}, key_sizes_{std::move(key_sizes)} {
+BspAuditor::BspAuditor(std::size_t num_workers, std::vector<Bytes> key_sizes,
+                       std::size_t ps_shards)
+    : num_workers_{num_workers},
+      key_sizes_{std::move(key_sizes)},
+      ps_shards_{ps_shards} {
   PROPHET_CHECK(num_workers_ > 0);
   PROPHET_CHECK(!key_sizes_.empty());
+  PROPHET_CHECK(ps_shards_ > 0 && ps_shards_ <= key_sizes_.size());
   const std::size_t keys = key_sizes_.size();
   delivered_.assign(num_workers_, std::vector<std::int64_t>(keys, 0));
   pushed_.assign(num_workers_, std::vector<std::size_t>(keys, 0));
@@ -20,6 +24,10 @@ BspAuditor::BspAuditor(std::size_t num_workers, std::vector<Bytes> key_sizes)
   worker_iter_.assign(num_workers_, -1);
   down_.assign(num_workers_, 0);
   replay_ok_.assign(num_workers_, 0);
+  ps_shard_down_.assign(ps_shards_, 0);
+  pushed_bytes_.assign(ps_shards_, 0);
+  aggregated_bytes_.assign(ps_shards_, 0);
+  discarded_bytes_.assign(ps_shards_, 0);
 }
 
 void BspAuditor::check(bool ok, const char* what) const {
@@ -39,7 +47,9 @@ void BspAuditor::on_push_delivered(std::size_t w, std::size_t key, Bytes bytes,
   tick(now);
   check(w < num_workers_ && key < key_sizes_.size(), "push outside the cluster");
   check(down_[w] == 0, "push delivered from a crashed worker");
-  check(!ps_down_, "push delivered to a crashed parameter server");
+  check(ps_shard_down_[shard_of(key)] == 0,
+        "push delivered to a crashed parameter-server shard");
+  pushed_bytes_[shard_of(key)] += bytes.count();
   delivered_[w][key] += bytes.count();
   check(delivered_[w][key] <= key_sizes_[key].count(),
         "worker delivered more bytes of a key than one round holds — a "
@@ -54,7 +64,10 @@ void BspAuditor::on_push_delivered(std::size_t w, std::size_t key, Bytes bytes,
 void BspAuditor::on_round_complete(std::size_t key, TimePoint now) {
   tick(now);
   check(key < key_sizes_.size(), "round completion outside the model");
-  check(!ps_down_, "round completed on a crashed parameter server");
+  check(ps_shard_down_[shard_of(key)] == 0,
+        "round completed on a crashed parameter-server shard");
+  aggregated_bytes_[shard_of(key)] +=
+      key_sizes_[key].count() * static_cast<std::int64_t>(num_workers_);
   ++versions_[key];
   for (std::size_t w = 0; w < num_workers_; ++w) {
     check(delivered_[w][key] == key_sizes_[key].count(),
@@ -74,6 +87,7 @@ void BspAuditor::on_push_discarded(std::size_t w, std::size_t key, Bytes bytes,
         "crash wiped a different partial byte count than was delivered");
   check(bytes.count() < key_sizes_[key].count(),
         "crash wiped a full contribution (only partial rounds may be discarded)");
+  discarded_bytes_[shard_of(key)] += bytes.count();
   delivered_[w][key] = 0;
 }
 
@@ -142,23 +156,40 @@ void BspAuditor::on_worker_recover(std::size_t w, TimePoint now) {
   replay_ok_[w] = 1;
 }
 
-void BspAuditor::on_ps_crash(TimePoint now) {
+void BspAuditor::on_ps_crash(std::size_t shard, TimePoint now) {
   tick(now);
-  check(!ps_down_, "PS crashed while already down");
-  ps_down_ = true;
+  check(shard < ps_shards_, "PS crash outside the shard set");
+  check(ps_shard_down_[shard] == 0, "PS shard crashed while already down");
+  ps_shard_down_[shard] = 1;
   ++crashes_;
-  // The crash wipes the open round's partial state server-side.
+  // The crash wipes the open round's state on this shard's keys server-side;
+  // the wiped bytes (partial and full contributions alike) will never
+  // aggregate, so they move to the shard's discarded ledger. Other shards'
+  // keys are untouched — they keep serving.
   for (auto& per_worker : delivered_) {
-    std::fill(per_worker.begin(), per_worker.end(), std::int64_t{0});
+    for (std::size_t key = shard; key < per_worker.size(); key += ps_shards_) {
+      discarded_bytes_[shard] += per_worker[key];
+      per_worker[key] = 0;
+    }
   }
 }
 
-void BspAuditor::on_rollback(const std::vector<std::size_t>& versions,
+void BspAuditor::on_rollback(std::size_t shard,
+                             const std::vector<std::size_t>& versions,
                              TimePoint now) {
   tick(now);
-  check(ps_down_, "rollback without a PS crash");
+  check(shard < ps_shards_, "rollback outside the shard set");
+  check(ps_shard_down_[shard] != 0, "rollback without a PS crash");
   check(versions.size() == key_sizes_.size(), "rollback snapshot shape mismatch");
   for (std::size_t key = 0; key < versions.size(); ++key) {
+    if (shard_of(key) != shard) {
+      // Version fencing: a shard failover must not move another shard's
+      // versions — the whole-model snapshot it reports carries the survivors
+      // through verbatim.
+      check(versions[key] == versions_[key],
+            "rollback of one PS shard moved a surviving shard's version");
+      continue;
+    }
     check(versions[key] <= versions_[key],
           "rollback restored a snapshot from the future");
     versions_[key] = versions[key];
@@ -169,7 +200,7 @@ void BspAuditor::on_rollback(const std::vector<std::size_t>& versions,
     }
   }
   for (std::size_t w = 0; w < num_workers_; ++w) replay_ok_[w] = 1;
-  ps_down_ = false;
+  ps_shard_down_[shard] = 0;
 }
 
 void BspAuditor::on_transport_retry(std::size_t w, TimePoint now) {
@@ -179,7 +210,14 @@ void BspAuditor::on_transport_retry(std::size_t w, TimePoint now) {
 }
 
 void BspAuditor::finish(std::size_t expected_iterations) const {
-  check(!ps_down_, "training ended with the PS down");
+  for (std::size_t s = 0; s < ps_shards_; ++s) {
+    check(ps_shard_down_[s] == 0, "training ended with a PS shard down");
+    // Per-shard byte conservation: every byte ever pushed to the shard was
+    // either aggregated into a completed round or discarded by a crash.
+    check(pushed_bytes_[s] == aggregated_bytes_[s] + discarded_bytes_[s],
+          "a PS shard's cumulative pushed bytes do not equal its aggregated "
+          "plus discarded bytes — per-shard byte conservation broken");
+  }
   for (std::size_t w = 0; w < num_workers_; ++w) {
     check(down_[w] == 0, "training ended with a worker down");
     check(worker_iter_[w] == static_cast<std::int64_t>(expected_iterations),

@@ -8,11 +8,17 @@
 //     a round completes only when every worker delivered the key's full
 //     byte count exactly once (retries and replayed iterations included);
 //   * bytes are conserved: per-round delivered bytes never exceed the key
-//     size, and nothing is left partially delivered when training ends;
+//     size, nothing is left partially delivered when training ends, and —
+//     per PS shard — every byte ever pushed was either aggregated into a
+//     completed round or explicitly discarded by a crash;
 //   * simulation time is monotone across every audited event;
 //   * the BSP barrier holds: no worker finishes forward propagation of
 //     iteration k (= starts backward k) before it pulled round-k updates of
-//     every key, and no round k+1 completes before round k.
+//     every key, and no round k+1 completes before round k. The barrier is
+//     whole-model even under a sharded PS: sharding changes which rounds a
+//     failover rolls back, never which rounds an iteration needs;
+//   * version fencing: a rollback of PS shard k may move only shard-k keys'
+//     versions — surviving shards' versions must pass through untouched.
 //
 // The auditor is fed by hooks in Server / Worker / the cluster driver; it
 // never schedules events, draws random numbers, or mutates the simulation,
@@ -30,8 +36,11 @@ namespace prophet::audit {
 
 class BspAuditor {
  public:
-  // `key_sizes[k]` is the full byte count of tensor k.
-  BspAuditor(std::size_t num_workers, std::vector<Bytes> key_sizes);
+  // `key_sizes[k]` is the full byte count of tensor k; keys are striped
+  // across `ps_shards` failure domains (key k on shard k % ps_shards, the
+  // same ShardMap arithmetic the PS layer uses).
+  BspAuditor(std::size_t num_workers, std::vector<Bytes> key_sizes,
+             std::size_t ps_shards = 1);
 
   // --- server-side hooks ---------------------------------------------------
   // Worker `w` delivered `bytes` of `key` toward the currently open round.
@@ -42,11 +51,17 @@ class BspAuditor {
   // A worker crash wiped its partial (incomplete) contributions.
   void on_push_discarded(std::size_t w, std::size_t key, Bytes bytes,
                          TimePoint now);
-  void on_ps_crash(TimePoint now);
-  // PS failover restored the snapshot `versions`; every worker is rolled
-  // back with it (partial deliveries are void, pulls must redo the snapshot
-  // round).
-  void on_rollback(const std::vector<std::size_t>& versions, TimePoint now);
+  // PS shard `shard` died: its keys' open-round bytes are wiped (and counted
+  // as discarded for the shard's byte-conservation ledger); other shards
+  // keep serving.
+  void on_ps_crash(std::size_t shard, TimePoint now);
+  // PS shard `shard`'s failover restored the snapshot `versions` (full
+  // length: surviving keys carry their live versions); every worker is
+  // rolled back with it (partial deliveries are void, pulls must redo the
+  // snapshot round for the shard's keys). Entries outside the shard are
+  // version-fenced: they must match the mirror exactly.
+  void on_rollback(std::size_t shard, const std::vector<std::size_t>& versions,
+                   TimePoint now);
 
   // --- worker-side hooks ---------------------------------------------------
   // Worker `w` completed its pull of `key`, bringing it to `round` pulls.
@@ -77,8 +92,13 @@ class BspAuditor {
   void tick(TimePoint now);
   void check(bool ok, const char* what) const;
 
+  [[nodiscard]] std::size_t shard_of(std::size_t key) const {
+    return key % ps_shards_;
+  }
+
   std::size_t num_workers_;
   std::vector<Bytes> key_sizes_;
+  std::size_t ps_shards_;
   // Mirror of the protocol state, indexed [worker][key] where 2-D.
   std::vector<std::vector<std::int64_t>> delivered_;   // bytes, open round
   std::vector<std::vector<std::size_t>> pushed_;       // completed push rounds
@@ -87,7 +107,13 @@ class BspAuditor {
   std::vector<std::int64_t> worker_iter_;              // last started iteration
   std::vector<std::uint8_t> down_;
   std::vector<std::uint8_t> replay_ok_;  // recovery/rollback licenses a replay
-  bool ps_down_ = false;
+  std::vector<std::uint8_t> ps_shard_down_;
+  // Per-shard cumulative byte ledger: every delivered byte must end up
+  // aggregated (a completed round consumed it) or discarded (a crash wiped
+  // it) by the time training finishes.
+  std::vector<std::int64_t> pushed_bytes_;
+  std::vector<std::int64_t> aggregated_bytes_;
+  std::vector<std::int64_t> discarded_bytes_;
   TimePoint last_event_{};
   mutable std::uint64_t checks_ = 0;
   std::uint64_t retries_ = 0;

@@ -85,6 +85,29 @@ void ProphetScheduler::on_recovery(TimePoint) {
   }
 }
 
+void ProphetScheduler::on_partial_recovery(
+    const std::vector<std::uint8_t>& /*affected_keys*/, TimePoint now) {
+  // The engine clears and re-enqueues the replayed work either way, so the
+  // queue and profiling handling match a full recovery...
+  partitions_.clear();
+  if (profiler_ != nullptr && iteration_open_) {
+    profiler_->abandon_iteration();
+    iteration_open_ = false;
+  }
+  // ...but the repair itself is shard-aware: only one PS shard bounced, the
+  // fabric kept carrying the surviving shards' flows, so the monitored
+  // estimate never went cold. Re-plan from it immediately instead of zeroing
+  // the snapshot and waiting for the next iteration boundary — a whole-tier
+  // failover cannot do this because its estimate is polluted by the outage
+  // window.
+  (void)now;
+  if (config_.repair_replan && !planning_bandwidth_.is_zero()) {
+    const Bandwidth live = bandwidth_fn_();
+    if (!live.is_zero()) planning_bandwidth_ = live;
+    ++replans_;
+  }
+}
+
 void ProphetScheduler::on_gradient_skipped(std::size_t grad, TimePoint) {
   PROPHET_CHECK(grad < gradient_count_);
   // The PS already holds this round's aggregate for `grad`: the replayed

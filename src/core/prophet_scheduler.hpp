@@ -106,6 +106,8 @@ class ProphetScheduler final : public sched::CommScheduler {
                     TimePoint finished) override;
   void on_iteration_start(std::size_t iteration, TimePoint now) override;
   void on_recovery(TimePoint now) override;
+  void on_partial_recovery(const std::vector<std::uint8_t>& affected_keys,
+                           TimePoint now) override;
   void on_gradient_skipped(std::size_t grad, TimePoint now) override;
   [[nodiscard]] bool has_pending() const override;
   [[nodiscard]] std::string name() const override { return "prophet"; }

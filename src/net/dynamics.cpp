@@ -201,6 +201,30 @@ DynamicsPlan& DynamicsPlan::ps_crash(Duration at, Duration failover) {
   return *this;
 }
 
+DynamicsPlan& DynamicsPlan::ps_shard_crash(Duration at, Duration failover,
+                                           std::size_t shard) {
+  PROPHET_CHECK_MSG(failover > Duration::zero(),
+                    "ps shard crash failover delay must be positive");
+  DynamicsEvent crash = event_at(at, DynamicsEvent::Type::kPsCrash);
+  crash.target_ps = true;
+  crash.ps_shard = shard;
+  events.push_back(crash);
+  DynamicsEvent recover = event_at(at + failover, DynamicsEvent::Type::kPsRecover);
+  recover.target_ps = true;
+  recover.ps_shard = shard;
+  events.push_back(recover);
+  return *this;
+}
+
+DynamicsPlan& DynamicsPlan::ps_shard_degrade(Duration at, double factor,
+                                             std::size_t shard) {
+  DynamicsEvent ev = event_at(at, DynamicsEvent::Type::kPsComputeScale);
+  ev.factor = factor;
+  ev.ps_shard = shard;
+  events.push_back(ev);
+  return *this;
+}
+
 DynamicsPlan& DynamicsPlan::loss_rate(Duration at, double rate) {
   DynamicsEvent ev = event_at(at, DynamicsEvent::Type::kLossRate);
   ev.factor = rate;
@@ -256,6 +280,14 @@ std::optional<DynamicsPlan> DynamicsPlan::from_trace_csv(const std::string& path
     ev.at = Duration::from_seconds(time_s);
     if (fields[2] == "ps") {
       ev.target_ps = true;
+    } else if (fields[2].rfind("shard:", 0) == 0) {
+      std::size_t shard = 0;
+      if (!parse_index(fields[2].substr(6), &shard)) {
+        set_error(error, where + ": bad PS shard in target '" + fields[2] + "'");
+        return std::nullopt;
+      }
+      ev.target_ps = true;
+      ev.ps_shard = shard;
     } else if (fields[2].rfind("link:", 0) == 0) {
       ev.link = fields[2].substr(5);
       if (ev.link.empty()) {
@@ -265,7 +297,8 @@ std::optional<DynamicsPlan> DynamicsPlan::from_trace_csv(const std::string& path
     } else if (fields[2] != "*") {
       std::size_t w = 0;
       if (!parse_index(fields[2], &w)) {
-        set_error(error, where + ": bad target '" + fields[2] + "' (index|*|ps)");
+        set_error(error,
+                  where + ": bad target '" + fields[2] + "' (index|*|ps|shard:K)");
         return std::nullopt;
       }
       ev.worker = w;
@@ -436,12 +469,21 @@ bool DynamicsPlan::add_ps_crash_spec(const std::string& spec, std::string* error
   const auto fields = split(spec, ':');
   double at_s = 0.0;
   double dur_s = 0.0;
-  if (fields.size() != 2 || !parse_double(fields[0], &at_s) ||
-      !parse_double(fields[1], &dur_s) || at_s < 0.0 || dur_s <= 0.0) {
-    set_error(error, "--ps-crash wants T_S:DUR_S");
+  std::size_t shard = 0;
+  const bool has_shard = fields.size() == 4;
+  if ((fields.size() != 2 && fields.size() != 4) ||
+      !parse_double(fields[0], &at_s) || !parse_double(fields[1], &dur_s) ||
+      (has_shard && (fields[2] != "shard" || !parse_index(fields[3], &shard))) ||
+      at_s < 0.0 || dur_s <= 0.0) {
+    set_error(error, "--ps-crash wants T_S:DUR_S[:shard:K]");
     return false;
   }
-  ps_crash(Duration::from_seconds(at_s), Duration::from_seconds(dur_s));
+  if (has_shard) {
+    ps_shard_crash(Duration::from_seconds(at_s), Duration::from_seconds(dur_s),
+                   shard);
+  } else {
+    ps_crash(Duration::from_seconds(at_s), Duration::from_seconds(dur_s));
+  }
   return true;
 }
 
@@ -466,12 +508,14 @@ void DynamicsPlan::sort() {
                    });
 }
 
-void DynamicsPlan::validate(std::size_t num_workers) const {
+void DynamicsPlan::validate(std::size_t num_workers, std::size_t ps_shards) const {
   using Type = DynamicsEvent::Type;
   // Outage bookkeeping per exact target (worker index, all-workers, or PS).
   std::map<std::string, bool> link_down;
-  // Crash bookkeeping per node ("ps" or a worker index).
+  // Crash bookkeeping per node ("ps", "ps:K" for one PS shard, or a worker
+  // index).
   std::map<std::string, bool> node_down;
+  std::size_t ps_shards_down = 0;
   Duration prev = Duration::zero();
   for (std::size_t i = 0; i < events.size(); ++i) {
     const DynamicsEvent& ev = events[i];
@@ -483,6 +527,13 @@ void DynamicsPlan::validate(std::size_t num_workers) const {
     if (!ev.target_ps && ev.worker.has_value()) {
       PROPHET_CHECK_MSG(*ev.worker < num_workers,
                         "dynamics event targets a worker index >= num_workers");
+    }
+    if (ev.ps_shard.has_value()) {
+      PROPHET_CHECK_MSG(ev.target_ps || ev.type == Type::kPsComputeScale,
+                        "dynamics ps_shard set on an event that does not "
+                        "target the PS tier");
+      PROPHET_CHECK_MSG(*ev.ps_shard < ps_shards,
+                        "dynamics event targets a PS shard index >= ps_shards");
     }
     if (ev.targets_link()) {
       using T = DynamicsEvent::Type;
@@ -540,13 +591,26 @@ void DynamicsPlan::validate(std::size_t num_workers) const {
       }
       case Type::kPsCrash:
       case Type::kPsRecover: {
-        bool& down = node_down["ps"];
+        const std::string key =
+            ev.ps_shard.has_value() ? "ps:" + std::to_string(*ev.ps_shard) : "ps";
+        bool& down = node_down[key];
         if (ev.type == Type::kPsCrash) {
           PROPHET_CHECK_MSG(!down, "dynamics ps_crash while the PS is already down");
+          // A whole-tier crash during a shard failover (or vice versa) has no
+          // well-defined rollback arithmetic: the mid-failover shard would be
+          // rolled back twice from inconsistent snapshots.
+          PROPHET_CHECK_MSG(!node_down["ps"],
+                            "dynamics ps_crash on a shard while the whole PS "
+                            "tier is already down");
+          PROPHET_CHECK_MSG(ev.ps_shard.has_value() || ps_shards_down == 0,
+                            "dynamics whole-PS ps_crash while a PS shard is "
+                            "already mid-failover");
           down = true;
+          if (ev.ps_shard.has_value()) ++ps_shards_down;
         } else {
           PROPHET_CHECK_MSG(down, "dynamics ps_recover without a matching ps_crash");
           down = false;
+          if (ev.ps_shard.has_value()) --ps_shards_down;
         }
         break;
       }

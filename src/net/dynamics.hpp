@@ -42,6 +42,13 @@ struct DynamicsEvent {
   // Compute events ignore `target_ps`; kPsComputeScale ignores both.
   std::optional<std::size_t> worker;
   bool target_ps = false;
+  // Narrows a PS-targeted event to one shard of a sharded parameter server
+  // (ClusterConfig::ps_shards): a kPsCrash/kPsRecover pair rolls back only
+  // that shard's rounds, kPsComputeScale degrades only that shard's CPU, and
+  // PS bandwidth/outage events hit only that shard's access links. Unset
+  // means the whole PS tier, which on ps_shards=1 is the historical
+  // single-server behavior.
+  std::optional<std::size_t> ps_shard;
   // Alternative bandwidth/outage target: a named topology link ("rack0.up",
   // "worker1.rx"), a rack name (both spine directions) or a node name (both
   // access links). Non-empty `link` wins over worker/target_ps; the
@@ -86,6 +93,11 @@ struct DynamicsPlan {
   // BSP state); PS crashes roll every worker back to the last checkpoint.
   DynamicsPlan& worker_crash(Duration at, Duration downtime, std::size_t worker);
   DynamicsPlan& ps_crash(Duration at, Duration failover);
+  // Per-shard variants for sharded PS tiers: the crash/recover pair (and the
+  // CPU degrade) carry `ps_shard`, so only that shard's keys roll back while
+  // the surviving shards keep serving.
+  DynamicsPlan& ps_shard_crash(Duration at, Duration failover, std::size_t shard);
+  DynamicsPlan& ps_shard_degrade(Duration at, double factor, std::size_t shard);
   // Transport loss probability from `at` onward (factor carries the rate;
   // 0 turns injection back off).
   DynamicsPlan& loss_rate(Duration at, double rate);
@@ -102,9 +114,10 @@ struct DynamicsPlan {
   // Trace-driven: CSV rows `time_s,event,target,value` where event is one of
   // bandwidth_scale|bandwidth_gbps|outage_start|outage_end|compute_scale|
   // ps_compute_scale|worker_crash|worker_recover|ps_crash|ps_recover|
-  // loss_rate, target is a worker index, `*` (all workers), `ps`, or
-  // `link:NAME` (a topology link/rack/node name, bandwidth and outage events
-  // only), and value carries the factor / Gbit-per-second rate / loss probability
+  // loss_rate, target is a worker index, `*` (all workers), `ps`, `shard:K`
+  // (one PS shard of a sharded tier), or `link:NAME` (a topology
+  // link/rack/node name, bandwidth and outage events only), and value
+  // carries the factor / Gbit-per-second rate / loss probability
   // (ignored for outages and crash/recover events). Lines starting with `#`
   // or `time_s` are skipped.
   static std::optional<DynamicsPlan> from_trace_csv(const std::string& path,
@@ -126,7 +139,9 @@ struct DynamicsPlan {
   bool add_ps_degrade_spec(const std::string& spec, std::string* error = nullptr);
   // "T_S:DUR_S:WORKER" — worker crash at T_S, restart after DUR_S.
   bool add_worker_crash_spec(const std::string& spec, std::string* error = nullptr);
-  // "T_S:DUR_S" — PS crash at T_S, checkpoint failover completes after DUR_S.
+  // "T_S:DUR_S[:shard:K]" — PS crash at T_S, checkpoint failover completes
+  // after DUR_S; the optional `shard:K` suffix confines the crash to PS
+  // shard K of a sharded tier.
   bool add_ps_crash_spec(const std::string& spec, std::string* error = nullptr);
   // "RATE[:T_S]" — transport loss probability from T_S (default 0) onward.
   bool add_loss_spec(const std::string& spec, std::string* error = nullptr);
@@ -140,8 +155,11 @@ struct DynamicsPlan {
   // bandwidths, unbalanced outage start/end pairs, crash events that overlap
   // an active crash of the same node (or recoveries without a crash), worker
   // crashes without a concrete worker index, loss rates outside [0, 1), or
-  // link targets on event types other than bandwidth/outage.
-  void validate(std::size_t num_workers) const;
+  // link targets on event types other than bandwidth/outage. `ps_shards`
+  // bounds per-shard PS targets; whole-PS and per-shard crash windows of the
+  // same tier may not overlap (a whole-tier rollback has no well-defined
+  // arithmetic while one shard is already mid-failover).
+  void validate(std::size_t num_workers, std::size_t ps_shards = 1) const;
 
   // True if any event is a crash/recover of the given flavor (the cluster
   // driver uses these to arm checkpointing only when needed).

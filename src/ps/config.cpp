@@ -9,6 +9,13 @@ void ClusterConfig::validate() const {
   PROPHET_CHECK_MSG(iterations >= 2, "ClusterConfig: need at least 2 iterations");
   PROPHET_CHECK_MSG(batch > 0, "ClusterConfig: batch must be > 0");
   PROPHET_CHECK_MSG(model.tensor_count() > 0, "ClusterConfig: model has no tensors");
+  PROPHET_CHECK_MSG(ps_shards >= 1,
+                    "ClusterConfig::ps_shards: must be >= 1 — zero shards "
+                    "would leave every key unowned");
+  PROPHET_CHECK_MSG(ps_shards <= model.tensor_count(),
+                    "ClusterConfig::ps_shards: more PS shards than model "
+                    "tensors — shards beyond tensor_count() would own no "
+                    "keys; lower --ps-shards");
   PROPHET_CHECK_MSG(jitter_sigma >= 0.0, "ClusterConfig: jitter_sigma must be >= 0");
   const net::TopologySpec topo = resolved_topology();
   topo.validate();
@@ -22,10 +29,10 @@ void ClusterConfig::validate() const {
                       "ClusterConfig: worker_bandwidth_override is ambiguous "
                       "with a non-star TopologySpec; set host_bandwidth on the "
                       "topology instead");
-    // The fabric must seat every worker plus the PS.
-    PROPHET_CHECK_MSG(topo.host_capacity() >= num_workers + 1,
+    // The fabric must seat every worker plus one host per PS shard.
+    PROPHET_CHECK_MSG(topo.host_capacity() >= num_workers + ps_shards,
                       "ClusterConfig: topology rack capacity cannot hold "
-                      "num_workers + PS");
+                      "num_workers + ps_shards PS hosts");
   }
   PROPHET_CHECK_MSG(update_bytes_per_sec > 0.0,
                     "ClusterConfig: update_bytes_per_sec must be > 0");
@@ -37,22 +44,27 @@ void ClusterConfig::validate() const {
                     "ClusterConfig: metrics_bin must be > 0");
   PROPHET_CHECK_MSG(metrics_horizon > metrics_bin,
                     "ClusterConfig: metrics_horizon must exceed metrics_bin");
-  dynamics.validate(num_workers);
+  dynamics.validate(num_workers, ps_shards);
   reliability.validate();
   // A retry budget of zero cannot survive a single drop: the transfer fails
   // permanently and the BSP round never completes.
   PROPHET_CHECK_MSG(
       reliability.retry_budget > 0 ||
           (reliability.loss_rate == 0.0 && !dynamics.has_loss()),
-      "ClusterConfig: transport loss enabled with retry_budget == 0 would "
-      "hang the first dropped transfer forever");
+      "ClusterConfig::reliability.retry_budget: transport loss is enabled "
+      "(reliability.loss_rate > 0 or a dynamics loss_rate event) but "
+      "retry_budget == 0, so the first dropped transfer would hang forever; "
+      "give the channel a positive retry budget (see ROADMAP 'crash-recovery "
+      "and reliable transport', docs/ROBUSTNESS.md)");
   // Crash recovery replays BSP rounds; under ASP there is no round to roll
   // back to, so fault plans with crashes are rejected up front.
   PROPHET_CHECK_MSG(
       sync == SyncMode::kBsp ||
           (!dynamics.has_worker_crash() && !dynamics.has_ps_crash()),
-      "ClusterConfig: crash/recovery faults require BSP (ASP has no round "
-      "boundary to replay from)");
+      "ClusterConfig::dynamics: crash/recovery faults require sync == "
+      "SyncMode::kBsp — ASP has no BSP round boundary to replay from "
+      "(lifting this is the ROADMAP item 'Async / stale-synchronous "
+      "parallel mode')");
   PROPHET_CHECK_MSG(!dynamics.has_ps_crash() ||
                         checkpoint_period > Duration::zero(),
                     "ClusterConfig: ps_crash failover needs a positive "

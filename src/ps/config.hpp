@@ -57,6 +57,14 @@ struct ClusterConfig {
   // plan contains a ps_crash event.
   Duration checkpoint_period = Duration::seconds(2);
 
+  // Number of parameter-server shards the key space is striped across
+  // (ShardMap: key k lives on shard k % ps_shards). Each shard is its own
+  // fabric node with its own reliable channel per worker, checkpoints
+  // independently, and a `ps_crash` targeted at `shard:K` rolls back only
+  // that shard's rounds while the others keep serving. 1 (the default) is
+  // bit-identical to the historical single-PS cluster.
+  std::size_t ps_shards = 1;
+
   // Network fabric the cluster runs on. When unset, the three legacy
   // bandwidth fields below are folded into a TopologySpec::star — today's
   // semantics, bit for bit. Set it explicitly for leaf-spine fabrics (and

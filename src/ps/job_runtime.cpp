@@ -20,9 +20,16 @@ JobRuntime::JobRuntime(sim::Simulator& sim, net::FlowNetwork& network,
   // so their series horizon shifts with them.
   const Duration metrics_horizon = cfg.metrics_horizon + options_.start_offset;
 
-  ps_node_ = topology.add_host(options_.name_prefix + "ps",
-                               node_base_bandwidth(/*is_ps=*/true, 0),
-                               options_.ps_rack);
+  // One host per PS shard. The single-shard tier keeps the historical bare
+  // "ps" name (and with it the historical topology and event order); a
+  // sharded tier numbers its hosts ps0..psN-1.
+  for (std::size_t s = 0; s < cfg.ps_shards; ++s) {
+    const std::string name =
+        cfg.ps_shards == 1 ? "ps" : "ps" + std::to_string(s);
+    ps_nodes_.push_back(topology.add_host(options_.name_prefix + name,
+                                          node_base_bandwidth(/*is_ps=*/true, 0),
+                                          options_.ps_rack));
+  }
   for (std::size_t w = 0; w < cfg.num_workers; ++w) {
     std::optional<std::size_t> rack;
     if (w < options_.worker_racks.size()) rack = options_.worker_racks[w];
@@ -50,8 +57,8 @@ JobRuntime::JobRuntime(sim::Simulator& sim, net::FlowNetwork& network,
     for (std::size_t k = 0; k < cfg.model.tensor_count(); ++k) {
       key_sizes.push_back(cfg.model.tensor(k).bytes);
     }
-    auditor_ = std::make_unique<audit::BspAuditor>(cfg.num_workers,
-                                                   std::move(key_sizes));
+    auditor_ = std::make_unique<audit::BspAuditor>(
+        cfg.num_workers, std::move(key_sizes), cfg.ps_shards);
   }
 
   server_ = std::make_unique<Server>(
@@ -60,7 +67,7 @@ JobRuntime::JobRuntime(sim::Simulator& sim, net::FlowNetwork& network,
       [this](std::size_t w, std::size_t key) {
         workers_[w]->on_param_updated(key);
       },
-      cfg.serialize_ps_cpu);
+      cfg.serialize_ps_cpu, cfg.ps_shards);
   server_->set_auditor(auditor_.get());
   if (cfg.dynamics.has_ps_crash()) server_->enable_failover(cfg.checkpoint_period);
 
@@ -69,7 +76,7 @@ JobRuntime::JobRuntime(sim::Simulator& sim, net::FlowNetwork& network,
     Worker::Params params;
     params.id = w;
     params.node = worker_nodes_[w];
-    params.ps_node = ps_node_;
+    params.ps_nodes = ps_nodes_;
     params.iterations = cfg.iterations;
     params.iteration_model = iteration_model_.get();
     params.server = server_.get();
@@ -120,13 +127,26 @@ void JobRuntime::start() {
 void JobRuntime::apply_event(const net::DynamicsEvent& ev) {
   using Type = net::DynamicsEvent::Type;
   const ClusterConfig& cfg = config_;
-  auto node_of = [&](std::size_t w) {
-    return ev.target_ps ? ps_node_ : worker_nodes_[w];
+  // PS-targeted node events fan out to every shard's host, or to the single
+  // shard the event names.
+  auto for_each_ps_node = [&](auto&& fn) {
+    if (ev.ps_shard.has_value()) {
+      fn(ps_nodes_[*ev.ps_shard]);
+    } else {
+      for (const net::NodeId node : ps_nodes_) fn(node);
+    }
   };
-  auto for_each_target = [&](auto&& fn) {
+  auto for_each_node = [&](auto&& fn) {
     if (ev.target_ps) {
-      fn(std::size_t{0});
+      for_each_ps_node(fn);
     } else if (ev.worker.has_value()) {
+      fn(worker_nodes_[*ev.worker]);
+    } else {
+      for (const net::NodeId node : worker_nodes_) fn(node);
+    }
+  };
+  auto for_each_worker = [&](auto&& fn) {
+    if (ev.worker.has_value()) {
       fn(*ev.worker);
     } else {
       for (std::size_t w = 0; w < cfg.num_workers; ++w) fn(w);
@@ -160,27 +180,41 @@ void JobRuntime::apply_event(const net::DynamicsEvent& ev) {
   switch (ev.type) {
     case Type::kBandwidthScale:
     case Type::kBandwidthSet:
-      for_each_target([&](std::size_t w) {
-        const Bandwidth base = node_base_bandwidth(ev.target_ps, w);
+      if (ev.target_ps) {
+        const Bandwidth base = node_base_bandwidth(/*is_ps=*/true, 0);
         const Bandwidth cap =
             ev.type == Type::kBandwidthSet ? ev.bandwidth : base * ev.factor;
-        network_.set_capacity(node_of(w), net::Direction::kTx, cap);
-        network_.set_capacity(node_of(w), net::Direction::kRx, cap);
-      });
+        for_each_ps_node([&](net::NodeId node) {
+          network_.set_capacity(node, net::Direction::kTx, cap);
+          network_.set_capacity(node, net::Direction::kRx, cap);
+        });
+      } else {
+        for_each_worker([&](std::size_t w) {
+          const Bandwidth base = node_base_bandwidth(/*is_ps=*/false, w);
+          const Bandwidth cap =
+              ev.type == Type::kBandwidthSet ? ev.bandwidth : base * ev.factor;
+          network_.set_capacity(worker_nodes_[w], net::Direction::kTx, cap);
+          network_.set_capacity(worker_nodes_[w], net::Direction::kRx, cap);
+        });
+      }
       break;
     case Type::kOutageStart:
     case Type::kOutageEnd:
-      for_each_target([&](std::size_t w) {
-        network_.set_link_up(node_of(w), ev.type == Type::kOutageEnd);
+      for_each_node([&](net::NodeId node) {
+        network_.set_link_up(node, ev.type == Type::kOutageEnd);
       });
       break;
     case Type::kComputeScale:
-      for_each_target([&](std::size_t w) {
+      for_each_worker([&](std::size_t w) {
         workers_[w]->set_compute_factor(ev.factor);
       });
       break;
     case Type::kPsComputeScale:
-      server_->set_cpu_factor(ev.factor);
+      if (ev.ps_shard.has_value()) {
+        server_->set_shard_cpu_factor(*ev.ps_shard, ev.factor);
+      } else {
+        server_->set_cpu_factor(ev.factor);
+      }
       break;
     case Type::kWorkerCrash:
       if (faults_live_) workers_[*ev.worker]->crash();
@@ -189,15 +223,28 @@ void JobRuntime::apply_event(const net::DynamicsEvent& ev) {
       if (faults_live_) workers_[*ev.worker]->recover();
       break;
     case Type::kPsCrash:
-      if (faults_live_) {
+      if (!faults_live_) break;
+      if (ev.ps_shard.has_value()) {
+        // Single failure domain: only this shard's host drops off the fabric
+        // and only its keys stop serving.
+        server_->crash_shard(*ev.ps_shard);
+        network_.set_link_up(ps_nodes_[*ev.ps_shard], false);
+        for (auto& worker : workers_) worker->on_ps_shard_crash(*ev.ps_shard);
+      } else {
         server_->crash();
-        network_.set_link_up(ps_node_, false);
+        for (const net::NodeId node : ps_nodes_) network_.set_link_up(node, false);
         for (auto& worker : workers_) worker->on_ps_crash();
       }
       break;
     case Type::kPsRecover:
-      if (faults_live_) {
-        network_.set_link_up(ps_node_, true);
+      if (!faults_live_) break;
+      if (ev.ps_shard.has_value()) {
+        network_.set_link_up(ps_nodes_[*ev.ps_shard], true);
+        const std::vector<std::size_t> snapshot =
+            server_->recover_shard(*ev.ps_shard);
+        for (auto& worker : workers_) worker->rollback_shard(*ev.ps_shard, snapshot);
+      } else {
+        for (const net::NodeId node : ps_nodes_) network_.set_link_up(node, true);
         const std::vector<std::size_t> snapshot = server_->recover();
         for (auto& worker : workers_) worker->rollback(snapshot);
       }

@@ -85,7 +85,12 @@ class JobRuntime {
   }
   [[nodiscard]] Duration training_span() const { return training_span_; }
   [[nodiscard]] const ClusterConfig& config() const { return config_; }
-  [[nodiscard]] net::NodeId ps_node() const { return ps_node_; }
+  // First PS host (the whole tier when ps_shards == 1).
+  [[nodiscard]] net::NodeId ps_node() const { return ps_nodes_.front(); }
+  // One host per PS shard (ps_nodes()[s] serves shard s).
+  [[nodiscard]] const std::vector<net::NodeId>& ps_nodes() const {
+    return ps_nodes_;
+  }
   [[nodiscard]] const std::vector<net::NodeId>& worker_nodes() const {
     return worker_nodes_;
   }
@@ -105,7 +110,7 @@ class JobRuntime {
   ClusterConfig config_;
   JobOptions options_;
   net::TcpCostModel cost_;
-  net::NodeId ps_node_{};
+  std::vector<net::NodeId> ps_nodes_;
   std::vector<net::NodeId> worker_nodes_;
   std::vector<BinnedSeries> tx_series_;
   std::vector<BinnedSeries> rx_series_;

@@ -1,0 +1,34 @@
+// Deterministic key→shard assignment for the sharded parameter server.
+//
+// Keys are striped round-robin: key k lives on shard k % N. The map is pure
+// arithmetic on the key index — no hashing, no RNG, no per-run state — so the
+// assignment is identical across workers, across replays, and across
+// processes, which the determinism contract (docs/DETERMINISM.md) and the
+// per-shard rollback arithmetic both rely on. Striping (rather than
+// contiguous ranges) also spreads the large early tensors of a model across
+// shards, so per-shard push/pull byte totals stay balanced.
+#pragma once
+
+#include <cstddef>
+
+#include "common/check.hpp"
+
+namespace prophet::ps {
+
+class ShardMap {
+ public:
+  explicit ShardMap(std::size_t num_shards = 1) : num_shards_{num_shards} {
+    PROPHET_CHECK_MSG(num_shards_ > 0, "ShardMap: need at least one shard");
+  }
+
+  [[nodiscard]] std::size_t num_shards() const { return num_shards_; }
+
+  [[nodiscard]] std::size_t shard_of(std::size_t key) const {
+    return key % num_shards_;
+  }
+
+ private:
+  std::size_t num_shards_;
+};
+
+}  // namespace prophet::ps

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
 
 #include "common/check.hpp"
 
@@ -10,18 +11,27 @@ namespace prophet::ps {
 Worker::Worker(sim::Simulator& sim, net::FlowNetwork& network, Params params, Rng rng)
     : sim_{sim},
       network_{network},
-      params_{params},
+      params_{std::move(params)},
       rng_{rng},
-      // The channel owns its own RNG stream: transport loss draws must not
-      // shift the compute-jitter sequence (fork draws nothing, so a loss-free
-      // run is bit-identical to one without the channel).
-      channel_{sim, network, params.reliability, rng.fork(0xfa017)},
-      training_{params.batch},
-      gpu_{params.metrics_bin, params.metrics_horizon},
+      training_{params_.batch},
+      gpu_{params_.metrics_bin, params_.metrics_horizon},
       transfer_log_{} {
   PROPHET_CHECK(params_.iteration_model != nullptr);
   PROPHET_CHECK(params_.server != nullptr);
+  PROPHET_CHECK_MSG(!params_.ps_nodes.empty(), "worker needs at least one PS endpoint");
+  PROPHET_CHECK_MSG(params_.ps_nodes.size() == params_.server->num_shards(),
+                    "worker endpoint count must match the server's shard count");
   const std::size_t n = params_.iteration_model->model().tensor_count();
+
+  // Each channel owns its own RNG stream: transport loss draws must not
+  // shift the compute-jitter sequence (fork draws nothing, so a loss-free
+  // run is bit-identical to one without the channels). Shard 0 keeps the
+  // historical stream id, so ps_shards=1 replays the single-channel
+  // timeline exactly; sibling shards fork disjoint streams.
+  for (std::size_t s = 0; s < params_.ps_nodes.size(); ++s) {
+    channels_.push_back(std::make_unique<net::ReliableChannel>(
+        sim, network, params_.reliability, rng.fork(0xfa017 + s)));
+  }
 
   tx_monitor_ = std::make_unique<net::BandwidthMonitor>(
       sim_, network_, params_.node, net::Direction::kTx, params_.monitor);
@@ -43,18 +53,31 @@ Worker::Worker(sim::Simulator& sim, net::FlowNetwork& network, Params params, Rn
   enqueue_time_push_.assign(n, TimePoint::origin());
   enqueue_time_pull_.assign(n, TimePoint::origin());
   enqueue_iter_push_.assign(n, 0);
+  ps_shard_down_.assign(params_.ps_nodes.size(), 0);
 
-  channel_.set_fault_handler([this](const net::ChannelFault& fault) {
-    transfer_log_.record_fault(
-        {metrics::FaultKind::kTransportRetry, sim_.now(), fault.attempt});
-    if (params_.auditor != nullptr) {
-      params_.auditor->on_transport_retry(params_.id, sim_.now());
-    }
-  });
+  for (auto& channel : channels_) {
+    channel->set_fault_handler([this](const net::ChannelFault& fault) {
+      transfer_log_.record_fault(
+          {metrics::FaultKind::kTransportRetry, sim_.now(), fault.attempt});
+      if (params_.auditor != nullptr) {
+        params_.auditor->on_transport_retry(params_.id, sim_.now());
+      }
+    });
+  }
 }
 
 sched::CommScheduler& Worker::scheduler(sched::TaskKind kind) {
   return kind == sched::TaskKind::kPush ? *push_sched_ : *pull_sched_;
+}
+
+bool Worker::all_ps_down() const {
+  return std::all_of(ps_shard_down_.begin(), ps_shard_down_.end(),
+                     [](std::uint8_t down) { return down != 0; });
+}
+
+bool Worker::any_ps_down() const {
+  return std::any_of(ps_shard_down_.begin(), ps_shard_down_.end(),
+                     [](std::uint8_t down) { return down != 0; });
 }
 
 void Worker::start() { begin_iteration(); }
@@ -184,9 +207,9 @@ void Worker::end_backward() {
 }
 
 void Worker::pump(sched::TaskKind kind) {
-  if (crashed_ || ps_down_) return;  // no endpoint to talk to
-  bool& inflight = kind == sched::TaskKind::kPush ? push_inflight_ : pull_inflight_;
-  if (inflight) return;
+  if (crashed_ || all_ps_down()) return;  // no endpoint to talk to
+  auto& active = kind == sched::TaskKind::kPush ? push_active_ : pull_active_;
+  if (active.has_value()) return;  // one task in flight per direction
   const TimePoint hold = kind == sched::TaskKind::kPush ? push_hold_ : pull_hold_;
   if (sim_.now() < hold) return;  // ack window; a pump is scheduled at `hold`
   auto task = scheduler(kind).next_task(sim_.now());
@@ -200,26 +223,65 @@ void Worker::pump(sched::TaskKind kind) {
     return;
   }
   PROPHET_CHECK(!task->items.empty());
-  inflight = true;
-  const net::NodeId src = kind == sched::TaskKind::kPush ? params_.node : params_.ps_node;
-  const net::NodeId dst = kind == sched::TaskKind::kPush ? params_.ps_node : params_.node;
+
+  // Fan the task out into one sub-flow per PS shard. Items addressed to a
+  // downed shard are dropped here: the shard's failover rollback clears and
+  // re-enqueues its keys' work, so sending would only double it later.
+  const std::size_t shards = num_shards();
+  std::vector<std::vector<sched::TransferItem>> groups(shards);
+  bool dropped = false;
+  for (const auto& item : task->items) {
+    const std::size_t s = shard_of(item.grad);
+    if (ps_shard_down_[s] != 0) {
+      dropped = true;
+      continue;
+    }
+    groups[s].push_back(item);
+  }
+  std::size_t live = 0;
+  for (const auto& group : groups) {
+    if (!group.empty()) ++live;
+  }
+  if (live == 0) {
+    // The whole task addressed downed shards; it dies like an aborted
+    // transfer and the next queued task gets the NIC.
+    pump(kind);
+    return;
+  }
+
   const TimePoint started = sim_.now();
-  // Evaluated before the lambda capture moves the task out.
-  const Bytes flow_bytes = task->total_bytes();
-  channel_.send(src, dst, flow_bytes,
-                [this, kind, t = std::move(*task), started](
-                    const net::SendOutcome& outcome) {
-                  on_flow_done(kind, t, started, outcome);
-                });
+  active.emplace();
+  active->task = std::move(*task);
+  active->started = started;
+  active->open_subflows = live;
+  active->lost_items = dropped;
+  active->live_on_shard.assign(shards, 0);
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (groups[s].empty()) continue;
+    active->live_on_shard[s] = 1;
+    Bytes flow_bytes = Bytes::zero();
+    for (const auto& item : groups[s]) flow_bytes += item.bytes;
+    const net::NodeId src =
+        kind == sched::TaskKind::kPush ? params_.node : params_.ps_nodes[s];
+    const net::NodeId dst =
+        kind == sched::TaskKind::kPush ? params_.ps_nodes[s] : params_.node;
+    channels_[s]->send(src, dst, flow_bytes,
+                       [this, kind, s, items = std::move(groups[s]), started](
+                           const net::SendOutcome& outcome) {
+                         on_subflow_done(kind, s, items, started, outcome);
+                       });
+  }
 }
 
-void Worker::on_flow_done(sched::TaskKind kind, const sched::TransferTask& task,
-                          TimePoint started, const net::SendOutcome& outcome) {
+void Worker::on_subflow_done(sched::TaskKind kind, std::size_t shard,
+                             const std::vector<sched::TransferItem>& items,
+                             TimePoint started, const net::SendOutcome& outcome) {
   const TimePoint now = sim_.now();
-  bool& inflight = kind == sched::TaskKind::kPush ? push_inflight_ : pull_inflight_;
-  inflight = false;
+  auto& active = kind == sched::TaskKind::kPush ? push_active_ : pull_active_;
+  PROPHET_CHECK(active.has_value() && active->open_subflows > 0);
+  active->live_on_shard[shard] = 0;
 
-  for (const auto& item : task.items) {
+  for (const auto& item : items) {
     metrics::TransferRecord rec;
     // Attribute the record to the round the tensor was enqueued in: pushes
     // belong to their backward iteration, pulls to the matching update.
@@ -261,6 +323,25 @@ void Worker::on_flow_done(sched::TaskKind kind, const sched::TransferTask& task,
       }
     }
   }
+  close_subflow(kind);
+}
+
+void Worker::close_subflow(sched::TaskKind kind) {
+  auto& active = kind == sched::TaskKind::kPush ? push_active_ : pull_active_;
+  if (--active->open_subflows > 0) return;
+  const TimePoint now = sim_.now();
+  const sched::TransferTask task = std::move(active->task);
+  const TimePoint started = active->started;
+  const bool complete = !active->lost_items;
+  active.reset();
+  if (!complete) {
+    // A sub-flow died with a shard (or items were dropped at send time):
+    // the task never fully delivered, so it ends without on_task_done —
+    // exactly how a whole-tier abort ends a task. The rollback re-enqueues
+    // what the lost items owed.
+    pump(kind);
+    return;
+  }
   scheduler(kind).on_task_done(task, started, now);
   if (task.post_delay > Duration::zero()) {
     // Credit-based flow control: hold the NIC until the window-replenishing
@@ -273,10 +354,23 @@ void Worker::on_flow_done(sched::TaskKind kind, const sched::TransferTask& task,
   }
 }
 
+void Worker::detach_subflows(std::size_t shard) {
+  for (const auto kind : {sched::TaskKind::kPush, sched::TaskKind::kPull}) {
+    auto& active = kind == sched::TaskKind::kPush ? push_active_ : pull_active_;
+    if (!active.has_value() || active->live_on_shard[shard] == 0) continue;
+    // The aborted sub-flow's completion callback never fires; account for it
+    // here so the surviving sub-flows can still close the task (silently —
+    // part of it was lost).
+    active->live_on_shard[shard] = 0;
+    active->lost_items = true;
+    if (--active->open_subflows == 0) active.reset();
+  }
+}
+
 void Worker::on_param_updated(std::size_t key) {
   // A crashed (or PS-orphaned) worker misses the announcement; recovery
   // re-derives it from the claimed-vs-version gap.
-  if (crashed_ || ps_down_) return;
+  if (crashed_ || ps_shard_down_[shard_of(key)] != 0) return;
   if (pull_rounds_claimed_[key] >= params_.server->version(key)) return;
   claim_pull(key);
   pump(sched::TaskKind::kPull);
@@ -316,9 +410,9 @@ void Worker::repush_owed_rounds() {
 
 void Worker::halt_inflight() {
   ++incarnation_;  // fences every scheduled compute callback
-  channel_.abort_all();
-  push_inflight_ = false;
-  pull_inflight_ = false;
+  for (auto& channel : channels_) channel->abort_all();
+  push_active_.reset();
+  pull_active_.reset();
   push_poll_.cancel();
   pull_poll_.cancel();
   push_hold_ = TimePoint::origin();
@@ -362,7 +456,10 @@ void Worker::recover() {
   // re-plans from its surviving profile, the others start clean).
   push_sched_->on_recovery(sim_.now());
   pull_sched_->on_recovery(sim_.now());
-  if (ps_down_) return;  // rollback() restarts the pipeline once the PS is back
+  // rollback() restarts the pipeline once the PS is back. A partially-down
+  // tier keeps serving: work addressed to the downed shard is dropped at
+  // send time and re-enqueued by that shard's rollback.
+  if (all_ps_down()) return;
   reclaim_missed_pulls();
   repush_owed_rounds();
   replay_iteration();
@@ -371,16 +468,38 @@ void Worker::recover() {
 }
 
 void Worker::on_ps_crash() {
-  PROPHET_CHECK_MSG(!ps_down_, "PS crashed while already down");
-  ps_down_ = true;
+  PROPHET_CHECK_MSG(!any_ps_down(), "PS crashed while already down");
+  std::fill(ps_shard_down_.begin(), ps_shard_down_.end(), std::uint8_t{1});
   halt_inflight();
   // In-flight pull claims died with the PS round state.
   pull_rounds_claimed_ = pulls_done_;
   transfer_log_.record_fault({metrics::FaultKind::kPsCrash, sim_.now(), 0});
 }
 
+void Worker::on_ps_shard_crash(std::size_t shard) {
+  PROPHET_CHECK(shard < num_shards());
+  PROPHET_CHECK_MSG(ps_shard_down_[shard] == 0, "PS shard crashed while already down");
+  ps_shard_down_[shard] = 1;
+  // Only this shard's endpoint died: abort its channel, detach its sub-flows
+  // from the active tasks, and leave compute unfenced — forward stalls only
+  // when (and if) it reaches a layer that needs a shard-k pull.
+  channels_[shard]->abort_all();
+  detach_subflows(shard);
+  for (std::size_t key = shard; key < pulls_done_.size(); key += num_shards()) {
+    // In-flight pulls of the shard's keys died with its round state, and the
+    // server-side crash wiped their open partial pushes; mirror both.
+    pull_pending_bytes_[key] = 0;
+    pull_rounds_claimed_[key] = pulls_done_[key];
+    push_round_bytes_[key] = 0;
+  }
+  transfer_log_.record_fault({metrics::FaultKind::kPsCrash, sim_.now(), 0});
+  if (crashed_ || all_ps_down()) return;
+  pump(sched::TaskKind::kPush);
+  pump(sched::TaskKind::kPull);
+}
+
 void Worker::rollback(const std::vector<std::size_t>& versions) {
-  PROPHET_CHECK_MSG(ps_down_, "rollback without a PS crash");
+  PROPHET_CHECK_MSG(all_ps_down(), "rollback without a PS crash");
   PROPHET_CHECK(versions.size() == pulls_done_.size());
   halt_inflight();
   std::size_t target = params_.iterations;
@@ -393,7 +512,7 @@ void Worker::rollback(const std::vector<std::size_t>& versions) {
     target = std::min(target, versions[k]);
   }
   iter_ = std::min(iter_, target);
-  ps_down_ = false;
+  std::fill(ps_shard_down_.begin(), ps_shard_down_.end(), std::uint8_t{0});
   transfer_log_.record_fault({metrics::FaultKind::kPsFailover, sim_.now(), 0});
   push_sched_->on_recovery(sim_.now());
   pull_sched_->on_recovery(sim_.now());
@@ -405,7 +524,51 @@ void Worker::rollback(const std::vector<std::size_t>& versions) {
   pump(sched::TaskKind::kPull);
 }
 
-void Worker::set_loss_rate(double rate) { channel_.set_loss_rate(rate); }
+void Worker::rollback_shard(std::size_t shard,
+                            const std::vector<std::size_t>& versions) {
+  PROPHET_CHECK(shard < num_shards());
+  PROPHET_CHECK_MSG(ps_shard_down_[shard] != 0, "rollback without a PS crash");
+  PROPHET_CHECK(versions.size() == pulls_done_.size());
+  // Every direction restarts: the halt aborts in-flight transfers on every
+  // shard, so open partial pushes on surviving shards must be discarded
+  // server-side too — their rounds re-send whole during replay.
+  halt_inflight();
+  params_.server->discard_open_pushes(params_.id);
+  // Interrupted pull claims (on any shard) are re-derived from the
+  // claimed-vs-version gap below.
+  pull_rounds_claimed_ = pulls_done_;
+  std::size_t target = params_.iterations;
+  for (std::size_t key = shard; key < versions.size(); key += num_shards()) {
+    // Only the shard's keys roll back; `versions` carries the surviving
+    // keys' live versions through verbatim (the server's recover_shard
+    // contract, version-fenced by the auditor).
+    pulls_done_[key] = versions[key] > 0 ? versions[key] - 1 : 0;
+    pull_rounds_claimed_[key] = pulls_done_[key];
+    push_rounds_done_[key] = std::min(push_rounds_done_[key], versions[key]);
+    target = std::min(target, versions[key]);
+  }
+  iter_ = std::min(iter_, target);
+  ps_shard_down_[shard] = 0;
+  transfer_log_.record_fault({metrics::FaultKind::kPsFailover, sim_.now(), 0});
+  // Shard-aware schedule repair: strategies learn which keys rolled back
+  // (Prophet re-plans immediately from its still-warm bandwidth estimate).
+  std::vector<std::uint8_t> affected(versions.size(), 0);
+  for (std::size_t key = shard; key < affected.size(); key += num_shards()) {
+    affected[key] = 1;
+  }
+  push_sched_->on_partial_recovery(affected, sim_.now());
+  pull_sched_->on_partial_recovery(affected, sim_.now());
+  if (crashed_) return;  // this worker restarts on its own recover()
+  reclaim_missed_pulls();
+  repush_owed_rounds();
+  replay_iteration();
+  pump(sched::TaskKind::kPush);
+  pump(sched::TaskKind::kPull);
+}
+
+void Worker::set_loss_rate(double rate) {
+  for (auto& channel : channels_) channel->set_loss_rate(rate);
+}
 
 void Worker::finish() {
   gpu_.finish(sim_.now());

@@ -12,6 +12,16 @@
 // The NIC pump keeps at most one task in flight per direction
 // (Constraint (8)); every completed push feeds the PS, every completed pull
 // unblocks forward layers.
+//
+// Sharded PS: the worker holds one reliable channel per PS shard. A task
+// popped from a scheduler is partitioned by key shard into per-shard
+// sub-flows launched at the same instant (ascending shard order); the task
+// completes — and reports on_task_done — only when every item was delivered.
+// Items addressed to a downed shard are dropped at send time (the failover
+// rollback re-enqueues that shard's work), and a sub-flow killed by a shard
+// crash finishes its task silently, exactly like a whole-tier abort. With
+// ps_shards=1 a task is one sub-flow on channel 0 and the timeline is
+// bit-identical to the historical single-channel worker.
 #pragma once
 
 #include <cstdint>
@@ -40,7 +50,9 @@ class Worker {
   struct Params {
     std::size_t id;
     net::NodeId node;
-    net::NodeId ps_node;
+    // One endpoint per PS shard (ps_nodes[s] hosts shard s); a single-shard
+    // tier is the one-element vector.
+    std::vector<net::NodeId> ps_nodes;
     std::size_t iterations;
     const dnn::IterationModel* iteration_model;
     Server* server;
@@ -50,7 +62,7 @@ class Worker {
     Duration metrics_bin;
     Duration metrics_horizon;
     int batch;
-    // Reliable-transport knobs for this worker's channel to the PS.
+    // Reliable-transport knobs for this worker's channels to the PS shards.
     net::ReliabilityConfig reliability;
     // Optional passive BSP invariant checker (cluster-owned; may be null).
     audit::BspAuditor* auditor = nullptr;
@@ -81,14 +93,25 @@ class Worker {
   // scheduler state (Prophet re-plans from the surviving profile) and
   // replays its current iteration from the top of forward.
   void recover();
-  // PS died: abort transfers against the dead endpoint and stop pumping
-  // until rollback() delivers the recovered snapshot.
+  // The whole PS tier died: abort transfers against the dead endpoints and
+  // stop pumping until rollback() delivers the recovered snapshot.
   void on_ps_crash();
-  // PS failover completed with checkpoint `versions`: roll per-key push/pull
-  // progress back to the snapshot, force a re-pull of the snapshot round and
-  // replay from the first un-aggregated iteration.
+  // One PS shard died: abort only that shard's channel, detach its sub-flows
+  // from any active tasks, and keep serving the surviving shards. Compute is
+  // NOT fenced — forward stalls only if (until) it needs a shard-k pull.
+  void on_ps_shard_crash(std::size_t shard);
+  // Whole-tier failover completed with checkpoint `versions`: roll per-key
+  // push/pull progress back to the snapshot, force a re-pull of the snapshot
+  // round and replay from the first un-aggregated iteration.
   void rollback(const std::vector<std::size_t>& versions);
-  // Transport loss probability from now on (dynamics `loss_rate` events).
+  // Per-shard failover: `versions` is full-length but only shard-k entries
+  // moved (the server's recover_shard contract). Only shard-k keys' progress
+  // rolls back; in-flight work everywhere is restarted (partial pushes on
+  // surviving shards are discarded server-side and re-sent whole during
+  // replay), and schedulers get the shard-aware on_partial_recovery repair.
+  void rollback_shard(std::size_t shard, const std::vector<std::size_t>& versions);
+  // Transport loss probability from now on (dynamics `loss_rate` events);
+  // applies to every shard's channel.
   void set_loss_rate(double rate);
   [[nodiscard]] bool crashed() const { return crashed_; }
 
@@ -113,15 +136,39 @@ class Worker {
   [[nodiscard]] std::size_t prophet_replans() const;
 
  private:
+  // One scheduler task in flight, fanned out as per-shard sub-flows.
+  struct ActiveTask {
+    sched::TransferTask task;
+    TimePoint started{};
+    std::size_t open_subflows = 0;
+    // A sub-flow died (shard crash) or items were dropped at send time: the
+    // task finishes silently, without on_task_done.
+    bool lost_items = false;
+    std::vector<std::uint8_t> live_on_shard;  // sub-flow in flight per shard
+  };
+
   void begin_iteration();
   void advance_forward();
   void begin_backward();
   void end_backward();
   void pump(sched::TaskKind kind);
-  void on_flow_done(sched::TaskKind kind, const sched::TransferTask& task,
-                    TimePoint started, const net::SendOutcome& outcome);
+  void on_subflow_done(sched::TaskKind kind, std::size_t shard,
+                       const std::vector<sched::TransferItem>& items,
+                       TimePoint started, const net::SendOutcome& outcome);
+  // A sub-flow's items have been processed (or the sub-flow died): closes the
+  // task if this was its last open sub-flow.
+  void close_subflow(sched::TaskKind kind);
+  // Shard `shard` crashed: detach its in-flight sub-flows from the active
+  // tasks (their aborted channel callbacks never fire).
+  void detach_subflows(std::size_t shard);
   [[nodiscard]] bool forward_gate_open(std::size_t layer) const;
   [[nodiscard]] sched::CommScheduler& scheduler(sched::TaskKind kind);
+  [[nodiscard]] std::size_t num_shards() const { return params_.ps_nodes.size(); }
+  [[nodiscard]] std::size_t shard_of(std::size_t key) const {
+    return key % params_.ps_nodes.size();
+  }
+  [[nodiscard]] bool all_ps_down() const;
+  [[nodiscard]] bool any_ps_down() const;
   // Accepts the announced round of `key` into the pull pipeline.
   void claim_pull(std::size_t key);
   // Re-claims every announced round lost across a crash or rollback.
@@ -140,7 +187,9 @@ class Worker {
   net::FlowNetwork& network_;
   Params params_;
   Rng rng_;
-  net::ReliableChannel channel_;
+  // One reliable channel per PS shard, each with its own RNG stream (shard 0
+  // keeps the historical stream, so ps_shards=1 replays bit-identically).
+  std::vector<std::unique_ptr<net::ReliableChannel>> channels_;
 
   std::unique_ptr<sched::CommScheduler> push_sched_;
   std::unique_ptr<sched::CommScheduler> pull_sched_;
@@ -169,7 +218,7 @@ class Worker {
   std::vector<std::size_t> push_rounds_done_;
   std::vector<std::int64_t> push_round_bytes_;
   bool crashed_{false};
-  bool ps_down_{false};
+  std::vector<std::uint8_t> ps_shard_down_;  // per-shard endpoint liveness
   // Fences scheduled compute callbacks (forward steps, gradient flushes,
   // backward end) across crash/rollback: each captures the incarnation it
   // was scheduled under and no-ops if it moved.
@@ -177,8 +226,8 @@ class Worker {
   std::vector<TimePoint> enqueue_time_push_;
   std::vector<TimePoint> enqueue_time_pull_;
   std::vector<std::size_t> enqueue_iter_push_;
-  bool push_inflight_{false};
-  bool pull_inflight_{false};
+  std::optional<ActiveTask> push_active_;
+  std::optional<ActiveTask> pull_active_;
   // Re-poll timers for schedulers that decline work now but hold pending
   // tensors whose release is time-driven (MG-WFBP age triggers, Prophet
   // interval waits under mispredicted profiles).

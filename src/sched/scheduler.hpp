@@ -19,8 +19,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/time.hpp"
 #include "common/units.hpp"
@@ -53,6 +55,16 @@ class CommScheduler {
   // iteration. Strategies that planned from profiled state re-plan from
   // whatever survives (Prophet); fixed-order strategies just clear.
   virtual void on_recovery(TimePoint now);
+  // Per-shard PS failover: only the keys with `affected_keys[key] != 0`
+  // rolled back; the rest of the fabric (and the flows it carried) never
+  // stopped serving. The engine still clears and re-enqueues the replayed
+  // work, so schedulers must drop queued tasks like on_recovery — but a
+  // strategy that plans from a bandwidth estimate may repair its plan
+  // shard-aware instead of discarding it (Prophet re-plans immediately from
+  // the still-warm monitored estimate). Default: indistinguishable from a
+  // full recovery.
+  virtual void on_partial_recovery(const std::vector<std::uint8_t>& affected_keys,
+                                   TimePoint now);
   // During a replayed iteration the engine skips tensors the PS already
   // aggregated for this round; strategies tracking per-iteration arrival
   // state (Prophet's readiness map) record the skip so planning stays
@@ -71,6 +83,10 @@ class CommScheduler {
 inline void CommScheduler::on_iteration_start(std::size_t, TimePoint) {}
 inline void CommScheduler::on_iteration_end(std::size_t, TimePoint) {}
 inline void CommScheduler::on_recovery(TimePoint) {}
+inline void CommScheduler::on_partial_recovery(
+    const std::vector<std::uint8_t>& /*affected_keys*/, TimePoint now) {
+  on_recovery(now);
+}
 inline void CommScheduler::on_gradient_skipped(std::size_t, TimePoint) {}
 
 }  // namespace prophet::sched

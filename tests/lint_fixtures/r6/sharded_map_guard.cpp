@@ -1,0 +1,16 @@
+// fixture-path: src/ps/sharded_map_guard.cpp
+// R6 positive cases: guarding a per-shard channel/handle map with threading
+// primitives inside the simulation layer. The event loop is single-threaded
+// by design — per-shard fan-out is ordinary sequential code, and protecting
+// it with a mutex only hides a determinism bug.
+#include <mutex>  // expect(R6)
+
+namespace prophet::ps {
+
+void fixture_guarded_shard_map(std::vector<int>& per_shard_channels) {
+  std::mutex shard_mu;                       // expect(R6)
+  std::lock_guard<std::mutex> g(shard_mu);   // expect(R6)
+  per_shard_channels.push_back(0);
+}
+
+}  // namespace prophet::ps

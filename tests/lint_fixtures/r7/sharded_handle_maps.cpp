@@ -1,0 +1,33 @@
+// fixture-path: src/ps/sharded_handle_maps.cpp
+// R7 cases for per-shard handle maps: a sharded PS keeps one flow handle per
+// shard, and a shard crash cancels only that shard's entry. The generation
+// tag is what keeps a recycled slot from impersonating the dead shard's
+// flow — unpacking or reusing a canceled entry defeats it.
+namespace prophet::ps {
+
+void fixture_stale_shard_entry(FlowNetwork& net) {
+  FlowId shard0_flow = net.start_flow(1, 9, 100);
+  FlowId shard1_flow = net.start_flow(2, 9, 100);
+  // Shard 0 crashes: its flow is torn down, the survivor keeps going.
+  net.cancel_flow(shard0_flow);
+  net.bytes_remaining(shard0_flow);  // expect(R7)
+  net.bytes_remaining(shard1_flow);  // survivor was never canceled
+}
+
+void fixture_raw_key_from_shard_map(FlowNetwork& net) {
+  FlowId shard0_flow = net.start_flow(1, 9, 100);
+  // Keying a map on the raw slot forgets which incarnation owned it.
+  const auto key = static_cast<std::uint32_t>(shard0_flow);  // expect(R7)
+  (void)key;
+}
+
+void fixture_failover_reacquires(FlowNetwork& net) {
+  FlowId shard0_flow = net.start_flow(1, 9, 100);
+  net.cancel_flow(shard0_flow);
+  // Failover: the recovered shard re-opens its flow before any further use,
+  // so the map never serves a dead handle. No diagnostic.
+  shard0_flow = net.start_flow(1, 9, 100);
+  net.bytes_remaining(shard0_flow);
+}
+
+}  // namespace prophet::ps

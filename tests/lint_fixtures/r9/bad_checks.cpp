@@ -14,6 +14,14 @@ void fixture_check_side_effects(int produced, int consumed, int budget) {
 void fixture_discarded_status(DynamicsPlan& plan, const std::string& spec) {
   plan.add_outage_spec(spec);              // expect(R9)
   DynamicsPlan::from_trace_csv(spec);      // expect(R9)
+  plan.add_ps_crash_spec(spec);            // expect(R9)
+}
+
+void fixture_discarded_failover_state(Server& server) {
+  // Dropping the restored version vector means the failover silently resumes
+  // from the wrong round — the workers' rollback arithmetic needs it.
+  server.recover_shard(0);       // expect(R9)
+  server.checkpoint_versions();  // expect(R9)
 }
 
 }  // namespace prophet::core

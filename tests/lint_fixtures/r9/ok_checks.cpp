@@ -19,4 +19,15 @@ bool fixture_consumed_status(DynamicsPlan& plan, const std::string& spec) {
   return fixture_uses(DynamicsPlan::from_trace_csv(spec)) && parsed.has_value();
 }
 
+void fixture_consumed_failover_state(Server& server, Worker& worker) {
+  const auto restored = server.recover_shard(0);
+  worker.rollback_shard(0, restored);
+  if (server.checkpoint_versions().empty()) {
+    return;
+  }
+  // Worker::recover() returns void; fire-and-forget is the normal idiom and
+  // deliberately NOT in [r9-must-use].
+  worker.recover();
+}
+
 }  // namespace prophet::core

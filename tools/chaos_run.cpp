@@ -104,7 +104,10 @@ void appendf(std::string& s, const char* fmt, ...) {
 
 // One strategy x seed cell: a small 2-worker toy_cnn job with a fault plan
 // drawn from the seed. All fault instants stay under ~200 ms so they land
-// mid-training for every strategy (the fastest finishes in ~260 ms).
+// mid-training for every strategy (the fastest finishes in ~260 ms). The
+// shard count also derives from the seed, so the matrix sweeps single-PS,
+// 2-shard and 3-shard tiers; sharded cells lose one randomly chosen shard
+// (partial rollback), single-PS cells periodically lose the whole tier.
 ps::ClusterConfig chaos_config(const ps::StrategyConfig& strategy,
                                std::uint64_t seed, std::size_t iterations) {
   ps::ClusterConfig cfg;
@@ -113,6 +116,7 @@ ps::ClusterConfig chaos_config(const ps::StrategyConfig& strategy,
   cfg.batch = 32;
   cfg.iterations = iterations;
   cfg.seed = seed;
+  cfg.ps_shards = 1 + seed % 3;
   cfg.worker_bandwidth = Bandwidth::gbps(1);
   cfg.ps_bandwidth = Bandwidth::gbps(1);
   cfg.strategy = strategy;
@@ -129,9 +133,15 @@ ps::ClusterConfig chaos_config(const ps::StrategyConfig& strategy,
       Duration::millis(plan.uniform_int(50, 110)),
       Duration::millis(plan.uniform_int(10, 40)),
       static_cast<std::size_t>(plan.uniform_int(0, 1)));
-  if (seed % 3 == 0) {
+  if (cfg.ps_shards == 1) {
     cfg.dynamics.ps_crash(Duration::millis(plan.uniform_int(160, 190)),
                           Duration::millis(plan.uniform_int(15, 35)));
+  } else {
+    cfg.dynamics.ps_shard_crash(
+        Duration::millis(plan.uniform_int(160, 190)),
+        Duration::millis(plan.uniform_int(15, 35)),
+        static_cast<std::size_t>(
+            plan.uniform_int(0, static_cast<std::int64_t>(cfg.ps_shards) - 1)));
   }
   return cfg;
 }

@@ -1,0 +1,99 @@
+// Regression ratchet for the fault-recovery bench (bench/fault_recovery.cpp).
+//
+// Compares a freshly produced BENCH_fault_smoke.json against the committed
+// baseline (bench_results/BENCH_fault_smoke_baseline.json). Unlike the scale
+// ratchet's wall-clock ratios, every metric here is *simulated* milliseconds
+// — bit-deterministic on any runner — so the tolerance only absorbs small
+// intentional behavior shifts, not machine noise.
+//
+// Two gates per bench cell:
+//   * every "*_overhead_ms" metric (per-strategy recovery cost beyond the
+//     injected downtime) must not grow past baseline + TOL_MS;
+//   * "repair_advantage_ms" (Prophet schedule repair vs naive re-enqueue)
+//     must not shrink below baseline - TOL_MS.
+// A baseline cell or metric missing from the current run fails too — a
+// silently dropped cell must not pass the gate.
+//
+// Usage: fault_ratchet BASELINE.json CURRENT.json [TOL_MS]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using prophet::bench::BenchJson;
+  if (argc < 3 || argc > 4) {
+    std::fprintf(stderr,
+                 "usage: fault_ratchet BASELINE.json CURRENT.json [TOL_MS]\n");
+    return 2;
+  }
+  const std::string baseline_path = argv[1];
+  const std::string current_path = argv[2];
+  const double tol_ms = argc == 4 ? std::strtod(argv[3], nullptr) : 5.0;
+  if (!(tol_ms >= 0.0)) {
+    std::fprintf(stderr, "fault_ratchet: bad TOL_MS\n");
+    return 2;
+  }
+
+  const BenchJson baseline{baseline_path};
+  const BenchJson current{current_path};
+
+  // The metrics fault_recovery writes per bench cell. Overheads ratchet
+  // upward-bounded, the advantage downward-bounded.
+  const std::vector<std::string> overhead_keys = {
+      "fifo_overhead_ms",          "p3_overhead_ms",
+      "bytescheduler_overhead_ms", "prophet_naive_overhead_ms",
+      "prophet_repair_overhead_ms"};
+  const std::string advantage_key = "repair_advantage_ms";
+
+  bool ok = true;
+  int cells = 0;
+  std::printf("  %-36s %-28s %10s %10s\n", "cell", "metric", "baseline",
+              "current");
+  const auto check = [&](const std::string& cell, const std::string& key,
+                         double base, bool upper_bound) {
+    const double cur = current.get(cell, key);
+    if (std::isnan(cur)) {
+      std::printf("  %-36s %-28s %10.3f %10s  FAIL (metric missing)\n",
+                  cell.c_str(), key.c_str(), base, "-");
+      ok = false;
+      return;
+    }
+    const bool pass = upper_bound ? cur <= base + tol_ms : cur >= base - tol_ms;
+    std::printf("  %-36s %-28s %10.3f %10.3f  %s\n", cell.c_str(), key.c_str(),
+                base, cur, pass ? "ok" : "FAIL");
+    if (!pass) ok = false;
+  };
+  for (const std::string& cell : baseline.section_names()) {
+    // The "advantage" summary section carries only the cross-cell best; the
+    // per-cell gates below already cover it.
+    bool counted = false;
+    for (const std::string& key : overhead_keys) {
+      const double base = baseline.get(cell, key);
+      if (std::isnan(base)) continue;
+      if (!counted) {
+        ++cells;
+        counted = true;
+      }
+      check(cell, key, base, /*upper_bound=*/true);
+    }
+    const double base_adv = baseline.get(cell, advantage_key);
+    if (!std::isnan(base_adv)) check(cell, advantage_key, base_adv,
+                                     /*upper_bound=*/false);
+  }
+  if (cells == 0) {
+    std::fprintf(stderr, "fault_ratchet: no ratchetable cells in %s\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "fault_ratchet: recovery cost regressed past %.1f ms of the "
+                 "committed baseline (%s)\n",
+                 tol_ms, baseline_path.c_str());
+  }
+  return ok ? 0 : 1;
+}
